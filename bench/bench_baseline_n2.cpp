@@ -1,0 +1,56 @@
+// E5 -- Section 2's Theta(n^2) analysis of Silent-n-state-SSR.
+//
+// Paper claims: (a) from the lower-bound configuration (two agents at rank
+// 0, rank n-1 vacant) stabilization needs n-1 consecutive bottleneck
+// transitions of expected Theta(n) time each, so Theta(n^2) total; (b) the
+// upper bound is also O(n^2) from *any* configuration (barrier-rank
+// argument).  We measure both starts with the exact accelerated simulator up
+// to n = 4096 and fit the exponents.
+#include <iostream>
+
+#include "analysis/regression.hpp"
+#include "analysis/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace ssr;
+  using namespace ssr::bench;
+
+  banner("E5: bench_baseline_n2", "Section 2 (baseline time analysis)",
+         "Theta(n^2) from the lower-bound configuration and from random "
+         "configurations");
+
+  std::vector<double> ns, lb_means, rnd_means;
+  text_table t({"n", "trials", "lower-bound start: mean ± ci", "t/n^2",
+                "random start: mean ± ci", "t/n^2"});
+  for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const std::size_t trials = n <= 1024 ? 100 : 40;
+    const auto lb = baseline_lower_bound_times(n, trials, 5 + n);
+    const auto rnd = baseline_times(n, trials, 17 + n);
+    const summary ls = summarize(lb);
+    const summary rs = summarize(rnd);
+    const double n2 = static_cast<double>(n) * n;
+    t.add_row({std::to_string(n), std::to_string(trials),
+               format_mean_ci(ls.mean, ci95_halfwidth(ls), 1),
+               format_fixed(ls.mean / n2, 4),
+               format_mean_ci(rs.mean, ci95_halfwidth(rs), 1),
+               format_fixed(rs.mean / n2, 4)});
+    ns.push_back(n);
+    lb_means.push_back(ls.mean);
+    rnd_means.push_back(rs.mean);
+  }
+  t.print(std::cout);
+
+  const auto lb_fit = loglog_fit(ns, lb_means);
+  const auto rnd_fit = loglog_fit(ns, rnd_means);
+  std::cout << "  log-log exponent, lower-bound start: "
+            << format_fixed(lb_fit.slope, 3) << " (r^2 "
+            << format_fixed(lb_fit.r_squared, 3) << "), expected ~2\n"
+            << "  log-log exponent, random start:      "
+            << format_fixed(rnd_fit.slope, 3) << " (r^2 "
+            << format_fixed(rnd_fit.r_squared, 3) << "), expected ~2\n"
+            << "  (Both t/n^2 columns flatten to constants: Theta(n^2) upper "
+               "and lower bounds meet.)"
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E6 -- Section 2's probabilistic tools: two-way epidemic, roll call
+// (~1.5x epidemic), and the bounded epidemic with E[tau_k] = O(k n^{1/k}).
+//
+// These processes justify the protocols' running times: epidemics carry
+// resets and rosters in O(log n) time, and the bounded epidemic's tau_k is
+// exactly the collision-detection latency of depth-H history trees (with
+// k = H + 1), explaining Table 1, row 4.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/statistics.hpp"
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "pp/trial.hpp"
+#include "processes/bounded_epidemic.hpp"
+#include "processes/epidemic.hpp"
+#include "processes/roll_call.hpp"
+
+int main() {
+  using namespace ssr;
+  using namespace ssr::bench;
+
+  banner("E6: bench_epidemic", "Section 2 (probabilistic tools) + Sec. 1.1",
+         "epidemic Theta(log n); roll call ~1.5x epidemic; "
+         "E[tau_k] = O(k n^{1/k})");
+
+  {
+    std::cout << "\nTwo-way epidemic vs roll call:\n";
+    text_table t({"n", "trials", "epidemic mean ± ci", "t/ln n",
+                  "roll call mean ± ci", "ratio"});
+    for (const std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+      const std::size_t trials = n <= 1024 ? 100 : 40;
+      const auto et = run_trials(trials, 3 + n, [n](std::uint64_t s) {
+        return run_epidemic(n, s).completion_time;
+      });
+      const auto rt = run_trials(trials, 7 + n, [n](std::uint64_t s) {
+        return run_roll_call(n, s).completion_time;
+      });
+      const summary es = summarize(et);
+      const summary rs = summarize(rt);
+      t.add_row({std::to_string(n), std::to_string(trials),
+                 format_mean_ci(es.mean, ci95_halfwidth(es), 2),
+                 format_fixed(es.mean / std::log(static_cast<double>(n)), 3),
+                 format_mean_ci(rs.mean, ci95_halfwidth(rs), 2),
+                 format_fixed(rs.mean / es.mean, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "  (Flat t/ln n: epidemics finish in Theta(log n); the roll "
+                 "call ratio sits near the paper's 1.5.)\n";
+  }
+
+  {
+    std::cout << "\nBounded epidemic hitting times E[tau_k] (source->target "
+                 "path of length <= k):\n";
+    const std::uint32_t n = 1024;
+    const std::uint32_t max_k = 8;
+    // Each k gets its own runs: a run for threshold k continues until the
+    // target has heard the epidemic via a path of length <= k, so the
+    // recorded hit time is exactly tau_k.
+    text_table t({"k", "samples", "E[tau_k] mean ± ci", "k*n^(1/k)",
+                  "tau_k/pred"});
+    for (std::uint32_t k = 1; k <= max_k; ++k) {
+      const std::size_t trials = k == 1 ? 40 : 60;
+      const auto samples = run_trials(trials, 33 + k, [&](std::uint64_t s) {
+        return run_bounded_epidemic(n, k, s).hit_time[k];
+      });
+      const summary s = summarize(samples);
+      const double pred =
+          k * std::pow(static_cast<double>(n), 1.0 / static_cast<double>(k));
+      t.add_row({std::to_string(k), std::to_string(s.count),
+                 format_mean_ci(s.mean, ci95_halfwidth(s), 2),
+                 format_fixed(pred, 1), format_fixed(s.mean / pred, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "  (tau_1 ~ n/2 is a direct meeting; tau_2 ~ sqrt(n); the "
+                 "tau_k/pred column stays bounded, matching "
+                 "E[tau_k] = O(k n^{1/k}); tau_k flattens to O(log n) for "
+                 "large k.)"
+              << std::endl;
+  }
+  return 0;
+}

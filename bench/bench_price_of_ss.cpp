@@ -1,0 +1,104 @@
+// E12 -- the price of self-stabilization (paper Conclusion, "Initialized
+// ranking").
+//
+// The same binary-tree rank assignment runs inside three protocols with
+// increasing fault tolerance:
+//   1. initialized_tree_ranking -- designated start, no error handling:
+//      3n+1 states, pure Theta(n) assignment time;
+//   2. Optimal-Silent-SSR from its *clean* start (all Unsettled) -- must
+//      first discover via errorcount expiry that no leader exists, run a
+//      full Propagate-Reset with a Theta(n) dormant leader election, then
+//      rank;
+//   3. Optimal-Silent-SSR from *adversarial* starts -- the full
+//      self-stabilizing guarantee.
+// The gap between the rows is exactly what Theorem 4.1's fault tolerance
+// costs: a constant factor in time (all three are Theta(n)) and the move
+// from 3n+1 to O(n)-with-a-bigger-constant states -- remarkably cheap,
+// which is the paper's quiet point: the expensive step is going *sublinear*
+// (Table 1's exponential states), not going self-stabilizing.
+#include <iostream>
+
+#include "analysis/statistics.hpp"
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "pp/convergence.hpp"
+#include "pp/trial.hpp"
+#include "protocols/initialized_ranking.hpp"
+#include "protocols/state_space.hpp"
+
+namespace {
+
+using namespace ssr;
+using namespace ssr::bench;
+
+double initialized_mean(std::uint32_t n, std::size_t trials,
+                        std::uint64_t seed) {
+  initialized_tree_ranking p(n);
+  const auto times = run_trials(trials, seed, [&](std::uint64_t s) {
+    return measure_convergence(p, p.initial_configuration(), s)
+        .convergence_time;
+  });
+  return summarize(times).mean;
+}
+
+double optimal_clean_mean(std::uint32_t n, std::size_t trials,
+                          std::uint64_t seed) {
+  const auto times = run_trials(trials, seed, [&](std::uint64_t s) {
+    optimal_silent_ssr p(n);
+    return measure_convergence(p, p.initial_configuration(), s,
+                               {.max_parallel_time = 1e9})
+        .convergence_time;
+  });
+  return summarize(times).mean;
+}
+
+double optimal_adversarial_mean(std::uint32_t n, std::size_t trials,
+                                std::uint64_t seed) {
+  const auto times = optimal_silent_times(
+      n, trials, seed, optimal_silent_scenario::uniform_random);
+  return summarize(times).mean;
+}
+
+}  // namespace
+
+int main() {
+  banner("E12: bench_price_of_ss", "Conclusion (initialized ranking)",
+         "the same Theta(n) tree ranking, with and without the "
+         "self-stabilization machinery");
+
+  text_table t({"n", "initialized (3n+1 states)", "t/n",
+                "optimal-silent, clean start", "t/n",
+                "optimal-silent, adversarial", "t/n"});
+  for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
+    const std::size_t trials = n <= 256 ? 40 : 20;
+    const double init = initialized_mean(n, trials, 3 + n);
+    const double clean = optimal_clean_mean(n, trials, 17 + n);
+    const double adv = optimal_adversarial_mean(n, trials, 31 + n);
+    t.add_row({std::to_string(n), format_fixed(init, 1),
+               format_fixed(init / n, 3), format_fixed(clean, 1),
+               format_fixed(clean / n, 3), format_fixed(adv, 1),
+               format_fixed(adv / n, 3)});
+  }
+  t.print(std::cout);
+
+  const auto opt_states =
+      optimal_silent_states(256, optimal_silent_ssr::tuning::defaults(256));
+  std::cout << "\nstates at n = 256: initialized "
+            << initialized_tree_ranking::state_count(256)
+            << " vs self-stabilizing " << opt_states << " ("
+            << format_fixed(static_cast<double>(opt_states) /
+                                initialized_tree_ranking::state_count(256),
+                            1)
+            << "x)\n"
+            << "\nAll three columns are Theta(n) (flat t/n): Theorem 4.1's "
+               "full fault tolerance costs only a\nconstant factor over the "
+               "bare initialized assignment.  The clean start is the "
+               "*slowest*\nself-stabilizing case: with no error present, "
+               "the Unsettled patience E_max = 20n must burn\ndown "
+               "(~E_max/2 time) before the pipeline even starts, whereas "
+               "adversarial corruption is\nnoticed quickly and then pays "
+               "only the D_max = 8n dormant election (~4n) plus ranking.\n"
+               "The expensive frontier is sublinear *time* (Table 1), not "
+               "fault tolerance." << std::endl;
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E10 -- engine microbenchmarks (google-benchmark): interaction throughput
+// per protocol and the speedup of the accelerated baseline simulator.  These
+// are implementation measurements (no paper counterpart) that size the
+// experiments above.
+#include <benchmark/benchmark.h>
+
+#include "pp/convergence.hpp"
+#include "pp/simulation.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace {
+
+using namespace ssr;
+
+void BM_BaselineDirectInteractions(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  silent_n_state_ssr p(n);
+  rng_t rng(1);
+  auto init = adversarial_configuration(p, rng);
+  simulation<silent_n_state_ssr> sim(p, std::move(init), 2);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineDirectInteractions)->Arg(64)->Arg(1024);
+
+void BM_BaselineAcceleratedStabilization(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<std::uint32_t> ranks(n, 0);
+    accelerated_silent_n_state sim(n, ranks, ++seed);
+    benchmark::DoNotOptimize(sim.run_to_stabilization());
+  }
+}
+BENCHMARK(BM_BaselineAcceleratedStabilization)->Arg(256)->Arg(1024);
+
+void BM_OptimalSilentInteractions(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  optimal_silent_ssr p(n);
+  simulation<optimal_silent_ssr> sim(p, p.initial_configuration(), 3);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimalSilentInteractions)->Arg(64)->Arg(1024);
+
+void BM_SublinearInteractions(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto h = static_cast<std::uint32_t>(state.range(1));
+  sublinear_time_ssr p(n, h);
+  rng_t rng(4);
+  simulation<sublinear_time_ssr> sim(p, p.initial_configuration(rng), 5);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SublinearInteractions)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({64, 2});
+
+void BM_RankTrackerUpdate(benchmark::State& state) {
+  // The O(1) correctness tracker is on the hot path of every measurement;
+  // keep it cheap.
+  rank_tracker tracker(1024);
+  for (std::uint32_t i = 0; i < 1024; ++i) tracker.add(i + 1);
+  std::uint32_t r = 1;
+  for (auto _ : state) {
+    tracker.update(r, r + 1);
+    tracker.update(r + 1, r);
+    benchmark::DoNotOptimize(tracker.correct());
+    r = r % 1000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankTrackerUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+#include "common.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "analysis/table.hpp"
+#include "pp/convergence.hpp"
+#include "pp/simulation.hpp"
+#include "pp/trial.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace ssr::bench {
+
+void banner(const std::string& experiment, const std::string& artifact,
+            const std::string& claim) {
+  std::cout << "==================================================\n"
+            << experiment << " -- reproduces " << artifact << "\n"
+            << "paper claim: " << claim << "\n"
+            << "==================================================\n";
+}
+
+std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
+                                   std::uint64_t seed) {
+  return run_trials(trials, seed, [n](std::uint64_t s) {
+    rng_t rng(s);
+    std::vector<std::uint32_t> ranks(n);
+    for (auto& r : ranks)
+      r = static_cast<std::uint32_t>(uniform_below(rng, n));
+    accelerated_silent_n_state sim(n, ranks, s ^ 0x5bd1e995);
+    return sim.run_to_stabilization();
+  });
+}
+
+std::vector<double> baseline_lower_bound_times(std::uint32_t n,
+                                               std::size_t trials,
+                                               std::uint64_t seed) {
+  silent_n_state_ssr p(n);
+  const auto config = p.lower_bound_configuration();
+  std::vector<std::uint32_t> ranks(n);
+  for (std::uint32_t i = 0; i < n; ++i) ranks[i] = config[i].rank;
+  return run_trials(trials, seed, [n, ranks](std::uint64_t s) {
+    accelerated_silent_n_state sim(n, ranks, s);
+    return sim.run_to_stabilization();
+  });
+}
+
+std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
+                                         std::uint64_t seed,
+                                         optimal_silent_scenario scenario) {
+  return run_trials(trials, seed, [=](std::uint64_t s) {
+    optimal_silent_ssr p(n);
+    rng_t rng(s);
+    auto init = adversarial_configuration(p, scenario, rng);
+    convergence_options opt;
+    opt.max_parallel_time = 1e9;
+    const auto r = measure_convergence(p, std::move(init), s ^ 0x9747b28c, opt);
+    if (!r.converged) throw std::runtime_error("optimal-silent did not converge");
+    return r.convergence_time;
+  });
+}
+
+std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
+                                    std::size_t trials, std::uint64_t seed,
+                                    sublinear_scenario scenario,
+                                    double confirm, bool parallel) {
+  return run_trials(
+      trials, seed,
+      [=](std::uint64_t s) {
+    sublinear_time_ssr p(n, h);
+    rng_t rng(s);
+    auto init = adversarial_configuration(p, scenario, rng);
+    convergence_options opt;
+    opt.max_parallel_time = 1e8;
+    opt.confirm_parallel_time = confirm;
+    const auto r = measure_convergence(p, std::move(init), s ^ 0x85ebca6b, opt);
+    if (!r.converged) throw std::runtime_error("sublinear did not converge");
+    return r.convergence_time;
+      },
+      parallel);
+}
+
+std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
+                                        std::size_t trials,
+                                        std::uint64_t seed, bool parallel) {
+  return run_trials(
+      trials, seed,
+      [=](std::uint64_t s) {
+        sublinear_time_ssr p(n, h);
+        rng_t rng(s);
+        auto init = adversarial_configuration(
+            p, sublinear_scenario::single_collision, rng);
+        simulation<sublinear_time_ssr> sim(p, std::move(init),
+                                           s ^ 0xc2b2ae35);
+        const bool detected = sim.run_until(
+            [](const simulation<sublinear_time_ssr>& sm) {
+              for (const auto& a : sm.agents()) {
+                if (a.role == sublinear_time_ssr::role_t::resetting)
+                  return true;
+              }
+              return false;
+            },
+            2'000'000'000ull);
+        if (!detected) throw std::runtime_error("collision never detected");
+        return sim.parallel_time();
+      },
+      parallel);
+}
+
+std::vector<std::string> time_cells(const summary& s) {
+  return {format_mean_ci(s.mean, ci95_halfwidth(s), 2), format_fixed(s.p90, 2),
+          format_fixed(s.p99, 2)};
+}
+
+}  // namespace ssr::bench

@@ -1,0 +1,60 @@
+// Shared measurement plumbing for the experiment binaries (DESIGN.md E1-E7).
+//
+// Every experiment measures stabilization times over many seeded trials and
+// prints paper-style rows; the helpers here own the repetitive parts:
+// per-protocol trial functions, summary formatting, and a banner that ties
+// each binary back to the table/figure it reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/statistics.hpp"
+#include "protocols/adversary.hpp"
+
+namespace ssr::bench {
+
+/// Prints the experiment banner: id, paper artifact, and what is measured.
+void banner(const std::string& experiment, const std::string& artifact,
+            const std::string& claim);
+
+/// Stabilization times (parallel) of the accelerated baseline from uniform
+/// random configurations.
+std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
+                                   std::uint64_t seed);
+
+/// Stabilization times of the accelerated baseline from the paper's
+/// Omega(n^2) lower-bound configuration.
+std::vector<double> baseline_lower_bound_times(std::uint32_t n,
+                                               std::size_t trials,
+                                               std::uint64_t seed);
+
+/// Convergence times of Optimal-Silent-SSR from a scenario.
+std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
+                                         std::uint64_t seed,
+                                         optimal_silent_scenario scenario);
+
+/// Convergence times of Sublinear-Time-SSR from a scenario.  `confirm` is
+/// the extra parallel time correctness must hold (the protocol is
+/// non-silent).
+/// `parallel` controls multi-threaded trials: large-(n, H) history trees
+/// need hundreds of MB per live simulation, so big points run sequentially.
+std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
+                                    std::size_t trials, std::uint64_t seed,
+                                    sublinear_scenario scenario,
+                                    double confirm, bool parallel = true);
+
+/// Detection latency of Sublinear-Time-SSR: parallel time from the
+/// single_collision configuration until any agent triggers a reset.  This
+/// isolates Detect-Name-Collision from the (constant-heavy) reset and
+/// re-ranking phases; Section 5.2 predicts Theta(H * n^{1/(H+1)}).
+std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
+                                        std::size_t trials,
+                                        std::uint64_t seed,
+                                        bool parallel = true);
+
+/// "mean ± ci  p90  p99" cells for a sample.
+std::vector<std::string> time_cells(const summary& s);
+
+}  // namespace ssr::bench

@@ -1,0 +1,98 @@
+// Composition (Section 1: "self-stabilizing algorithms are easier to
+// compose", cf. [10 §4], [7 Thm 3.5]).
+//
+// Population protocols lack a way to detect when one computation has
+// finished before starting another -- but a *self-stabilizing* protocol S
+// can simply run concurrently with a prior computation P that scribbles
+// over S's memory in some unknown way: once P quiets down, S stabilizes
+// from whatever state P left behind, no synchronization needed.
+//
+// Here P is a two-way epidemic (think: disseminating a firmware blob) whose
+// interactions, while still spreading, also corrupt the leader-election
+// layer's fields arbitrarily.  S is Optimal-Silent-SSR.  We run the
+// composition and watch S elect a unique leader anyway, shortly after the
+// epidemic completes.
+#include <iostream>
+
+#include "pp/random.hpp"
+#include "pp/scheduler.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/describe.hpp"
+#include "protocols/optimal_silent.hpp"
+
+namespace {
+
+using namespace ssr;
+
+struct composed_state {
+  bool infected = false;                    // P's field
+  optimal_silent_ssr::agent_state leader;   // S's fields
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t n = 64;
+  optimal_silent_ssr election(n);
+
+  std::vector<composed_state> agents(n);
+  agents[0].infected = true;  // P's source
+  {
+    // S starts in its designated clean state -- which P will trample.
+    const auto clean = election.initial_configuration();
+    for (std::uint32_t i = 0; i < n; ++i) agents[i].leader = clean[i];
+  }
+
+  rng_t rng(29);
+  rng_t vandal(31);  // P's side effects on S's memory
+  std::uint64_t steps = 0;
+  std::size_t infected = 1;
+  double epidemic_done_at = -1.0;
+
+  auto parallel_time = [&] { return static_cast<double>(steps) / n; };
+  auto le_states = [&] {
+    std::vector<optimal_silent_ssr::agent_state> view(n);
+    for (std::uint32_t i = 0; i < n; ++i) view[i] = agents[i].leader;
+    return view;
+  };
+
+  std::cout << "composed run: epidemic (P) + Optimal-Silent-SSR (S), n = "
+            << n << "\n\n";
+  while (!is_valid_ranking(election, le_states()) ||
+         epidemic_done_at < 0.0) {
+    const agent_pair pair = sample_pair(rng, n);
+    composed_state& a = agents[pair.initiator];
+    composed_state& b = agents[pair.responder];
+
+    // P: spread, and while actively spreading, scribble on S's fields.
+    if (a.infected != b.infected) {
+      a.infected = b.infected = true;
+      ++infected;
+      // The "unknown way P sets the states of S": arbitrary corruption.
+      auto& victim = coin_flip(vandal) ? a.leader : b.leader;
+      victim = adversarial_configuration(
+          election, optimal_silent_scenario::uniform_random, vandal)[0];
+      if (infected == n) {
+        epidemic_done_at = parallel_time();
+        std::cout << "t=" << epidemic_done_at
+                  << ": epidemic complete (P finished); S's memory is in "
+                     "an arbitrary state:\n    "
+                  << summarize_configuration(election, le_states()) << '\n';
+      }
+    }
+
+    // S: runs concurrently throughout, oblivious to P.
+    election.interact(a.leader, b.leader, rng);
+    ++steps;
+  }
+
+  std::cout << "t=" << parallel_time()
+            << ": S stabilized -- unique leader elected "
+            << (parallel_time() - epidemic_done_at)
+            << " time units after P finished, with zero synchronization:\n"
+            << "    " << summarize_configuration(election, le_states())
+            << "\n\nA non-self-stabilizing S would have needed to know when "
+               "P stopped scribbling; the\nself-stabilizing S just treats "
+               "P's leftovers as one more adversarial configuration.\n";
+  return 0;
+}

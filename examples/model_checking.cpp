@@ -1,0 +1,142 @@
+// Model checking the paper's claims: self-stabilization is a probability-1
+// statement over every configuration, and for small populations that is
+// checkable *exhaustively* rather than by sampling.  This example verifies
+// the two deterministic protocols over their entire configuration spaces,
+// shows the verifier rejecting a plausible-looking mutant, and demonstrates
+// why the complete communication graph matters.
+#include <iostream>
+
+#include "protocols/initialized.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+#include "pp/convergence.hpp"
+#include "protocols/adversary.hpp"
+#include "verify/graph_reachability.hpp"
+#include "verify/reachability.hpp"
+#include "verify/smc.hpp"
+
+namespace {
+
+using namespace ssr;
+
+void report(const char* what, const verification_result& r) {
+  std::cout << what << ":\n"
+            << "  configurations explored : " << r.configurations << '\n'
+            << "  terminal components     : " << r.terminal_components << '\n'
+            << "  self-stabilizing        : " << (r.self_stabilizing ? "YES" : "NO")
+            << '\n'
+            << "  silent                  : " << (r.silent ? "YES" : "NO")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Exhaustive verification (terminal-SCC analysis over the "
+               "full configuration space)\n\n";
+
+  {
+    silent_n_state_ssr p(6);
+    report("Protocol 1 (Silent-n-state-SSR), n = 6",
+           verify_self_stabilization(p, p.all_states()));
+  }
+
+  {
+    optimal_silent_ssr::tuning t;
+    t.e_max = 4;
+    t.r_max = 2;
+    t.d_max = 2;
+    optimal_silent_ssr p(4, t);
+    report("Protocols 3+4 (Optimal-Silent-SSR), n = 4, tiny constants",
+           verify_self_stabilization(p, p.all_states()));
+  }
+
+  {
+    initialized_leader_election p(4);
+    std::vector<initialized_leader_election::agent_state> states(2);
+    states[0].leader = false;
+    states[1].leader = true;
+    const auto r = verify_self_stabilization(p, states);
+    report("Initialized (l,l)->(l,f) protocol, n = 4", r);
+    if (r.counterexample) {
+      std::cout << "  counterexample: every agent in state "
+                << (r.counterexample->front() == 0 ? "follower" : "leader")
+                << " -- the all-followers deadlock from the introduction.\n\n";
+    }
+  }
+
+  {
+    const std::uint32_t n = 4;
+    silent_n_state_ssr p(n);
+    std::cout << "Protocol 1 on non-complete graphs (position-aware "
+                 "verification, n = 4):\n";
+    for (const auto& [name, graph] :
+         {std::pair{"complete", interaction_graph::complete(n)},
+          std::pair{"ring", interaction_graph::ring(n)},
+          std::pair{"star", interaction_graph::star(n)}}) {
+      const auto r = verify_on_graph(p, graph, p.all_states());
+      std::cout << "  " << name << ": "
+                << (r.self_stabilizing ? "self-stabilizing"
+                                       : "NOT self-stabilizing");
+      if (r.counterexample) {
+        std::cout << "  (stuck configuration: ranks";
+        for (const std::size_t s : *r.counterexample)
+          std::cout << ' ' << p.all_states()[s].rank;
+        std::cout << ")";
+      }
+      std::cout << '\n';
+    }
+    std::cout << "\nThe stuck ring/star configurations hold a duplicate "
+                 "rank across a missing edge --\nthe executable reason the "
+                 "paper assumes the complete interaction graph.\n";
+  }
+
+  {
+    // Beyond exhaustive reach, quantitative claims are checked
+    // statistically (Wald's SPRT; verify/smc.hpp).
+    std::cout << "\nStatistical model checking at n = 64 (SPRT, alpha = "
+                 "beta = 0.01):\n";
+    const std::uint32_t n = 64;
+    smc_options opt;
+    opt.theta = 0.9;
+    const auto fast = sequential_probability_test(
+        [&](std::uint64_t seed) {
+          optimal_silent_ssr p(n);
+          rng_t rng(seed ^ 0xbeef);
+          auto init = adversarial_configuration(
+              p, optimal_silent_scenario::uniform_random, rng);
+          convergence_options copt;
+          copt.max_parallel_time = 3000.0;
+          return measure_convergence(p, std::move(init), seed, copt)
+              .converged;
+        },
+        opt, 99);
+    std::cout << "  P[Optimal-Silent stabilizes within 3000 time from "
+                 "random corruption] >= 0.9 : "
+              << to_string(fast.verdict) << "  (" << fast.successes << "/"
+              << fast.samples << " runs sampled)\n";
+
+    smc_options slow_opt;
+    slow_opt.theta = 0.5;
+    slow_opt.delta = 0.1;
+    const auto slow = sequential_probability_test(
+        [&](std::uint64_t seed) {
+          silent_n_state_ssr p(n);
+          rng_t rng(seed ^ 0xfeed);
+          auto init = adversarial_configuration(p, rng);
+          convergence_options copt;
+          copt.max_parallel_time = 2.0 * n;
+          return measure_convergence(p, std::move(init), seed, copt)
+              .converged;
+        },
+        slow_opt, 101);
+    std::cout << "  P[baseline stabilizes within 2n time] >= 0.5          "
+                 "         : "
+              << to_string(slow.verdict) << "  (" << slow.successes << "/"
+              << slow.samples << " runs sampled)\n"
+              << "\n(The sequential test stops as soon as the evidence "
+                 "crosses the Wald thresholds --\nnote how few runs it "
+                 "needed.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+namespace {
+
+/// Kolmogorov survival function Q(lambda) = P(D > lambda), asymptotic.
+double kolmogorov_q(double lambda) {
+  if (lambda < 1e-8) return 1.0;
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        2.0 * ((j % 2 == 1) ? 1.0 : -1.0) *
+        std::exp(-2.0 * j * j * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+ks_result ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  SSR_REQUIRE(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+
+  ks_result result;
+  result.statistic = d;
+  const double ne = na * nb / (na + nb);
+  // Stephens' small-sample correction improves the asymptotic p-value.
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  result.p_value = kolmogorov_q(lambda);
+  return result;
+}
+
+}  // namespace ssr

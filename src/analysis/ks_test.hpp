@@ -1,0 +1,26 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// Used wherever the library claims two execution semantics are *the same
+// distribution*, not just the same mean: the accelerated baseline simulator
+// vs direct simulation, and the complete-graph edge scheduler vs the
+// uniform ordered-pair scheduler.  The asymptotic Kolmogorov distribution
+// gives the p-value: Q(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2
+// lambda^2) with lambda = sqrt(ne) D (ne = effective sample size), the
+// classical Smirnov approximation.
+#pragma once
+
+#include <span>
+
+namespace ssr {
+
+struct ks_result {
+  /// Supremum distance between the two empirical CDFs.
+  double statistic = 0.0;
+  /// Asymptotic two-sided p-value (small = distributions differ).
+  double p_value = 1.0;
+};
+
+/// Both samples must be non-empty.
+ks_result ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ssr

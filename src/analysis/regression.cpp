@@ -1,0 +1,53 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+linear_fit_result linear_fit(std::span<const double> xs,
+                             std::span<const double> ys) {
+  SSR_REQUIRE(xs.size() == ys.size());
+  SSR_REQUIRE(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  SSR_REQUIRE(sxx > 0.0);
+
+  linear_fit_result fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+linear_fit_result loglog_fit(std::span<const double> xs,
+                             std::span<const double> ys) {
+  SSR_REQUIRE(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SSR_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace ssr

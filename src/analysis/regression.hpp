@@ -1,0 +1,29 @@
+// Least-squares fits used to verify asymptotic shapes.
+//
+// The paper's Table 1 makes Theta-claims; we verify them empirically by
+// fitting log(time) against log(n) and checking the exponent: ~2 for the
+// baseline, ~1 for Optimal-Silent-SSR, ~0 (logarithmic growth) for
+// Sublinear-Time-SSR with H = Theta(log n).
+#pragma once
+
+#include <span>
+
+namespace ssr {
+
+struct linear_fit_result {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope * x + intercept; xs and ys must have the
+/// same size >= 2 and xs must not be constant.
+linear_fit_result linear_fit(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Fits log(y) = e * log(x) + c; the returned slope estimates the exponent e
+/// of a power law y ~ x^e.  All inputs must be positive.
+linear_fit_result loglog_fit(std::span<const double> xs,
+                             std::span<const double> ys);
+
+}  // namespace ssr

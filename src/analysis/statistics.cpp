@@ -1,0 +1,56 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+double quantile(std::span<const double> sample, double q) {
+  SSR_REQUIRE(!sample.empty());
+  SSR_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+summary summarize(std::span<const double> sample) {
+  SSR_REQUIRE(!sample.empty());
+  summary s;
+  s.count = sample.size();
+
+  double sum = 0.0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (const double x : sample) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double x : sample) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+    s.stderr_mean = s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+
+  s.median = quantile(sample, 0.50);
+  s.p90 = quantile(sample, 0.90);
+  s.p99 = quantile(sample, 0.99);
+  return s;
+}
+
+double ci95_halfwidth(const summary& s) { return 1.96 * s.stderr_mean; }
+
+}  // namespace ssr

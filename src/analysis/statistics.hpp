@@ -1,0 +1,37 @@
+// Summary statistics for experiment samples: mean, spread, quantiles and
+// normal-approximation confidence intervals.
+//
+// "WHP time" columns of the paper's Table 1 are reproduced as upper
+// quantiles (p90/p99) of the stabilization-time sample, so quantile
+// estimation (linear interpolation, R type-7) lives here too.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ssr {
+
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;        // sample standard deviation (n-1 denominator)
+  double stderr_mean = 0.0;   // stddev / sqrt(count)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the summary of a non-empty sample.
+summary summarize(std::span<const double> sample);
+
+/// Type-7 (linear interpolation) quantile of a non-empty sample,
+/// q in [0, 1].
+double quantile(std::span<const double> sample, double q);
+
+/// Half-width of the normal-approximation 95% confidence interval for the
+/// mean of a sample.
+double ci95_halfwidth(const summary& s);
+
+}  // namespace ssr

@@ -1,0 +1,68 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SSR_REQUIRE(!header_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+  SSR_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void text_table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_mean_ci(double mean, double halfwidth, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << mean << " ± "
+     << std::setprecision(digits) << halfwidth;
+  return os.str();
+}
+
+std::string format_count(double value) {
+  std::ostringstream os;
+  if (value >= 1e6) {
+    os << std::scientific << std::setprecision(2) << value;
+  } else {
+    os << std::fixed << std::setprecision(0) << value;
+  }
+  return os.str();
+}
+
+}  // namespace ssr

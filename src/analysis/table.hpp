@@ -1,0 +1,37 @@
+// Fixed-width ASCII table printing shared by the benchmark harnesses, so
+// every experiment binary emits paper-style rows in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// Column-aligned table with a header row.  Cells are preformatted strings;
+/// format_cell helpers below cover the common numeric cases.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a rule under the header, columns padded to content width.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int digits);
+
+/// Mean with a 95% CI half-width, e.g. "12.3 ± 0.4".
+std::string format_mean_ci(double mean, double halfwidth, int digits);
+
+/// Engineering-style formatting for counts, e.g. "1.2e+06" above 1e6.
+std::string format_count(double value);
+
+}  // namespace ssr

@@ -1,0 +1,97 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+time_series::time_series(std::vector<std::string> columns)
+    : names_(std::move(columns)), values_(names_.size()) {
+  SSR_REQUIRE(!names_.empty());
+}
+
+void time_series::add(double time, std::span<const double> values) {
+  SSR_REQUIRE(values.size() == names_.size());
+  SSR_REQUIRE(times_.empty() || time >= times_.back());
+  times_.push_back(time);
+  for (std::size_t c = 0; c < values.size(); ++c)
+    values_[c].push_back(values[c]);
+}
+
+std::span<const double> time_series::column(std::size_t c) const {
+  SSR_REQUIRE(c < values_.size());
+  return values_[c];
+}
+
+const std::string& time_series::column_name(std::size_t c) const {
+  SSR_REQUIRE(c < names_.size());
+  return names_[c];
+}
+
+std::string time_series::to_csv() const {
+  std::ostringstream os;
+  os << "time";
+  for (const auto& name : names_) os << ',' << name;
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    os << times_[i];
+    for (const auto& column : values_) os << ',' << column[i];
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string time_series::ascii_chart(std::size_t column, std::size_t width,
+                                     std::size_t height) const {
+  SSR_REQUIRE(column < values_.size());
+  SSR_REQUIRE(width >= 8 && height >= 3);
+  if (times_.empty()) return "(empty series)\n";
+
+  const auto& ys = values_[column];
+  const double t0 = times_.front();
+  const double t1 = times_.back();
+  const double span = std::max(t1 - t0, 1e-12);
+
+  // Bucket samples by time; plot bucket means.
+  std::vector<double> sum(width, 0.0);
+  std::vector<std::size_t> count(width, 0);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    auto bucket = static_cast<std::size_t>((times_[i] - t0) / span *
+                                           static_cast<double>(width - 1));
+    bucket = std::min(bucket, width - 1);
+    sum[bucket] += ys[i];
+    ++count[bucket];
+  }
+
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t b = 0; b < width; ++b) {
+    if (count[b] == 0) continue;
+    const double v = sum[b] / static_cast<double>(count[b]);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  for (std::size_t b = 0; b < width; ++b) {
+    if (count[b] == 0) continue;
+    const double v = sum[b] / static_cast<double>(count[b]);
+    auto level = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                          static_cast<double>(height - 1));
+    level = std::min(level, height - 1);
+    rows[height - 1 - level][b] = '*';
+  }
+
+  std::ostringstream os;
+  os << names_[column] << " (min " << lo << ", max " << hi << ")\n";
+  for (const auto& row : rows) os << "  |" << row << "|\n";
+  os << "  t: " << t0 << " .. " << t1 << '\n';
+  return os.str();
+}
+
+}  // namespace ssr

@@ -1,0 +1,42 @@
+// Sampled time series of population metrics, with CSV export and a compact
+// ASCII chart for terminal output.  Examples and diagnostics use this to
+// show trajectories (e.g. settled-agent counts through a reset pipeline)
+// without leaving the terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+class time_series {
+ public:
+  /// Column names exclude the implicit leading "time" column.
+  explicit time_series(std::vector<std::string> columns);
+
+  /// Appends one sample; `values` must match the column count and `time`
+  /// must be non-decreasing.
+  void add(double time, std::span<const double> values);
+
+  std::size_t size() const { return times_.size(); }
+  std::size_t columns() const { return names_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  std::span<const double> column(std::size_t c) const;
+  const std::string& column_name(std::size_t c) const;
+
+  /// RFC-4180-ish CSV with a header row.
+  std::string to_csv() const;
+
+  /// Renders one column as a `width` x `height` ASCII chart with axis
+  /// labels; the series is bucketed by time and bucket means are plotted.
+  std::string ascii_chart(std::size_t column, std::size_t width = 64,
+                          std::size_t height = 10) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> values_;  // per column
+};
+
+}  // namespace ssr

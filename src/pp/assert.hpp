@@ -1,0 +1,42 @@
+// Lightweight precondition checking used across the library.
+//
+// SSR_REQUIRE is an always-on precondition check (throws std::logic_error):
+// it guards public API boundaries where a violated contract indicates a
+// caller bug.  SSR_ASSERT is an internal invariant check compiled out in
+// release builds unless SSR_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssr::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ssr::detail
+
+#define SSR_REQUIRE(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ssr::detail::contract_failure("precondition", #expr, __FILE__,    \
+                                      __LINE__);                          \
+  } while (false)
+
+#if defined(SSR_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define SSR_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ssr::detail::contract_failure("invariant", #expr, __FILE__,       \
+                                      __LINE__);                          \
+  } while (false)
+#else
+#define SSR_ASSERT(expr) \
+  do {                   \
+  } while (false)
+#endif

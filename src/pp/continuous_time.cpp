@@ -1,0 +1,25 @@
+#include "pp/continuous_time.hpp"
+
+#include <cmath>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+poisson_clock::poisson_clock(std::uint32_t n)
+    : rate_(static_cast<double>(n)) {
+  SSR_REQUIRE(n >= 2);
+}
+
+double exponential_draw(rng_t& rng) {
+  // Inverse CDF on (0, 1]; 1 - u avoids log(0).
+  return -std::log(1.0 - uniform_unit(rng));
+}
+
+double poisson_clock::tick(rng_t& rng) {
+  now_ += exponential_draw(rng) / rate_;
+  ++events_;
+  return now_;
+}
+
+}  // namespace ssr

@@ -1,0 +1,50 @@
+// Continuous-time semantics for population protocols.
+//
+// The paper's intro places population protocols next to stochastic chemical
+// reaction networks (Gillespie [38], Soloveichik et al. [53]).  Under the
+// standard CRN-style semantics each of the n(n-1) ordered agent pairs rings
+// at rate 1/(n-1) -- equivalently, interaction events form a Poisson process
+// of total rate n, and each event picks a uniform ordered pair.  The
+// embedded jump chain is therefore *exactly* the discrete model simulated
+// everywhere else in this library, and after k interactions the elapsed
+// continuous time is Gamma(k, 1/n)-distributed with mean k/n: the discrete
+// "parallel time" is the expectation of the continuous clock, which is why
+// the two time measures agree up to lower-order fluctuations
+// (tests/continuous_time_test.cpp checks the concentration).
+#pragma once
+
+#include <cstdint>
+
+#include "pp/random.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+/// Exponential-gap clock with total event rate n: the continuous-time
+/// companion of a discrete simulation.  Feed it the same number of ticks as
+/// interactions executed.
+class poisson_clock {
+ public:
+  explicit poisson_clock(std::uint32_t n);
+
+  /// Advances past one interaction event; returns the new time.
+  double tick(rng_t& rng);
+
+  double now() const { return now_; }
+  std::uint64_t events() const { return events_; }
+
+  /// The discrete-model estimate of now(): events / n (parallel time).
+  double parallel_time() const {
+    return static_cast<double>(events_) / rate_;
+  }
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+  std::uint64_t events_ = 0;
+};
+
+/// One standard-exponential draw (inverse CDF).
+double exponential_draw(rng_t& rng);
+
+}  // namespace ssr

@@ -1,0 +1,156 @@
+// Measurement of convergence / stabilization time for ranking protocols.
+//
+// Correctness (a valid ranking, i.e. ranks form a permutation of 1..n) is
+// tracked *incrementally*: a histogram of rank values is updated from the
+// pre/post ranks of the two interacting agents, so each interaction costs
+// O(1) regardless of n.  This matters for the Theta(n^2)-time baseline whose
+// executions contain Theta(n^3) interactions.
+//
+// Terminology follows Section 2 of the paper: an execution converges at
+// interaction i if C_{i-1} is not correct and every C_j, j >= i, is correct.
+// We estimate the convergence interaction as the *last entry* into the
+// correct set, confirmed by running `confirm_parallel_time` further time
+// units during which correctness must not be lost.  For the two silent
+// protocols correctness implies silence (proved in their headers), so the
+// first entry is already stable and a zero confirmation window is exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/protocol.hpp"
+#include "pp/random.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+
+struct convergence_options {
+  /// Hard cap on simulated parallel time; the run fails if exceeded.
+  double max_parallel_time = 1e9;
+  /// Extra parallel time the configuration must remain correct after
+  /// (re-)entering the correct set before we declare stabilization.
+  double confirm_parallel_time = 0.0;
+};
+
+struct convergence_result {
+  /// True iff correctness was reached and held through the confirmation
+  /// window within the time cap.
+  bool converged = false;
+  /// Parallel time of the last entry into the correct set.
+  double convergence_time = std::numeric_limits<double>::quiet_NaN();
+  /// Total interactions simulated (including the confirmation window).
+  std::uint64_t interactions = 0;
+  /// Times correctness was lost after having been attained.  Nonzero values
+  /// indicate the protocol revoked an apparently-correct ranking (e.g. a
+  /// spurious reset); safe protocols keep this at 0 from clean
+  /// configurations.
+  std::uint32_t correctness_losses = 0;
+};
+
+/// Incremental tracker for "ranks form a permutation of 1..n".
+class rank_tracker {
+ public:
+  explicit rank_tracker(std::uint32_t n) : n_(n), count_(n + 1, 0) {}
+
+  /// Registers the initial rank of one agent (call once per agent).
+  void add(std::uint32_t rank) {
+    const std::uint32_t r = clamp(rank);
+    bump(r, +1);
+  }
+
+  /// Applies a rank change of one agent.
+  void update(std::uint32_t old_rank, std::uint32_t new_rank) {
+    const std::uint32_t o = clamp(old_rank);
+    const std::uint32_t w = clamp(new_rank);
+    if (o == w) return;
+    bump(o, -1);
+    bump(w, +1);
+  }
+
+  /// True iff every rank 1..n is held by exactly one agent.
+  bool correct() const { return singletons_ == n_; }
+
+ private:
+  // Ranks outside 1..n (including the "no rank" value 0) are pooled in
+  // bucket 0; they can never contribute to correctness.
+  std::uint32_t clamp(std::uint32_t r) const { return r <= n_ ? r : 0; }
+
+  void bump(std::uint32_t r, int delta) {
+    if (r == 0) return;
+    const std::uint32_t before = count_[r];
+    count_[r] = static_cast<std::uint32_t>(static_cast<int>(before) + delta);
+    if (before == 1) --singletons_;
+    if (count_[r] == 1) ++singletons_;
+  }
+
+  std::uint32_t n_;
+  std::vector<std::uint32_t> count_;
+  std::uint32_t singletons_ = 0;
+};
+
+/// Runs `protocol` from `initial` under the uniform scheduler and measures
+/// convergence per the options.  `final_config`, when non-null, receives the
+/// configuration at the end of the run.
+template <ranking_protocol P>
+convergence_result measure_convergence(
+    P protocol, std::vector<typename P::agent_state> initial,
+    std::uint64_t seed, const convergence_options& opt = {},
+    std::vector<typename P::agent_state>* final_config = nullptr) {
+  const std::uint32_t n = protocol.population_size();
+  SSR_REQUIRE(initial.size() == n);
+  SSR_REQUIRE(n >= 2);
+
+  std::vector<typename P::agent_state> agents = std::move(initial);
+  rng_t rng(seed);
+  rank_tracker tracker(n);
+  for (const auto& s : agents) tracker.add(protocol.rank_of(s));
+
+  const auto max_interactions = static_cast<std::uint64_t>(
+      opt.max_parallel_time * static_cast<double>(n));
+  const auto confirm_interactions = static_cast<std::uint64_t>(
+      opt.confirm_parallel_time * static_cast<double>(n));
+
+  convergence_result result;
+  std::uint64_t interactions = 0;
+  std::uint64_t last_entry = 0;  // interaction index of last entry into correctness
+  bool was_correct = tracker.correct();
+  bool ever_correct = was_correct;
+
+  while (interactions < max_interactions) {
+    if (was_correct && interactions - last_entry >= confirm_interactions) {
+      result.converged = true;
+      break;
+    }
+    const agent_pair pair = sample_pair(rng, n);
+    auto& a = agents[pair.initiator];
+    auto& b = agents[pair.responder];
+    const std::uint32_t ra = protocol.rank_of(a);
+    const std::uint32_t rb = protocol.rank_of(b);
+    protocol.interact(a, b, rng);
+    ++interactions;
+    tracker.update(ra, protocol.rank_of(a));
+    tracker.update(rb, protocol.rank_of(b));
+
+    const bool correct = tracker.correct();
+    if (correct && !was_correct) {
+      last_entry = interactions;
+      ever_correct = true;
+    } else if (!correct && was_correct) {
+      ++result.correctness_losses;
+    }
+    was_correct = correct;
+  }
+
+  result.interactions = interactions;
+  if (result.converged && ever_correct) {
+    result.convergence_time =
+        static_cast<double>(last_entry) / static_cast<double>(n);
+  }
+  if (final_config != nullptr) *final_config = std::move(agents);
+  return result;
+}
+
+}  // namespace ssr

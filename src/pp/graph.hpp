@@ -1,0 +1,72 @@
+// Non-complete interaction graphs.
+//
+// The paper assumes the complete communication graph (every pair may
+// interact) and notes that this is the hardest case for its upper bounds --
+// but the *protocols* are only correct there: rank-collision detection
+// requires the colliding agents to eventually interact directly.  This
+// module models the scheduler over an arbitrary connected graph (the
+// setting of [11, 57, 25, 60] in the paper's bibliography): at each step an
+// undirected edge is chosen uniformly at random and oriented uniformly, the
+// natural generalization of the uniform ordered-pair scheduler (which it
+// reproduces exactly on the complete graph).
+//
+// tests/graph_test.cpp + tests/topology_test.cpp use this to demonstrate,
+// both empirically and exhaustively (verify/graph_reachability.hpp), that
+// Silent-n-state-SSR stops being self-stabilizing on rings and stars, and
+// bench_topology measures how convergence degrades as edges are removed
+// from the complete graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/random.hpp"
+#include "pp/rng.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+
+class interaction_graph {
+ public:
+  /// Builds a graph from an explicit undirected edge list (vertices
+  /// 0..n-1; no self-loops or duplicate edges).
+  interaction_graph(std::uint32_t n,
+                    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  static interaction_graph complete(std::uint32_t n);
+  static interaction_graph ring(std::uint32_t n);
+  static interaction_graph path(std::uint32_t n);
+  /// Center 0 connected to every leaf.
+  static interaction_graph star(std::uint32_t n);
+  /// Connected Erdos-Renyi G(n, p): edges sampled i.i.d., then augmented
+  /// with a random spanning-tree edge between components until connected.
+  static interaction_graph erdos_renyi(std::uint32_t n, double p,
+                                       std::uint64_t seed);
+  /// Random d-regular graph via the pairing model (resampled until simple;
+  /// n * d must be even, d < n).
+  static interaction_graph random_regular(std::uint32_t n, std::uint32_t d,
+                                          std::uint64_t seed);
+
+  std::uint32_t size() const { return n_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges() const {
+    return edges_;
+  }
+
+  bool is_connected() const;
+  std::uint32_t min_degree() const;
+  std::uint32_t max_degree() const;
+
+  /// One scheduler step: a uniform edge, uniformly oriented.
+  agent_pair sample(rng_t& rng) const {
+    const auto e = edges_[uniform_below(rng, edges_.size())];
+    return coin_flip(rng) ? agent_pair{e.first, e.second}
+                          : agent_pair{e.second, e.first};
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+}  // namespace ssr

@@ -1,0 +1,85 @@
+// Protocol concepts: the contract every population protocol in this library
+// implements.
+//
+// A population protocol is a value type holding the population size n and any
+// tuning constants.  Its nested `agent_state` type is the per-agent state.
+// `interact(initiator, responder, rng)` applies the (possibly randomized)
+// transition function T to an ordered pair of agent states in place and
+// returns whether either state changed; the return value drives silence
+// detection and lets accelerated simulators skip null interactions.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+template <class P>
+concept population_protocol =
+    std::copy_constructible<P> &&
+    requires(const P cp, P p, typename P::agent_state& a,
+             typename P::agent_state& b, rng_t& rng) {
+      typename P::agent_state;
+      { cp.population_size() } -> std::convertible_to<std::uint32_t>;
+      { p.interact(a, b, rng) } -> std::same_as<bool>;
+    };
+
+/// A ranking protocol additionally exposes the rank output field of a state:
+/// 1..n when the agent currently holds a rank, 0 when it does not.  The
+/// measurement harness uses this to track correctness in O(1) per
+/// interaction.  Every protocol in this library is a ranking protocol
+/// (Section 1.1 of the paper: all the SSLE protocols work by solving the
+/// harder ranking problem).
+template <class P>
+concept ranking_protocol =
+    population_protocol<P> &&
+    requires(const P p, const typename P::agent_state& s) {
+      { p.rank_of(s) } -> std::convertible_to<std::uint32_t>;
+    };
+
+/// A configuration C : A -> S is stored as a contiguous vector of agent
+/// states indexed by agent.  Agent identity exists only in the simulator
+/// (the model's agents are anonymous; indices are never visible to states).
+template <class P>
+using configuration = std::span<const typename P::agent_state>;
+
+/// True iff the rank fields of `config` form a valid ranking, i.e. a
+/// permutation of 1..n.  This is the correctness predicate for
+/// self-stabilizing ranking (Section 2 of the paper).
+template <ranking_protocol P>
+bool is_valid_ranking(const P& p,
+                      std::span<const typename P::agent_state> config) {
+  const std::uint32_t n = p.population_size();
+  if (config.size() != n) return false;
+  // count ranks; any 0 or duplicate disqualifies.
+  std::vector<bool> seen(n + 1, false);
+  for (const auto& s : config) {
+    const std::uint32_t r = p.rank_of(s);
+    if (r < 1 || r > n || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+/// Leader-election view of a ranking protocol (Section 2, "Leader election
+/// and ranking"): the unique agent with rank 1 is the leader.
+template <ranking_protocol P>
+bool is_leader(const P& p, const typename P::agent_state& s) {
+  return p.rank_of(s) == 1;
+}
+
+/// Number of leaders in a configuration; a correct SSLE configuration has
+/// exactly one.
+template <ranking_protocol P>
+std::size_t leader_count(const P& p,
+                         std::span<const typename P::agent_state> config) {
+  std::size_t count = 0;
+  for (const auto& s : config) count += is_leader(p, s) ? 1 : 0;
+  return count;
+}
+
+}  // namespace ssr

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We use xoshiro256++ (Blackman & Vigna), seeded through splitmix64, rather
+// than std::mt19937_64: it is faster, has a tiny state, and its streams are
+// reproducible across standard library implementations, which matters for
+// seed-pinned tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ssr {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full
+/// xoshiro256++ state and as a cheap hash for deriving per-trial seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a decorrelated child seed from (base, stream); used so that every
+/// trial in a sweep gets an independent, reproducible stream.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t x = base ^ (0x2545f4914f6cdd1dULL * (stream + 1));
+  // Two splitmix rounds fully avalanche the combination.
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
+/// xoshiro256++ engine.  Satisfies std::uniform_random_bit_generator.
+class xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256pp(std::uint64_t seed = 0x9059e5e54a1048ccULL) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+using rng_t = xoshiro256pp;
+
+}  // namespace ssr

@@ -1,0 +1,18 @@
+#include "pp/scheduler.hpp"
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+agent_pair sample_pair(rng_t& rng, std::uint32_t n) {
+  SSR_REQUIRE(n >= 2);
+  // Draw a single index into the n(n-1) ordered pairs; cheaper and provably
+  // uniform, versus rejection sampling two indices.
+  const std::uint64_t k = uniform_below(rng, std::uint64_t{n} * (n - 1));
+  const auto i = static_cast<std::uint32_t>(k / (n - 1));
+  auto j = static_cast<std::uint32_t>(k % (n - 1));
+  if (j >= i) ++j;  // skip the diagonal
+  return {i, j};
+}
+
+}  // namespace ssr

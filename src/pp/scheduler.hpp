@@ -1,0 +1,28 @@
+// The uniformly random scheduler of the population protocol model.
+//
+// At each discrete step an ordered pair of distinct agents (initiator,
+// responder) is drawn uniformly from the n(n-1) possibilities (complete
+// communication graph).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "pp/random.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+/// An ordered interaction pair: indices into the configuration vector.
+struct agent_pair {
+  std::uint32_t initiator;
+  std::uint32_t responder;
+
+  friend bool operator==(const agent_pair&, const agent_pair&) = default;
+};
+
+/// Draws a uniform ordered pair of distinct agents from a population of
+/// size n (n >= 2).
+agent_pair sample_pair(rng_t& rng, std::uint32_t n);
+
+}  // namespace ssr

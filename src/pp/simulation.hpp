@@ -1,0 +1,103 @@
+// The direct simulator: applies the protocol's transition function to
+// uniformly scheduled ordered pairs and tracks parallel time
+// (= interactions / n, Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+
+template <population_protocol P>
+class simulation {
+ public:
+  using agent_state = typename P::agent_state;
+
+  /// Starts an execution of `protocol` from `initial` (any configuration:
+  /// the protocols are self-stabilizing, so no validity requirement is
+  /// placed on it beyond the size matching the population size).
+  simulation(P protocol, std::vector<agent_state> initial, std::uint64_t seed)
+      : protocol_(std::move(protocol)),
+        agents_(std::move(initial)),
+        rng_(seed) {
+    SSR_REQUIRE(agents_.size() == protocol_.population_size());
+    SSR_REQUIRE(agents_.size() >= 2);
+  }
+
+  /// Executes one interaction.  Returns the pair that interacted; whether
+  /// the interaction was non-null is available via last_step_changed().
+  agent_pair step() {
+    const agent_pair pair = sample_pair(rng_, population_size());
+    last_changed_ =
+        protocol_.interact(agents_[pair.initiator], agents_[pair.responder],
+                           rng_);
+    ++interactions_;
+    return pair;
+  }
+
+  /// Runs until `stop(self)` returns true, checking after every interaction,
+  /// or until `max_interactions` have elapsed.  Returns true iff `stop`
+  /// fired.
+  template <class Pred>
+  bool run_until(Pred stop, std::uint64_t max_interactions) {
+    while (interactions_ < max_interactions) {
+      step();
+      if (stop(*this)) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t population_size() const {
+    return protocol_.population_size();
+  }
+  std::uint64_t interactions() const { return interactions_; }
+  /// Parallel time elapsed so far: interactions divided by n.
+  double parallel_time() const {
+    return static_cast<double>(interactions_) / population_size();
+  }
+  bool last_step_changed() const { return last_changed_; }
+
+  std::span<const agent_state> agents() const { return agents_; }
+  /// Mutable access supports fault injection (transient-fault experiments
+  /// corrupt states mid-run) -- this models the adversary, not the protocol.
+  std::span<agent_state> mutable_agents() { return agents_; }
+
+  const P& protocol() const { return protocol_; }
+  P& protocol() { return protocol_; }
+  rng_t& rng() { return rng_; }
+
+  /// True iff no pair of current states has a non-null transition, i.e. the
+  /// configuration is silent (Section 2, "Silent protocols").  O(k^2) in the
+  /// number of distinct pairs; intended for tests and small n.  Transitions
+  /// are probed on copies, so the configuration is not disturbed.
+  bool is_silent_configuration() const {
+    const std::uint32_t n = population_size();
+    P probe = protocol_;
+    rng_t probe_rng(0xdeadbeef);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        agent_state a = agents_[i];
+        agent_state b = agents_[j];
+        if (probe.interact(a, b, probe_rng)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  P protocol_;
+  std::vector<agent_state> agents_;
+  rng_t rng_;
+  std::uint64_t interactions_ = 0;
+  bool last_changed_ = false;
+};
+
+}  // namespace ssr

@@ -1,0 +1,63 @@
+#include "pp/trial.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& body,
+                        bool parallel) {
+  if (count == 0) return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers =
+      parallel ? std::min<std::size_t>(count, hw == 0 ? 4 : hw) : 1;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<double> run_trials(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t)>& trial, bool parallel) {
+  std::vector<double> results(count);
+  parallel_for_index(
+      count,
+      [&](std::size_t i) { results[i] = trial(derive_seed(base_seed, i)); },
+      parallel);
+  return results;
+}
+
+}  // namespace ssr

@@ -1,0 +1,27 @@
+// Multi-seed trial execution with optional thread parallelism.
+//
+// Stabilization-time experiments are embarrassingly parallel across seeds;
+// run_trials fans the per-seed measurement function out over hardware
+// threads while keeping results ordered and reproducible (trial i always
+// receives derive_seed(base_seed, i) regardless of thread assignment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ssr {
+
+/// Runs `body(index)` for every index in [0, count), possibly concurrently.
+/// Exceptions thrown by any invocation are rethrown on the calling thread.
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& body,
+                        bool parallel = true);
+
+/// Runs `trial(seed)` for `count` derived seeds and returns the results in
+/// trial order.
+std::vector<double> run_trials(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t)>& trial, bool parallel = true);
+
+}  // namespace ssr

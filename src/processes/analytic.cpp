@@ -1,0 +1,39 @@
+#include "processes/analytic.hpp"
+
+#include <cmath>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+double harmonic(std::uint64_t k) {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double leader_elimination_time(std::uint32_t n) {
+  SSR_REQUIRE(n >= 2);
+  // With j leaders remaining, an interaction eliminates one with probability
+  // j(j-1)/(n(n-1)); the expected interaction counts telescope to (n-1)^2.
+  const double nn = static_cast<double>(n);
+  return (nn - 1.0) * (nn - 1.0) / nn;
+}
+
+double touch_all_but_one_time(std::uint32_t n) {
+  SSR_REQUIRE(n >= 2);
+  return harmonic(n) / 2.0;
+}
+
+double direct_meeting_time(std::uint32_t n) {
+  SSR_REQUIRE(n >= 2);
+  return static_cast<double>(n - 1) / 2.0;
+}
+
+double silent_tail_lower_bound(std::uint32_t n, double alpha) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(alpha > 0.0);
+  return 0.5 * std::pow(static_cast<double>(n), -3.0 * alpha);
+}
+
+}  // namespace ssr

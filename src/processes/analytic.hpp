@@ -1,0 +1,36 @@
+// Closed-form reference quantities quoted in the paper's analysis:
+// harmonic numbers (H_k ~ ln k), the slow leader-election elimination time,
+// direct-meeting waits, and the Observation 2.2 tail bound.  Benchmarks
+// print these next to the measured values.
+#pragma once
+
+#include <cstdint>
+
+namespace ssr {
+
+/// k-th harmonic number H_k = sum_{i=1..k} 1/i.
+double harmonic(std::uint64_t k);
+
+/// Expected parallel time for the slow leader election L,L -> L,F to reduce
+/// n leaders to one: sum over j = 2..n of n(n-1)/(j(j-1)) interactions =
+/// (n-1)^2 interactions, i.e. ~(n-1)^2/n parallel time.  This is why the
+/// dormant phase of Optimal-Silent-SSR uses D_max = Theta(n).
+double leader_elimination_time(std::uint32_t n);
+
+/// Standard coupon-collector approximation of the parallel time until all
+/// but one agent have taken part in some interaction: ~H_n / 2.  This is the
+/// Omega(log n) SSLE lower-bound argument from Section 1.1 (from an
+/// all-leaders configuration, n-1 leaders must interact to become
+/// followers).
+double touch_all_but_one_time(std::uint32_t n);
+
+/// Expected parallel time for two *specific* agents to interact: the
+/// bottleneck step in Observation 2.2 and in the baseline's Theta(n^2)
+/// argument.  Equals n(n-1)/2 interactions / n = (n-1)/2.
+double direct_meeting_time(std::uint32_t n);
+
+/// Observation 2.2 tail: a silent SSLE protocol needs >= alpha * n * ln n
+/// convergence time with probability at least 0.5 * n^(-3*alpha).
+double silent_tail_lower_bound(std::uint32_t n, double alpha);
+
+}  // namespace ssr

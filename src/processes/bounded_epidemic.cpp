@@ -1,0 +1,62 @@
+#include "processes/bounded_epidemic.hpp"
+
+#include <algorithm>
+
+#include "pp/assert.hpp"
+#include "pp/rng.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+
+bounded_epidemic_result run_bounded_epidemic(std::uint32_t n,
+                                             std::uint32_t max_k,
+                                             std::uint64_t seed) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(max_k >= 1);
+  SSR_REQUIRE(max_k < n);
+
+  const std::uint32_t infinity = n;  // no finite value can exceed n-1
+  std::vector<std::uint32_t> value(n, infinity);
+  value[0] = 0;
+  const std::uint32_t target = n - 1;
+
+  bounded_epidemic_result result;
+  result.hit_time.assign(max_k + 1, 0.0);
+
+  rng_t rng(seed);
+  std::uint64_t interactions = 0;
+  bool target_seen = false;
+
+  while (value[target] > max_k) {
+    const agent_pair pair = sample_pair(rng, n);
+    ++interactions;
+    std::uint32_t& a = value[pair.initiator];
+    std::uint32_t& b = value[pair.responder];
+    // i, j -> i, i+1 whenever i < j (the smaller value propagates).
+    const std::uint32_t before = value[target];
+    if (a < b) {
+      b = a + 1;
+    } else if (b < a) {
+      a = b + 1;
+    }
+    const std::uint32_t after = value[target];
+    if (after < before) {
+      const double t =
+          static_cast<double>(interactions) / static_cast<double>(n);
+      if (!target_seen) {
+        target_seen = true;
+        result.any_hit_time = t;
+        result.first_path_length = after;
+      }
+      // The target's value crossing below k means tau_k has just occurred,
+      // for every threshold k in [after, before).
+      const std::uint32_t hi = std::min(before - 1, max_k);
+      for (std::uint32_t k = std::max<std::uint32_t>(after, 1); k <= hi; ++k) {
+        if (result.hit_time[k] == 0.0) result.hit_time[k] = t;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,38 @@
+// The bounded epidemic process (Section 1.1 of the paper).
+//
+// The source agent holds 0, all others hold infinity, and agents interact by
+// i, j -> i, i+1 whenever i < j.  An agent's value is the length of the
+// shortest interaction path from the source along which it has heard the
+// epidemic.  tau_k is the first (parallel) time some designated target agent
+// has value <= k; the paper shows E[tau_1] = O(n), E[tau_2] = O(sqrt(n)),
+// and in general E[tau_k] = O(k * n^{1/k}), while tau_k = O(log n) once
+// k = Omega(log n).  These bounds explain the H-parameterized running times
+// of Sublinear-Time-SSR, and bench_epidemic reproduces the tau_k table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssr {
+
+struct bounded_epidemic_result {
+  /// hit_time[k] for k = 1..max_k: parallel time at which the target agent's
+  /// value first became <= k (0 entries mean "not yet hit at cutoff").
+  std::vector<double> hit_time;
+  /// Parallel time at which the target was reached at all (its value left
+  /// infinity); equals hit_time[k] for every k >= that path length.
+  double any_hit_time = 0.0;
+  /// Path length via which the target was first reached.
+  std::uint32_t first_path_length = 0;
+};
+
+/// Runs the bounded epidemic on n agents (source = agent 0, target = agent
+/// n-1) until the target has been reached via a path of length <= max_k or
+/// the target's value can no longer decrease to max_k (we stop once the
+/// target's value is <= max_k).  Values are capped at n (standing in for
+/// infinity).
+bounded_epidemic_result run_bounded_epidemic(std::uint32_t n,
+                                             std::uint32_t max_k,
+                                             std::uint64_t seed);
+
+}  // namespace ssr

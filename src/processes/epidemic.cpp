@@ -1,0 +1,33 @@
+#include "processes/epidemic.hpp"
+
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+
+epidemic_result run_epidemic(std::uint32_t n, std::uint64_t seed) {
+  SSR_REQUIRE(n >= 2);
+  std::vector<char> infected(n, 0);
+  infected[0] = 1;
+  std::uint32_t count = 1;
+
+  rng_t rng(seed);
+  epidemic_result result;
+  while (count < n) {
+    const agent_pair pair = sample_pair(rng, n);
+    ++result.interactions;
+    char& a = infected[pair.initiator];
+    char& b = infected[pair.responder];
+    if (a != b) {  // exactly one side infected: it spreads both ways
+      a = b = 1;
+      ++count;
+    }
+  }
+  result.completion_time =
+      static_cast<double>(result.interactions) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,26 @@
+// The two-way epidemic process (Section 2, "Probabilistic tools").
+//
+// One source agent is "infected"; when an infected agent interacts with a
+// susceptible one (either role), the susceptible agent becomes infected.
+// Completion time -- the parallel time until all n agents are infected --
+// is Theta(log n); the classical constant is ~2 ln n / ... ~ (1 + o(1)) *
+// (ln n + ln n) interactions per agent, which bench_epidemic measures.
+#pragma once
+
+#include <cstdint>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+struct epidemic_result {
+  /// Parallel time until the whole population is infected.
+  double completion_time = 0.0;
+  std::uint64_t interactions = 0;
+};
+
+/// Simulates one two-way epidemic on n agents from a single source and
+/// returns its completion time.
+epidemic_result run_epidemic(std::uint32_t n, std::uint64_t seed);
+
+}  // namespace ssr

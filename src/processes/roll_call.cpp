@@ -1,0 +1,84 @@
+#include "processes/roll_call.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/rng.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+namespace {
+
+/// Flat bitset: one row of n bits per agent ("which names have I heard?").
+class knowledge_matrix {
+ public:
+  explicit knowledge_matrix(std::uint32_t n)
+      : n_(n), words_per_row_((n + 63) / 64), bits_(std::size_t{n} * words_per_row_, 0) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      row(i)[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+  }
+
+  /// Merges rows a and b in place; returns the new popcount of the merged
+  /// row (identical for both afterwards).
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b) {
+    std::uint64_t* ra = row(a);
+    std::uint64_t* rb = row(b);
+    std::uint32_t count = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      const std::uint64_t merged = ra[w] | rb[w];
+      ra[w] = rb[w] = merged;
+      count += static_cast<std::uint32_t>(__builtin_popcountll(merged));
+    }
+    return count;
+  }
+
+ private:
+  std::uint64_t* row(std::uint32_t i) {
+    return bits_.data() + std::size_t{i} * words_per_row_;
+  }
+
+  std::uint32_t n_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+roll_call_result run_roll_call(std::uint32_t n, std::uint64_t seed) {
+  SSR_REQUIRE(n >= 2);
+  knowledge_matrix knowledge(n);
+  // complete[i] tracks rows that already know all n names.
+  std::vector<char> complete(n, 0);
+  std::uint32_t complete_count = 0;
+
+  rng_t rng(seed);
+  roll_call_result result;
+  std::uint64_t interactions = 0;
+
+  while (complete_count < n) {
+    const agent_pair pair = sample_pair(rng, n);
+    ++interactions;
+    if (complete[pair.initiator] && complete[pair.responder]) continue;
+    const std::uint32_t merged = knowledge.merge(pair.initiator, pair.responder);
+    if (merged == n) {
+      if (result.first_complete_time == 0.0) {
+        result.first_complete_time =
+            static_cast<double>(interactions) / static_cast<double>(n);
+      }
+      for (const std::uint32_t agent : {pair.initiator, pair.responder}) {
+        if (!complete[agent]) {
+          complete[agent] = 1;
+          ++complete_count;
+        }
+      }
+    }
+  }
+  result.interactions = interactions;
+  result.completion_time =
+      static_cast<double>(interactions) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,27 @@
+// The roll call process (Section 2, "Probabilistic tools").
+//
+// Every agent simultaneously propagates a unique piece of information (its
+// name); when two agents interact they merge their knowledge sets.  The
+// process completes when every agent has heard from every other agent.  The
+// paper (building on Mocquard et al. [48]) shows completion is only ~1.5x
+// slower than a single two-way epidemic; bench_epidemic verifies the ratio.
+// Roll call upper-bounds any parallel information propagation, e.g. the
+// roster-filling phase of Sublinear-Time-SSR.
+#pragma once
+
+#include <cstdint>
+
+namespace ssr {
+
+struct roll_call_result {
+  /// Parallel time until every agent knows every name.
+  double completion_time = 0.0;
+  /// Parallel time until *some* agent knows every name (first completion).
+  double first_complete_time = 0.0;
+  std::uint64_t interactions = 0;
+};
+
+/// Simulates one roll call on n agents.
+roll_call_result run_roll_call(std::uint32_t n, std::uint64_t seed);
+
+}  // namespace ssr

@@ -1,0 +1,139 @@
+#include "protocols/describe.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "pp/protocol.hpp"
+
+namespace ssr {
+namespace {
+
+std::string correctness_tag(bool correct) {
+  return correct ? "VALID RANKING" : "not yet valid";
+}
+
+}  // namespace
+
+std::string describe(const silent_n_state_ssr& p,
+                     const silent_n_state_ssr::agent_state& s) {
+  std::ostringstream os;
+  os << "rank=" << p.rank_of(s);
+  return os.str();
+}
+
+std::string describe(const optimal_silent_ssr&,
+                     const optimal_silent_ssr::agent_state& s) {
+  std::ostringstream os;
+  switch (s.role) {
+    case optimal_silent_ssr::role_t::settled:
+      os << "Settled{rank=" << s.rank
+         << ", children=" << static_cast<int>(s.children) << "}";
+      break;
+    case optimal_silent_ssr::role_t::unsettled:
+      os << "Unsettled{errorcount=" << s.errorcount << "}";
+      break;
+    case optimal_silent_ssr::role_t::resetting:
+      os << "Resetting{" << (s.leader ? "L" : "F")
+         << ", resetcount=" << s.reset.resetcount
+         << ", delaytimer=" << s.reset.delaytimer << "}";
+      break;
+  }
+  return os.str();
+}
+
+std::string describe(const sublinear_time_ssr&,
+                     const sublinear_time_ssr::agent_state& s) {
+  std::ostringstream os;
+  if (s.role == sublinear_time_ssr::role_t::collecting) {
+    os << "Collecting{name=" << s.name.to_string() << ", |roster|="
+       << s.roster.size() << ", rank=" << s.rank
+       << ", tree_nodes=" << s.tree.node_count() << "}";
+  } else {
+    os << "Resetting{name=" << s.name.to_string()
+       << ", resetcount=" << s.reset.resetcount
+       << ", delaytimer=" << s.reset.delaytimer << "}";
+  }
+  return os.str();
+}
+
+std::string describe(const loose_stabilizing_le&,
+                     const loose_stabilizing_le::agent_state& s) {
+  std::ostringstream os;
+  os << (s.leader ? "Leader" : "Follower") << "{timer=" << s.timer << "}";
+  return os.str();
+}
+
+std::string summarize_configuration(
+    const silent_n_state_ssr& p,
+    std::span<const silent_n_state_ssr::agent_state> config) {
+  std::map<std::uint32_t, int> rank_counts;
+  for (const auto& s : config) ++rank_counts[s.rank];
+  std::size_t collisions = 0;
+  for (const auto& [rank, count] : rank_counts)
+    collisions += count > 1 ? count - 1 : 0;
+  std::ostringstream os;
+  os << config.size() << " agents, " << rank_counts.size()
+     << " distinct ranks, " << collisions << " colliding; "
+     << correctness_tag(is_valid_ranking(p, config));
+  return os.str();
+}
+
+std::string summarize_configuration(
+    const optimal_silent_ssr& p,
+    std::span<const optimal_silent_ssr::agent_state> config) {
+  int settled = 0, unsettled = 0, resetting = 0, leaders = 0;
+  for (const auto& s : config) {
+    switch (s.role) {
+      case optimal_silent_ssr::role_t::settled: ++settled; break;
+      case optimal_silent_ssr::role_t::unsettled: ++unsettled; break;
+      case optimal_silent_ssr::role_t::resetting:
+        ++resetting;
+        leaders += s.leader ? 1 : 0;
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << settled << " settled / " << unsettled << " unsettled / " << resetting
+     << " resetting";
+  if (resetting > 0) os << " (" << leaders << " leader candidates)";
+  os << "; " << correctness_tag(is_valid_ranking(p, config));
+  return os.str();
+}
+
+std::string summarize_configuration(
+    const sublinear_time_ssr& p,
+    std::span<const sublinear_time_ssr::agent_state> config) {
+  int collecting = 0, resetting = 0, ranked = 0;
+  std::size_t max_roster = 0, total_nodes = 0;
+  for (const auto& s : config) {
+    if (s.role == sublinear_time_ssr::role_t::collecting) {
+      ++collecting;
+      ranked += s.rank > 0 ? 1 : 0;
+      max_roster = std::max(max_roster, s.roster.size());
+      total_nodes += s.tree.node_count();
+    } else {
+      ++resetting;
+    }
+  }
+  std::ostringstream os;
+  os << collecting << " collecting (" << ranked << " ranked, max roster "
+     << max_roster << ", " << total_nodes << " tree nodes) / " << resetting
+     << " resetting; " << correctness_tag(is_valid_ranking(p, config));
+  return os.str();
+}
+
+std::string summarize_configuration(
+    const loose_stabilizing_le& p,
+    std::span<const loose_stabilizing_le::agent_state> config) {
+  std::uint32_t min_timer = UINT32_MAX;
+  for (const auto& s : config) min_timer = std::min(min_timer, s.timer);
+  std::ostringstream os;
+  const std::size_t leaders = p.leader_count(config);
+  os << leaders << " leader(s), min timer " << min_timer << "; "
+     << (leaders == 1 ? "converged" : "not converged");
+  return os.str();
+}
+
+}  // namespace ssr

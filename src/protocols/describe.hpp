@@ -1,0 +1,40 @@
+// Human-readable rendering of agent states and configuration summaries,
+// shared by the CLI driver, the examples and debugging sessions.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "protocols/loose_stabilizing.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace ssr {
+
+/// One-line rendering of a single agent state.
+std::string describe(const silent_n_state_ssr& p,
+                     const silent_n_state_ssr::agent_state& s);
+std::string describe(const optimal_silent_ssr& p,
+                     const optimal_silent_ssr::agent_state& s);
+std::string describe(const sublinear_time_ssr& p,
+                     const sublinear_time_ssr::agent_state& s);
+std::string describe(const loose_stabilizing_le& p,
+                     const loose_stabilizing_le::agent_state& s);
+
+/// One-line population summary ("role counts, leaders, correctness"), for
+/// periodic trace output.
+std::string summarize_configuration(
+    const silent_n_state_ssr& p,
+    std::span<const silent_n_state_ssr::agent_state> config);
+std::string summarize_configuration(
+    const optimal_silent_ssr& p,
+    std::span<const optimal_silent_ssr::agent_state> config);
+std::string summarize_configuration(
+    const sublinear_time_ssr& p,
+    std::span<const sublinear_time_ssr::agent_state> config);
+std::string summarize_configuration(
+    const loose_stabilizing_le& p,
+    std::span<const loose_stabilizing_le::agent_state> config);
+
+}  // namespace ssr

@@ -1,0 +1,185 @@
+#include "protocols/history_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+namespace {
+
+tree_node copy_truncated(const tree_node& node, std::uint32_t depth_limit) {
+  tree_node out;
+  out.name = node.name;
+  if (depth_limit == 0) return out;
+  out.edges.reserve(node.edges.size());
+  for (const tree_edge& e : node.edges) {
+    tree_edge copy;
+    copy.sync = e.sync;
+    copy.timer = e.timer;
+    copy.expired_for = e.expired_for;
+    copy.child = copy_truncated(e.child, depth_limit - 1);
+    out.edges.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::size_t count_nodes(const tree_node& node) {
+  std::size_t total = 1;
+  for (const tree_edge& e : node.edges) total += count_nodes(e.child);
+  return total;
+}
+
+std::uint32_t node_depth(const tree_node& node) {
+  std::uint32_t deepest = 0;
+  for (const tree_edge& e : node.edges)
+    deepest = std::max(deepest, 1 + node_depth(e.child));
+  return deepest;
+}
+
+void render(const tree_node& node, std::string indent, std::ostringstream& os) {
+  for (const tree_edge& e : node.edges) {
+    os << indent << "--" << e.sync << "(t" << e.timer << ")--> "
+       << e.child.name.to_string() << '\n';
+    render(e.child, indent + "  ", os);
+  }
+}
+
+}  // namespace
+
+history_tree::history_tree(const name_t& own_name) { reset(own_name); }
+
+void history_tree::reset(const name_t& own_name) {
+  root_.name = own_name;
+  root_.edges.clear();
+}
+
+history_tree history_tree::adopt(tree_node root) {
+  history_tree tree;
+  tree.root_ = std::move(root);
+  return tree;
+}
+
+bool history_tree::detects_collision_against(const name_t& partner_name,
+                                             const history_tree& partner) const {
+  // DFS over fresh paths; `steps` holds the (name, sync) trail from the
+  // root.  At every node labelled with the partner's name, run Protocol 8
+  // against the partner's tree; an inconsistent history is a collision.
+  std::vector<path_step> steps;
+  std::function<bool(const tree_node&)> dfs = [&](const tree_node& node) {
+    for (const tree_edge& e : node.edges) {
+      if (e.timer == 0) continue;  // only fresh histories count (line 2)
+      steps.push_back({e.child.name, e.sync});
+      const bool collision =
+          (e.child.name == partner_name &&
+           !partner.consistent_with_path(root_.name, steps)) ||
+          dfs(e.child);
+      steps.pop_back();
+      if (collision) return true;
+    }
+    return false;
+  };
+  return dfs(root_);
+}
+
+bool history_tree::consistent_with_path(const name_t& asker_root,
+                                        std::span<const path_step> path) const {
+  SSR_REQUIRE(!path.empty());
+  // Walk this tree from the root along the reversed path: the k-th step
+  // (k = 1..p) follows the child labelled v_{p-k} (v_0 being the asker's
+  // root) and compares syncs with the asker's edge e_{p+1-k}.  Any match
+  // certifies a shared interaction history (Figure 2); if the walk ends --
+  // possibly immediately -- without a match, the path is inconsistent.
+  const std::size_t p = path.size();
+  const tree_node* cur = &root_;
+  for (std::size_t k = 1; k <= p; ++k) {
+    const name_t& wanted =
+        k < p ? path[p - 1 - k].name : asker_root;  // v_{p-k}
+    const std::uint32_t asker_sync = path[p - k].sync;  // e_{p+1-k}
+    const tree_edge* next = nullptr;
+    for (const tree_edge& e : cur->edges) {
+      if (e.child.name == wanted) {
+        next = &e;
+        break;
+      }
+    }
+    if (next == nullptr) return false;  // reversed suffix ends: no match found
+    if (next->sync == asker_sync) return true;
+    cur = &next->child;
+  }
+  return false;
+}
+
+void history_tree::graft_partner(const history_tree& partner,
+                                 std::uint32_t depth_limit, std::uint32_t sync,
+                                 std::uint32_t timer) {
+  // Replace any existing record of the partner (line 8) ...
+  std::erase_if(root_.edges, [&](const tree_edge& e) {
+    return e.child.name == partner.root_name();
+  });
+  // ... and graft its current tree under a fresh edge (lines 9-10).
+  tree_edge e;
+  e.sync = sync;
+  e.timer = timer;
+  e.child = copy_truncated(partner.root(), depth_limit);
+  root_.edges.push_back(std::move(e));
+}
+
+void history_tree::remove_named_subtrees(const name_t& name) {
+  std::function<void(tree_node&)> scrub = [&](tree_node& node) {
+    std::erase_if(node.edges,
+                  [&](const tree_edge& e) { return e.child.name == name; });
+    for (tree_edge& e : node.edges) scrub(e.child);
+  };
+  scrub(root_);
+}
+
+void history_tree::age_edges(std::int64_t prune_retention) {
+  std::function<void(tree_node&)> age = [&](tree_node& node) {
+    for (tree_edge& e : node.edges) {
+      if (e.timer > 0) {
+        --e.timer;
+      } else {
+        ++e.expired_for;
+      }
+      age(e.child);
+    }
+    if (prune_retention >= 0) {
+      std::erase_if(node.edges, [&](const tree_edge& e) {
+        return e.timer == 0 &&
+               e.expired_for > static_cast<std::uint64_t>(prune_retention);
+      });
+    }
+  };
+  age(root_);
+}
+
+std::size_t history_tree::node_count() const { return count_nodes(root_); }
+
+std::uint32_t history_tree::depth() const { return node_depth(root_); }
+
+bool history_tree::simply_labelled() const {
+  std::vector<name_t> trail{root_.name};
+  std::function<bool(const tree_node&)> dfs = [&](const tree_node& node) {
+    for (const tree_edge& e : node.edges) {
+      if (std::find(trail.begin(), trail.end(), e.child.name) != trail.end())
+        return false;
+      trail.push_back(e.child.name);
+      const bool ok = dfs(e.child);
+      trail.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  };
+  return dfs(root_);
+}
+
+std::string history_tree::to_string() const {
+  std::ostringstream os;
+  os << root_.name.to_string() << '\n';
+  render(root_, "  ", os);
+  return os.str();
+}
+
+}  // namespace ssr

@@ -1,0 +1,65 @@
+// The classic *initialized* (non-self-stabilizing) leader election protocol,
+// included as a contrast baseline (Section 1, "Reliable leader election"):
+//
+//     (l, l) -> (l, f)
+//
+// From the designated all-leaders initial configuration it elects a unique
+// leader with one bit of memory per agent -- but it is NOT self-stabilizing:
+// from the all-followers configuration (one transient fault away) no leader
+// can ever be created.  Theorem 2.1 shows this is not fixable with fewer
+// than n states.  tests/initialized_test.cpp and the nonuniformity tests
+// reproduce both facts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+class initialized_leader_election {
+ public:
+  struct agent_state {
+    bool leader = true;
+
+    friend bool operator==(const agent_state&, const agent_state&) = default;
+  };
+
+  explicit initialized_leader_election(std::uint32_t n) : n_(n) {}
+
+  std::uint32_t population_size() const { return n_; }
+
+  bool interact(agent_state& a, agent_state& b, rng_t&) const {
+    if (a.leader && b.leader) {
+      b.leader = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Degenerate rank map so the measurement harness can watch the leader
+  /// count: leaders "hold rank 1", followers none.  (This protocol does not
+  /// solve ranking -- it has too few states for ranking even to be
+  /// definable, as the conclusion of the paper notes.)
+  std::uint32_t rank_of(const agent_state& s) const {
+    return s.leader ? 1 : 0;
+  }
+
+  /// The designated initial configuration: everybody a leader.
+  std::vector<agent_state> initial_configuration() const {
+    return std::vector<agent_state>(n_, agent_state{true});
+  }
+
+  /// One transient fault away from permanent failure.
+  std::vector<agent_state> all_followers() const {
+    return std::vector<agent_state>(n_, agent_state{false});
+  }
+
+  static std::uint64_t state_count(std::uint32_t) { return 2; }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ssr

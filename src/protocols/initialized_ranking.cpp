@@ -1,0 +1,55 @@
+#include "protocols/initialized_ranking.hpp"
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+initialized_tree_ranking::initialized_tree_ranking(std::uint32_t n) : n_(n) {
+  SSR_REQUIRE(n >= 2);
+}
+
+bool initialized_tree_ranking::interact(agent_state& a, agent_state& b,
+                                        rng_t&) const {
+  // Protocol 3 lines 9-13, and nothing else: a settled agent with a free
+  // in-range child slot recruits an unsettled partner.
+  for (auto [i, j] : {std::pair<agent_state*, agent_state*>{&a, &b},
+                      std::pair<agent_state*, agent_state*>{&b, &a}}) {
+    if (i->settled && !j->settled && i->children < 2 &&
+        2 * static_cast<std::uint64_t>(i->rank) + i->children <= n_) {
+      j->settled = true;
+      j->children = 0;
+      j->rank = 2 * i->rank + i->children;
+      ++i->children;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<initialized_tree_ranking::agent_state>
+initialized_tree_ranking::initial_configuration() const {
+  std::vector<agent_state> config(n_);
+  config[0].settled = true;
+  config[0].rank = 1;
+  config[0].children = 0;
+  return config;
+}
+
+std::vector<initialized_tree_ranking::agent_state>
+initialized_tree_ranking::all_states() const {
+  std::vector<agent_state> states;
+  states.reserve(state_count(n_));
+  states.push_back(agent_state{});  // unsettled
+  for (std::uint32_t rank = 1; rank <= n_; ++rank) {
+    for (std::uint8_t children = 0; children <= 2; ++children) {
+      agent_state s;
+      s.settled = true;
+      s.rank = rank;
+      s.children = children;
+      states.push_back(s);
+    }
+  }
+  return states;
+}
+
+}  // namespace ssr

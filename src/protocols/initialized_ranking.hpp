@@ -1,0 +1,63 @@
+// Initialized (non-self-stabilizing) ranking via the binary-tree
+// assignment, isolated from Optimal-Silent-SSR's error-handling machinery.
+//
+// The paper's Conclusion raises initialized ranking as its own problem
+// ("without the constraint of self-stabilization, there is no longer the
+// issue of ghost names...").  This protocol is the constructive baseline:
+// all agents start in the designated configuration (one Settled leader with
+// rank 1, everyone else Unsettled -- exactly what Protocol 4 establishes
+// after a clean reset), and ranks spread down the full binary tree: the
+// children of rank r are 2r and 2r+1.  There are no counters, no resets and
+// no collision detection, so the protocol needs only 3n + 1 states and
+// Theta(n) time -- and it is *not* self-stabilizing (an all-Unsettled
+// configuration deadlocks; tests/initialized_ranking_test.cpp).
+//
+// Comparing its running time with Optimal-Silent-SSR's on the same n prices
+// the paper's fault tolerance: the whole gap is reset + leader-election
+// overhead (bench_price_of_ss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+class initialized_tree_ranking {
+ public:
+  struct agent_state {
+    bool settled = false;
+    std::uint32_t rank = 0;     // {1..n} when settled
+    std::uint8_t children = 0;  // {0,1,2} when settled
+
+    friend bool operator==(const agent_state&, const agent_state&) = default;
+  };
+
+  explicit initialized_tree_ranking(std::uint32_t n);
+
+  std::uint32_t population_size() const { return n_; }
+
+  bool interact(agent_state& a, agent_state& b, rng_t&) const;
+
+  std::uint32_t rank_of(const agent_state& s) const {
+    return s.settled ? s.rank : 0;
+  }
+
+  /// The designated initial configuration: agent 0 is the rank-1 root.
+  std::vector<agent_state> initial_configuration() const;
+
+  /// 3n settled states + 1 unsettled state.
+  static std::uint64_t state_count(std::uint32_t n) {
+    return 3ull * n + 1;
+  }
+
+  /// Full inventory for exhaustive verification.
+  std::vector<agent_state> all_states() const;
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ssr

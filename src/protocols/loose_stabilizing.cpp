@@ -1,0 +1,49 @@
+#include "protocols/loose_stabilizing.hpp"
+
+#include <algorithm>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+loose_stabilizing_le::loose_stabilizing_le(std::uint32_t n,
+                                           std::uint32_t t_max)
+    : n_(n), t_max_(t_max) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(t_max >= 1);
+}
+
+bool loose_stabilizing_le::interact(agent_state& a, agent_state& b,
+                                    rng_t&) const {
+  const agent_state before_a = a;
+  const agent_state before_b = b;
+
+  if (a.leader && b.leader) {
+    b.leader = false;  // l,l -> l,f
+  }
+  // Heartbeat propagation: both adopt max(timers) - 1 ...
+  const std::uint32_t top = std::max(a.timer, b.timer);
+  const std::uint32_t next = top > 0 ? top - 1 : 0;
+  a.timer = next;
+  b.timer = next;
+  // ... and leaders pin their own timer back to T.
+  if (a.leader) a.timer = t_max_;
+  if (b.leader) b.timer = t_max_;
+  // Timeout: silence interpreted as leader death.
+  for (agent_state* s : {&a, &b}) {
+    if (!s->leader && s->timer == 0) {
+      s->leader = true;
+      s->timer = t_max_;
+    }
+  }
+  return a != before_a || b != before_b;
+}
+
+std::size_t loose_stabilizing_le::leader_count(
+    std::span<const agent_state> config) const {
+  std::size_t count = 0;
+  for (const auto& s : config) count += s.leader ? 1 : 0;
+  return count;
+}
+
+}  // namespace ssr

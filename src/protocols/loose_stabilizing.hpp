@@ -1,0 +1,70 @@
+// Loosely-stabilizing leader election (the relaxation discussed in the
+// paper's "Problem variants" and Conclusion sections, after Sudo et al.
+// [56]): from any configuration a unique leader emerges quickly, but is
+// only guaranteed to *persist* for a long expected holding time rather than
+// forever.
+//
+// The protocol is the classical timeout scheme:
+//   * every agent carries timer in {0..T}; a leader pins its own timer to T;
+//   * when two agents meet, both adopt max(timers) - 1 (the leader's
+//     heartbeat radiates by epidemic, losing 1 per hop/step);
+//   * two leaders meeting demote the responder (l,l -> l,f);
+//   * an agent whose timer reaches 0 concludes the leader is gone and
+//     promotes itself.
+//
+// With T = c log n the convergence time is O(T) = O(log n) and the holding
+// time grows exponentially in c (a follower must go ~T interactions without
+// hearing a recent heartbeat) -- the trade bench_loose.cpp measures.  The
+// state count is 2(T+1) = Theta(log n), far below the n-state bound of
+// Theorem 2.1: no contradiction, because loose stabilization is strictly
+// weaker than self-stabilization (the unique leader *does* eventually
+// wobble; the paper's protocols never do).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+class loose_stabilizing_le {
+ public:
+  struct agent_state {
+    bool leader = false;
+    std::uint32_t timer = 0;  // {0..t_max}
+
+    friend bool operator==(const agent_state&, const agent_state&) = default;
+  };
+
+  loose_stabilizing_le(std::uint32_t n, std::uint32_t t_max);
+
+  std::uint32_t population_size() const { return n_; }
+  std::uint32_t t_max() const { return t_max_; }
+
+  bool interact(agent_state& a, agent_state& b, rng_t&) const;
+
+  /// Leader-election output (this protocol does not solve ranking; the
+  /// paper notes loose stabilization is a relaxation precisely because
+  /// Theorem 2.1 forbids true SSLE in o(n) states).
+  bool is_leader(const agent_state& s) const { return s.leader; }
+
+  std::size_t leader_count(std::span<const agent_state> config) const;
+
+  /// 2 (T + 1) states.
+  static std::uint64_t state_count(std::uint32_t t_max) {
+    return 2ull * (t_max + 1);
+  }
+
+  /// All-followers with zero timers: the worst case (no heartbeat anywhere).
+  std::vector<agent_state> dead_configuration() const {
+    return std::vector<agent_state>(n_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t t_max_;
+};
+
+}  // namespace ssr

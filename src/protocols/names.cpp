@@ -1,0 +1,32 @@
+#include "protocols/names.hpp"
+
+#include <bit>
+
+namespace ssr {
+
+std::string name_t::to_string() const {
+  if (empty()) return "ε";
+  std::string out;
+  out.reserve(length());
+  for (std::uint32_t i = 0; i < length(); ++i) {
+    const std::uint32_t shift = length() - 1 - i;
+    out.push_back(((bits_ >> shift) & 1) ? '1' : '0');
+  }
+  return out;
+}
+
+std::uint32_t full_name_bits(std::uint32_t n) {
+  SSR_REQUIRE(n >= 2);
+  const auto log2n = static_cast<std::uint32_t>(std::bit_width(n - 1));
+  const std::uint32_t bits = 3 * log2n;
+  SSR_REQUIRE(bits <= name_t::max_bits);
+  return bits;
+}
+
+name_t random_name(rng_t& rng, std::uint32_t bits) {
+  name_t name;
+  for (std::uint32_t i = 0; i < bits; ++i) name.append_bit(coin_flip(rng));
+  return name;
+}
+
+}  // namespace ssr

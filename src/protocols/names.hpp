@@ -1,0 +1,71 @@
+// Variable-length bitstring names for Sublinear-Time-SSR (Section 5).
+//
+// Each agent's name is a bitstring of length <= 3 log2 n; the n^3 possible
+// full-length values make a random assignment collision-free with high
+// probability.  Names are built up one random bit per interaction during the
+// dormant phase of a reset, so intermediate (shorter) names are legal states
+// and the ordering must be defined on all of {0,1}^{<= 3 log2 n}.
+//
+// A name is stored packed in a 64-bit word (first-appended bit most
+// significant), which caps supported populations at n <= 2^21 -- far beyond
+// what the quasi-exponential state space allows simulating anyway.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "pp/assert.hpp"
+#include "pp/random.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+class name_t {
+ public:
+  /// The empty name (epsilon); agents clear to this while a reset
+  /// propagates.
+  constexpr name_t() = default;
+
+  static constexpr std::uint32_t max_bits = 63;
+
+  constexpr std::uint32_t length() const { return length_; }
+  constexpr bool empty() const { return length_ == 0; }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  /// Appends one bit (Protocol 5 line 15).
+  constexpr void append_bit(bool bit) {
+    SSR_ASSERT(length_ < max_bits);
+    bits_ = (bits_ << 1) | (bit ? 1u : 0u);
+    ++length_;
+  }
+
+  friend constexpr bool operator==(const name_t&, const name_t&) = default;
+
+  /// Lexicographic bitstring order: compare the common prefix bitwise; a
+  /// proper prefix sorts before its extensions.  Ranks are name orders
+  /// within the roster, so this must be a strict total order.
+  friend constexpr std::strong_ordering operator<=>(const name_t& a,
+                                                    const name_t& b) {
+    const std::uint32_t m = a.length_ < b.length_ ? a.length_ : b.length_;
+    const std::uint64_t pa = m > 0 ? a.bits_ >> (a.length_ - m) : 0;
+    const std::uint64_t pb = m > 0 ? b.bits_ >> (b.length_ - m) : 0;
+    if (pa != pb) return pa <=> pb;
+    return a.length_ <=> b.length_;
+  }
+
+  /// "0101"-style rendering for traces and tests; epsilon renders as "ε".
+  std::string to_string() const;
+
+ private:
+  std::uint32_t length_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+/// Name length used by the protocol: 3 log2 n bits (rounded up).
+std::uint32_t full_name_bits(std::uint32_t n);
+
+/// A uniformly random name of `bits` bits.
+name_t random_name(rng_t& rng, std::uint32_t bits);
+
+}  // namespace ssr

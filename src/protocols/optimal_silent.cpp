@@ -1,0 +1,185 @@
+#include "protocols/optimal_silent.hpp"
+
+#include <algorithm>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+optimal_silent_ssr::tuning optimal_silent_ssr::tuning::defaults(
+    std::uint32_t n) {
+  tuning t;
+  t.e_max = 20 * n;
+  t.r_max = default_r_max(n);
+  t.d_max = 8 * n;
+  return t;
+}
+
+optimal_silent_ssr::optimal_silent_ssr(std::uint32_t n)
+    : optimal_silent_ssr(n, tuning::defaults(n)) {}
+
+optimal_silent_ssr::optimal_silent_ssr(std::uint32_t n, const tuning& params)
+    : n_(n), params_(params) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(params.e_max >= 1);
+  SSR_REQUIRE(params.r_max >= 1);
+  SSR_REQUIRE(params.d_max >= 1);
+}
+
+// Propagate-Reset customization: entering the Resetting role makes the agent
+// a leader candidate (Section 4: "all agents set themselves to L upon
+// entering the Resetting role"); Reset is Protocol 4.
+struct optimal_silent_ssr::hooks {
+  std::uint32_t e_max;
+
+  bool is_resetting(const agent_state& s) const {
+    return s.role == role_t::resetting;
+  }
+  reset_fields& fields(agent_state& s) const { return s.reset; }
+  void enter_resetting(agent_state& s) const {
+    s.role = role_t::resetting;
+    s.leader = true;
+    // Fields of the previous role are conceptually deleted on a role switch.
+    s.rank = 0;
+    s.children = 0;
+    s.errorcount = 0;
+  }
+  // Protocol 4: the leader awakens Settled with rank 1; followers awaken
+  // Unsettled with full patience.
+  void reset(agent_state& s) const {
+    if (s.leader) {
+      s.role = role_t::settled;
+      s.rank = 1;
+      s.children = 0;
+    } else {
+      s.role = role_t::unsettled;
+      s.errorcount = e_max;
+    }
+    s.reset = reset_fields{};
+    s.leader = false;
+  }
+};
+
+void optimal_silent_ssr::trigger_pair(agent_state& a, agent_state& b) const {
+  const hooks h{params_.e_max};
+  const reset_params rp{params_.r_max, params_.d_max};
+  trigger_reset(a, rp, h);
+  trigger_reset(b, rp, h);
+}
+
+bool optimal_silent_ssr::interact(agent_state& a, agent_state& b,
+                                  rng_t&) const {
+  const hooks h{params_.e_max};
+  const reset_params rp{params_.r_max, params_.d_max};
+
+  // Lines 1-4: resetting branch, including the dormant-phase slow leader
+  // election L,L -> L,F.
+  if (a.role == role_t::resetting || b.role == role_t::resetting) {
+    propagate_reset(a, b, rp, h);
+    if (a.role == role_t::resetting && b.role == role_t::resetting &&
+        a.leader && b.leader) {
+      b.leader = false;
+    }
+    return true;
+  }
+
+  // Lines 5-8: a rank collision proves the configuration is corrupt.
+  if (a.role == role_t::settled && b.role == role_t::settled &&
+      a.rank == b.rank) {
+    trigger_pair(a, b);
+    return true;
+  }
+
+  bool changed = false;
+
+  // Lines 9-13: a Settled agent with a free child slot recruits an Unsettled
+  // partner; the children of rank r are 2r and 2r+1.
+  for (auto [i, j] : {std::pair<agent_state*, agent_state*>{&a, &b},
+                      std::pair<agent_state*, agent_state*>{&b, &a}}) {
+    if (i->role == role_t::settled && j->role == role_t::unsettled &&
+        i->children < 2 &&
+        2 * static_cast<std::uint64_t>(i->rank) + i->children <= n_) {
+      j->role = role_t::settled;
+      j->children = 0;
+      j->rank = 2 * i->rank + i->children;
+      j->errorcount = 0;
+      ++i->children;
+      changed = true;
+    }
+  }
+
+  // Lines 14-19: Unsettled patience; running out proves no one is assigning
+  // ranks (e.g. the rank-1 leader is absent) and triggers a reset.
+  for (agent_state* i : {&a, &b}) {
+    if (i->role != role_t::unsettled) continue;
+    i->errorcount = i->errorcount > 0 ? i->errorcount - 1 : 0;
+    changed = true;
+    if (i->errorcount == 0) {
+      trigger_pair(a, b);
+      break;
+    }
+  }
+  return changed;
+}
+
+std::vector<optimal_silent_ssr::agent_state>
+optimal_silent_ssr::initial_configuration() const {
+  agent_state s;
+  s.role = role_t::unsettled;
+  s.errorcount = params_.e_max;
+  return std::vector<agent_state>(n_, s);
+}
+
+std::vector<optimal_silent_ssr::agent_state> optimal_silent_ssr::all_states()
+    const {
+  std::vector<agent_state> states;
+  states.reserve(state_count(n_, params_));
+  agent_state s;  // canonical zeroed baseline
+  s.role = role_t::settled;
+  for (std::uint32_t rank = 1; rank <= n_; ++rank) {
+    for (std::uint8_t children = 0; children <= 2; ++children) {
+      s.rank = rank;
+      s.children = children;
+      states.push_back(s);
+    }
+  }
+  s = agent_state{};
+  s.role = role_t::unsettled;
+  for (std::uint32_t ec = 0; ec <= params_.e_max; ++ec) {
+    s.errorcount = ec;
+    states.push_back(s);
+  }
+  s = agent_state{};
+  s.role = role_t::resetting;
+  for (const bool leader : {false, true}) {
+    s.leader = leader;
+    // Propagating: delaytimer is pinned to D_max (never read until the
+    // countdown reaches 0, at which point it is re-initialized).
+    s.reset.delaytimer = params_.d_max;
+    for (std::uint32_t rc = 1; rc <= params_.r_max; ++rc) {
+      s.reset.resetcount = rc;
+      states.push_back(s);
+    }
+    // Dormant: counting the delay down.
+    s.reset.resetcount = 0;
+    for (std::uint32_t delay = 0; delay <= params_.d_max; ++delay) {
+      s.reset.delaytimer = delay;
+      states.push_back(s);
+    }
+  }
+  return states;
+}
+
+std::uint64_t optimal_silent_ssr::state_count(std::uint32_t n,
+                                              const tuning& params) {
+  // Roles partition the state space, so counts add (Section 2).
+  const std::uint64_t settled = std::uint64_t{n} * 3;          // rank x children
+  const std::uint64_t unsettled = params.e_max + std::uint64_t{1};
+  // Resetting: leader x (propagating counts 1..R_max, or dormant with a
+  // delay timer 0..D_max).
+  const std::uint64_t resetting =
+      2 * (std::uint64_t{params.r_max} + params.d_max + 1);
+  return settled + unsettled + resetting;
+}
+
+}  // namespace ssr

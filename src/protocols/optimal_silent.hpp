@@ -1,0 +1,108 @@
+// Protocols 3+4: Optimal-Silent-SSR (Section 4), the linear-time,
+// linear-state, silent self-stabilizing ranking protocol.
+//
+// Agents are in one of three roles:
+//   Settled    -- holds rank in {1..n} and children in {0,1,2}
+//   Unsettled  -- holds errorcount in {0..E_max}, waiting for a rank
+//   Resetting  -- Propagate-Reset fields plus leader in {L, F}
+//
+// Errors trigger a global Propagate-Reset in two situations: (1) two Settled
+// agents hold the same rank (detected on direct interaction), and (2) an
+// Unsettled agent fails to receive a rank within E_max = Theta(n) of its own
+// interactions.  During the Theta(n)-long dormant phase of the reset, slow
+// leader election L,L -> L,F runs among the Resetting agents, so upon
+// awakening there is a unique leader with constant probability (retried via
+// a fresh reset on failure).  Reset (Protocol 4) makes the leader Settled
+// with rank 1 and everyone else Unsettled; the Settled agents then assign
+// ranks along a full binary tree: the children of rank r are 2r and 2r+1
+// (Figure 1), which completes in Theta(n) time level by level.
+//
+// Complexity (Theorem 4.1, Corollary 4.2): O(n) states, O(n) expected time,
+// O(n log n) time WHP, and the protocol is silent -- in a correct
+// configuration every agent is Settled with a distinct rank, and no rule
+// applies (rank collisions need equal ranks, recruitment needs an Unsettled
+// partner, and only Unsettled/Resetting agents have counters), so
+// correctness and silence coincide.
+//
+// Deviation from the paper's pseudocode (see DESIGN.md): line 10 guards
+// recruitment with "2*rank + children < n", under which rank n is never
+// assigned and the last Unsettled agent would time out forever; we use
+// "<= n", matching the prose ("each agent knows whether its rank corresponds
+// to a node with 0, 1, or 2 children in the full binary tree with n nodes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+#include "protocols/propagate_reset.hpp"
+
+namespace ssr {
+
+class optimal_silent_ssr {
+ public:
+  enum class role_t : std::uint8_t { settled, unsettled, resetting };
+
+  struct tuning {
+    std::uint32_t e_max = 0;  // Unsettled patience, Theta(n)
+    std::uint32_t r_max = 0;  // Propagate-Reset countdown, Theta(log n)
+    std::uint32_t d_max = 0;  // dormant delay, Theta(n)
+
+    /// Defaults validated in EXPERIMENTS.md: E_max = 20n, R_max = 60 ln n,
+    /// D_max = 8n.
+    static tuning defaults(std::uint32_t n);
+  };
+
+  struct agent_state {
+    role_t role = role_t::unsettled;
+    // Settled fields.
+    std::uint32_t rank = 0;       // {1..n}
+    std::uint8_t children = 0;    // {0,1,2}
+    // Unsettled fields.
+    std::uint32_t errorcount = 0; // {0..E_max}
+    // Resetting fields.
+    bool leader = false;          // leader in {L, F}; true = L
+    reset_fields reset;
+
+    friend bool operator==(const agent_state&, const agent_state&) = default;
+  };
+
+  explicit optimal_silent_ssr(std::uint32_t n);
+  optimal_silent_ssr(std::uint32_t n, const tuning& params);
+
+  std::uint32_t population_size() const { return n_; }
+  const tuning& params() const { return params_; }
+
+  bool interact(agent_state& a, agent_state& b, rng_t& rng) const;
+
+  std::uint32_t rank_of(const agent_state& s) const {
+    return s.role == role_t::settled ? s.rank : 0;
+  }
+
+  /// Clean start: every agent Unsettled with full patience.  The protocol is
+  /// self-stabilizing, so this is only a convenience (it exercises the
+  /// errorcount -> reset -> leader election -> tree ranking pipeline).
+  std::vector<agent_state> initial_configuration() const;
+
+  /// Number of reachable states: |Settled| + |Unsettled| + |Resetting|
+  /// (roles partition the state space; Section 2, "Pseudocode
+  /// conventions").
+  static std::uint64_t state_count(std::uint32_t n, const tuning& params);
+
+  /// The full canonical state inventory (fields of inactive roles zeroed,
+  /// delaytimer pinned to D_max while propagating -- the invariants the
+  /// transition function maintains), for exhaustive verification
+  /// (verify/reachability.hpp).  Size = state_count(n, params).
+  std::vector<agent_state> all_states() const;
+
+ private:
+  struct hooks;  // Propagate-Reset customization (defined in .cpp)
+
+  void trigger_pair(agent_state& a, agent_state& b) const;
+
+  std::uint32_t n_;
+  tuning params_;
+};
+
+}  // namespace ssr

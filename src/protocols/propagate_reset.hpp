@@ -1,0 +1,144 @@
+// Protocol 2: Propagate-Reset, the resetting subprotocol shared by
+// Optimal-Silent-SSR (Section 4) and Sublinear-Time-SSR (Section 5).
+//
+// When some agent detects an error it becomes *triggered*
+// (resetcount = R_max).  The positive-resetcount ("propagating") condition
+// spreads by epidemic while counting down; once an agent's count hits 0 it
+// is *dormant* and waits out a delay timer, which gives the whole population
+// time to become dormant before anyone wakes up (preventing an agent from
+// waking twice during one reset).  The first agent whose delay expires
+// executes Reset and is back to *computing*; computing agents then awaken
+// the remaining dormant agents by epidemic.  Crucially, after Reset an agent
+// retains no memory that a reset happened -- the adversary could fake any
+// such marker (footnote 9 of the paper).
+//
+// The component is generic over the outer protocol's agent type via a hooks
+// object; the outer protocol supplies role bookkeeping, the Reset routine
+// (Protocols 4 and 6), and anything extra that must happen on entering the
+// Resetting role (e.g. Optimal-Silent-SSR sets leader <- L).
+//
+// Parameters (Section 3): R_max = Omega(log n), concretely 60 ln n in the
+// paper; D_max = Omega(R_max), Theta(log n) for Sublinear-Time-SSR and
+// Theta(n) for Optimal-Silent-SSR (long enough for the dormant-phase slow
+// leader election).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+/// Fields carried by an agent in the Resetting role.
+struct reset_fields {
+  std::uint32_t resetcount = 0;  // {0, ..., R_max}; > 0 means propagating
+  std::uint32_t delaytimer = 0;  // {0, ..., D_max}; used when resetcount == 0
+
+  friend bool operator==(const reset_fields&, const reset_fields&) = default;
+};
+
+struct reset_params {
+  std::uint32_t r_max = 1;
+  std::uint32_t d_max = 1;
+};
+
+/// The paper's concrete choice R_max = 60 ln n, scaled by `factor` so
+/// experiments can explore the constant.
+inline std::uint32_t default_r_max(std::uint32_t n, double factor = 1.0) {
+  const double v = 60.0 * factor * std::log(static_cast<double>(n));
+  return std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::ceil(v)));
+}
+
+template <class Hooks, class Agent>
+concept reset_hooks = requires(const Hooks& ch, Hooks& h, Agent& x,
+                               const Agent& cx) {
+  { ch.is_resetting(cx) } -> std::convertible_to<bool>;
+  { h.fields(x) } -> std::same_as<reset_fields&>;
+  // Switches x into the Resetting role (dropping the previous role's
+  // fields); called both for triggered agents and for computing agents
+  // pulled in by a propagating neighbor.
+  h.enter_resetting(x);
+  // Protocol-provided Reset routine; must leave x in a non-Resetting role.
+  h.reset(x);
+};
+
+/// Puts `agent` into the triggered state (it has just detected an error and
+/// initiates a global reset).
+template <class Agent, reset_hooks<Agent> Hooks>
+void trigger_reset(Agent& agent, const reset_params& params, Hooks&& hooks) {
+  if (!hooks.is_resetting(agent)) hooks.enter_resetting(agent);
+  hooks.fields(agent).resetcount = params.r_max;
+  hooks.fields(agent).delaytimer = params.d_max;
+}
+
+/// Executes one Propagate-Reset interaction.  Precondition: at least one of
+/// the two agents is in the Resetting role.  Returns true (the interaction
+/// is never null: counters always move).
+template <class Agent, reset_hooks<Agent> Hooks>
+bool propagate_reset(Agent& a, Agent& b, const reset_params& params,
+                     Hooks&& hooks) {
+  Agent* x = &a;  // the Resetting agent of the pseudocode's signature
+  Agent* y = &b;
+  if (!hooks.is_resetting(*x)) std::swap(x, y);
+  SSR_REQUIRE(hooks.is_resetting(*x));
+
+  // Line 1-3: a propagating agent pulls a computing partner into the
+  // Resetting role (dormant, full delay).
+  if (hooks.fields(*x).resetcount > 0 && !hooks.is_resetting(*y)) {
+    hooks.enter_resetting(*y);
+    hooks.fields(*y).resetcount = 0;
+    hooks.fields(*y).delaytimer = params.d_max;
+  }
+
+  // Pre-values feed the "resetcount just became 0" test below.
+  const bool y_resetting = hooks.is_resetting(*y);
+  const std::uint32_t pre_x = hooks.fields(*x).resetcount;
+  const std::uint32_t pre_y = y_resetting ? hooks.fields(*y).resetcount : 0;
+
+  // Line 4-5: both countdowns move to max(a.rc - 1, b.rc - 1, 0).
+  if (y_resetting) {
+    const std::uint32_t top = std::max(pre_x, pre_y);
+    const std::uint32_t next = top > 0 ? top - 1 : 0;
+    hooks.fields(*x).resetcount = next;
+    hooks.fields(*y).resetcount = next;
+    if (next > 0) {
+      // A dormant agent re-infected by a propagating partner leaves the
+      // dormant sub-role; per the paper the delaytimer field only exists
+      // while resetcount = 0, so pin it (it is re-initialized on the next
+      // transition to 0 in any case -- this keeps states canonical for the
+      // exhaustive verifier).
+      hooks.fields(*x).delaytimer = params.d_max;
+      hooks.fields(*y).delaytimer = params.d_max;
+    }
+  }
+
+  // Lines 6-12: dormant agents count down their delay and awaken, either by
+  // timeout or by meeting a computing agent (awakening by epidemic).  The
+  // partner's role is evaluated sequentially, i.e. an agent that just
+  // executed Reset immediately awakens its partner.
+  auto handle_dormant = [&](Agent& self, Agent& partner,
+                            std::uint32_t pre_count) {
+    if (!hooks.is_resetting(self) || hooks.fields(self).resetcount != 0)
+      return;
+    const bool just_became_zero =
+        pre_count > 0 && hooks.fields(self).resetcount == 0;
+    if (just_became_zero) {
+      hooks.fields(self).delaytimer = params.d_max;
+    } else if (hooks.fields(self).delaytimer > 0) {
+      --hooks.fields(self).delaytimer;
+    }
+    if (hooks.fields(self).delaytimer == 0 || !hooks.is_resetting(partner)) {
+      hooks.reset(self);
+      SSR_ASSERT(!hooks.is_resetting(self));
+    }
+  };
+  handle_dormant(*x, *y, pre_x);
+  handle_dormant(*y, *x, pre_y);
+  return true;
+}
+
+}  // namespace ssr

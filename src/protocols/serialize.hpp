@@ -1,0 +1,52 @@
+// Text serialization of configurations: lets experiments pin down, share
+// and replay exact starting configurations (including history trees), and
+// gives the CLI a --dump/--load story.
+//
+// Format: one header line, then one line per agent.
+//
+//   ssr-config v1 protocol=optimal n=4
+//   settled rank=1 children=2
+//   unsettled errorcount=12
+//   resetting leader=L resetcount=5 delaytimer=2
+//   settled rank=3 children=0
+//
+// History trees serialize as s-expressions: (name (sync timer expired
+// child) ...), names as 0/1 strings ("e" for the empty name).  Parsing is
+// strict; malformed input throws std::invalid_argument with a line number.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protocols/loose_stabilizing.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace ssr {
+
+std::string to_text(const silent_n_state_ssr& p,
+                    std::span<const silent_n_state_ssr::agent_state> config);
+std::string to_text(const optimal_silent_ssr& p,
+                    std::span<const optimal_silent_ssr::agent_state> config);
+std::string to_text(const sublinear_time_ssr& p,
+                    std::span<const sublinear_time_ssr::agent_state> config);
+std::string to_text(const loose_stabilizing_le& p,
+                    std::span<const loose_stabilizing_le::agent_state> config);
+
+std::vector<silent_n_state_ssr::agent_state> config_from_text(
+    const silent_n_state_ssr& p, const std::string& text);
+std::vector<optimal_silent_ssr::agent_state> config_from_text(
+    const optimal_silent_ssr& p, const std::string& text);
+std::vector<sublinear_time_ssr::agent_state> config_from_text(
+    const sublinear_time_ssr& p, const std::string& text);
+std::vector<loose_stabilizing_le::agent_state> config_from_text(
+    const loose_stabilizing_le& p, const std::string& text);
+
+/// Serializes one history tree as an s-expression (exposed for tests and
+/// trace tooling).
+std::string tree_to_text(const history_tree& tree);
+history_tree tree_from_text(const std::string& text);
+
+}  // namespace ssr

@@ -1,0 +1,43 @@
+#include "protocols/state_space.hpp"
+
+#include <cmath>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+std::uint64_t silent_n_state_states(std::uint32_t n) { return n; }
+
+std::uint64_t optimal_silent_states(std::uint32_t n,
+                                    const optimal_silent_ssr::tuning& t) {
+  return optimal_silent_ssr::state_count(n, t);
+}
+
+double sublinear_state_bits(std::uint32_t n,
+                            const sublinear_time_ssr::tuning& t) {
+  SSR_REQUIRE(n >= 2);
+  const double name_bits = t.name_bits + std::log2(t.name_bits + 1.0);
+  // Roster: a subset of at most n names out of 2^{name_bits+1} possible
+  // bitstrings; log2 C(2^b, <= n) ~ n * b for b = name_bits.
+  const double roster_bits = static_cast<double>(n) * name_bits;
+  // Tree: at most sum_{d=1..H} n^d nodes (each node's children carry
+  // distinct names); each carries a name plus sync and timer on its edge.
+  double tree_nodes = 0.0;
+  double level = 1.0;
+  for (std::uint32_t d = 1; d <= t.h; ++d) {
+    level *= static_cast<double>(n);
+    tree_nodes += level;
+    if (tree_nodes > 1e300) break;  // saturate rather than overflow
+  }
+  const double per_node_bits =
+      name_bits + std::log2(static_cast<double>(t.s_max)) +
+      std::log2(static_cast<double>(t.t_h) + 1.0);
+  const double tree_bits = tree_nodes * per_node_bits;
+  // Resetting role: resetcount and delaytimer.
+  const double reset_bits = std::log2(static_cast<double>(t.r_max) + 1.0) +
+                            std::log2(static_cast<double>(t.d_max) + 1.0);
+  const double rank_bits = std::log2(static_cast<double>(n) + 1.0);
+  return name_bits + roster_bits + tree_bits + reset_bits + rank_bits + 1.0;
+}
+
+}  // namespace ssr

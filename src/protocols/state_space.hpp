@@ -1,0 +1,32 @@
+// State-space accounting for the "states" column of the paper's Table 1.
+//
+// For the two linear-state protocols the counts are exact (roles partition
+// the state space, so counts add across roles).  For Sublinear-Time-SSR the
+// state count is quasi-exponential -- exp(O(n^H) log n), Theorem 5.1 -- so
+// we report log2(states), i.e. the per-agent memory in bits, computed from
+// the field inventory.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/optimal_silent.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace ssr {
+
+/// Protocol 1 uses exactly n states (optimal by Theorem 2.1).
+std::uint64_t silent_n_state_states(std::uint32_t n);
+
+/// Exact state count of Optimal-Silent-SSR under the given tuning; O(n).
+std::uint64_t optimal_silent_states(std::uint32_t n,
+                                    const optimal_silent_ssr::tuning& t);
+
+/// Per-agent memory of Sublinear-Time-SSR in bits (log2 of the state
+/// count): name + roster (up to n names of 3 log2 n bits) + the depth-H
+/// history tree (up to sum_{d<=H} n^d nodes, each with a name and an edge
+/// carrying a sync in {1..S_max} and a timer in {0..T_H}) + Resetting-role
+/// counters.  This matches the paper's exp(O(n^H) log n) bound.
+double sublinear_state_bits(std::uint32_t n,
+                            const sublinear_time_ssr::tuning& t);
+
+}  // namespace ssr

@@ -1,0 +1,200 @@
+// Exhaustive self-stabilization verification over a *non-complete*
+// interaction graph.
+//
+// On a graph, agents are no longer interchangeable (their neighborhoods
+// differ), so a configuration is a position-aware state vector -- k^n of
+// them rather than multiset-many.  Transitions apply the protocol to every
+// oriented edge.  The terminal-SCC criterion is the same as in
+// reachability.hpp.  This decides, for tiny n, whether a protocol stays
+// self-stabilizing off the complete graph -- e.g. Silent-n-state-SSR on a
+// 4-ring has silent *incorrect* terminal configurations (two equal-rank
+// agents that are not adjacent can never meet), which
+// tests/topology_test.cpp exhibits.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/graph.hpp"
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+struct graph_verification_result {
+  std::size_t configurations = 0;
+  bool self_stabilizing = false;
+  bool silent = false;
+  /// A configuration (state indices, agent-indexed) inside an incorrect
+  /// terminal component, when self_stabilizing is false.
+  std::optional<std::vector<std::size_t>> counterexample;
+};
+
+/// Exhaustively verifies `protocol` under the edge scheduler of `graph`.
+/// Deterministic transitions and a complete state inventory are required,
+/// exactly as in verify_self_stabilization.
+template <ranking_protocol P>
+graph_verification_result verify_on_graph(
+    const P& protocol, const interaction_graph& graph,
+    const std::vector<typename P::agent_state>& all_states,
+    std::size_t max_configurations = 2'000'000) {
+  using state_t = typename P::agent_state;
+  const std::uint32_t n = protocol.population_size();
+  SSR_REQUIRE(graph.size() == n);
+  const std::size_t k = all_states.size();
+
+  auto find_state = [&](const state_t& s) -> std::size_t {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (all_states[i] == s) return i;
+    }
+    throw std::logic_error("verify_on_graph: transition left the inventory");
+  };
+
+  rng_t dummy_rng(0);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> delta(
+      k, std::vector<std::pair<std::size_t, std::size_t>>(k));
+  P probe = protocol;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      state_t x = all_states[a];
+      state_t y = all_states[b];
+      probe.interact(x, y, dummy_rng);
+      delta[a][b] = {find_state(x), find_state(y)};
+    }
+  }
+
+  // Enumerate all k^n position-aware configurations.
+  std::size_t total = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SSR_REQUIRE(total <= max_configurations / k + 1);
+    total *= k;
+  }
+  SSR_REQUIRE(total <= max_configurations);
+
+  auto decode = [&](std::size_t code) {
+    std::vector<std::size_t> config(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      config[i] = code % k;
+      code /= k;
+    }
+    return config;
+  };
+  auto encode = [&](const std::vector<std::size_t>& config) {
+    std::size_t code = 0;
+    for (std::uint32_t i = n; i > 0; --i) code = code * k + config[i - 1];
+    return code;
+  };
+
+  std::vector<std::vector<std::size_t>> adjacency(total);
+  std::vector<bool> has_nonnull(total, false);
+  std::vector<bool> correct(total, false);
+  {
+    std::vector<state_t> expanded(n);
+    for (std::size_t code = 0; code < total; ++code) {
+      const auto config = decode(code);
+      for (const auto& [u, v] : graph.edges()) {
+        for (const auto& [i, j] :
+             {std::pair<std::uint32_t, std::uint32_t>{u, v},
+              std::pair<std::uint32_t, std::uint32_t>{v, u}}) {
+          const auto [a2, b2] = delta[config[i]][config[j]];
+          if (a2 == config[i] && b2 == config[j]) continue;
+          has_nonnull[code] = true;
+          auto next = config;
+          next[i] = a2;
+          next[j] = b2;
+          adjacency[code].push_back(encode(next));
+        }
+      }
+      std::sort(adjacency[code].begin(), adjacency[code].end());
+      adjacency[code].erase(
+          std::unique(adjacency[code].begin(), adjacency[code].end()),
+          adjacency[code].end());
+      for (std::uint32_t i = 0; i < n; ++i)
+        expanded[i] = all_states[config[i]];
+      correct[code] = is_valid_ranking(protocol, expanded);
+    }
+  }
+
+  // Tarjan SCC, iterative (same scheme as reachability.hpp).
+  std::vector<std::size_t> component(total, SIZE_MAX);
+  {
+    std::vector<std::int64_t> index(total, -1), low(total, 0);
+    std::vector<bool> on_stack(total, false);
+    std::vector<std::size_t> stack;
+    std::size_t next_index = 0, next_component = 0;
+    struct frame {
+      std::size_t v;
+      std::size_t edge;
+    };
+    for (std::size_t root = 0; root < total; ++root) {
+      if (index[root] != -1) continue;
+      std::vector<frame> call_stack{{root, 0}};
+      while (!call_stack.empty()) {
+        auto& [v, edge] = call_stack.back();
+        if (edge == 0) {
+          index[v] = low[v] = static_cast<std::int64_t>(next_index++);
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (edge < adjacency[v].size()) {
+          const std::size_t w = adjacency[v][edge++];
+          if (index[w] == -1) {
+            call_stack.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            while (true) {
+              const std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              component[w] = next_component;
+              if (w == v) break;
+            }
+            ++next_component;
+          }
+          const std::size_t child = v;
+          call_stack.pop_back();
+          if (!call_stack.empty()) {
+            const std::size_t parent = call_stack.back().v;
+            low[parent] = std::min(low[parent], low[child]);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t num_components = 0;
+  for (std::size_t c = 0; c < total; ++c)
+    num_components = std::max(num_components, component[c] + 1);
+  std::vector<bool> terminal(num_components, true);
+  std::vector<std::size_t> component_size(num_components, 0);
+  for (std::size_t c = 0; c < total; ++c) {
+    ++component_size[component[c]];
+    for (const std::size_t next : adjacency[c]) {
+      if (component[next] != component[c]) terminal[component[c]] = false;
+    }
+  }
+
+  graph_verification_result result;
+  result.configurations = total;
+  result.self_stabilizing = true;
+  result.silent = true;
+  for (std::size_t c = 0; c < total; ++c) {
+    const std::size_t comp = component[c];
+    if (!terminal[comp]) continue;
+    if (!correct[c]) {
+      result.self_stabilizing = false;
+      if (!result.counterexample) result.counterexample = decode(c);
+    }
+    if (component_size[comp] != 1 || has_nonnull[c]) result.silent = false;
+  }
+  return result;
+}
+
+}  // namespace ssr

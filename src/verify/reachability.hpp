@@ -1,0 +1,247 @@
+// Exhaustive verification of self-stabilization for small populations.
+//
+// Self-stabilization is a probability-1 claim over *every* starting
+// configuration.  For a finite protocol this is decidable: view the set of
+// configurations (multisets of agent states -- agents are anonymous, so
+// counts are a sufficient description) as a digraph with an edge C -> C'
+// whenever some ordered agent pair's transition takes C to C'.  Under the
+// uniform random scheduler every edge has positive probability, so
+//
+//   the protocol stabilizes with probability 1 from every configuration
+//     <=>  every terminal (bottom) strongly connected component of the
+//          configuration digraph consists of correct configurations,
+//
+// and it is additionally *silent* iff every terminal component is a single
+// configuration with no non-null transition.  This module enumerates the
+// full configuration space (all multisets of size n over the protocol's
+// state inventory), builds the digraph, runs Tarjan's SCC algorithm, and
+// checks the terminal components.  tests/verify_test.cpp uses it to
+// machine-check Theorem 4.1's stabilization claim (and Protocol 1's) at
+// small n, and to reject protocols that are *not* self-stabilizing (the
+// initialized (l,l)->(l,f) protocol; mutated baselines).
+//
+// Requirements on the protocol: deterministic transitions (the rng argument
+// of interact() is not consulted -- true for Protocols 1 and 3/4 and the
+// initialized contrast protocol), plus an exhaustive state inventory.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pp/assert.hpp"
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+struct verification_options {
+  /// Hard cap on explored configurations (guards against accidentally huge
+  /// state inventories).
+  std::size_t max_configurations = 2'000'000;
+};
+
+struct verification_result {
+  /// Number of distinct configurations (multisets) in the space.
+  std::size_t configurations = 0;
+  /// Number of terminal strongly connected components.
+  std::size_t terminal_components = 0;
+  /// Every terminal component consists of correct configurations: the
+  /// protocol reaches a stably correct configuration with probability 1
+  /// from every starting configuration.
+  bool self_stabilizing = false;
+  /// Every terminal component is a single silent configuration.
+  bool silent = false;
+  /// A witness configuration inside an incorrect terminal component (state
+  /// multiset, encoded), when self_stabilizing is false.
+  std::optional<std::vector<std::size_t>> counterexample;
+};
+
+/// Exhaustively verifies `protocol` for its population size n.
+/// `all_states` must list every reachable agent state (a superset is fine;
+/// unreachable states only enlarge the search).  Transitions must be
+/// deterministic.  `is_correct(config)` is evaluated on state multisets
+/// given as vectors of indices into `all_states`.
+template <ranking_protocol P>
+verification_result verify_self_stabilization(
+    const P& protocol, const std::vector<typename P::agent_state>& all_states,
+    const verification_options& options = {}) {
+  using state_t = typename P::agent_state;
+  const std::uint32_t n = protocol.population_size();
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(!all_states.empty());
+
+  // --- index states; transitions computed on the index pair level --------
+  const std::size_t k = all_states.size();
+  auto find_state = [&](const state_t& s) -> std::size_t {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (all_states[i] == s) return i;
+    }
+    throw std::logic_error(
+        "verify_self_stabilization: transition left the provided state "
+        "inventory");
+  };
+
+  // delta[a][b] = (a', b') for the ordered interaction (a initiator).
+  rng_t dummy_rng(0);  // protocols under verification never consult it
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> delta(
+      k, std::vector<std::pair<std::size_t, std::size_t>>(k));
+  P probe = protocol;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      state_t x = all_states[a];
+      state_t y = all_states[b];
+      probe.interact(x, y, dummy_rng);
+      delta[a][b] = {find_state(x), find_state(y)};
+    }
+  }
+
+  // --- enumerate all multisets of size n over k states --------------------
+  // A configuration is a sorted vector of n state indices.
+  std::vector<std::vector<std::size_t>> configs;
+  std::vector<std::size_t> current;
+  const std::function<void(std::size_t, std::size_t)> enumerate =
+      [&](std::size_t from, std::size_t remaining) {
+        if (remaining == 0) {
+          configs.push_back(current);
+          return;
+        }
+        for (std::size_t s = from; s < k; ++s) {
+          current.push_back(s);
+          enumerate(s, remaining - 1);
+          current.pop_back();
+          SSR_REQUIRE(configs.size() <= options.max_configurations);
+        }
+      };
+  enumerate(0, n);
+
+  std::map<std::vector<std::size_t>, std::size_t> config_index;
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    config_index.emplace(configs[i], i);
+
+  // --- adjacency: apply every ordered pair of agent slots ----------------
+  const std::size_t num = configs.size();
+  std::vector<std::vector<std::size_t>> adjacency(num);
+  std::vector<bool> has_nonnull(num, false);
+  for (std::size_t ci = 0; ci < num; ++ci) {
+    const auto& config = configs[ci];
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      for (std::size_t j = 0; j < config.size(); ++j) {
+        if (i == j) continue;
+        const auto [a2, b2] = delta[config[i]][config[j]];
+        if (a2 == config[i] && b2 == config[j]) continue;  // null transition
+        has_nonnull[ci] = true;
+        std::vector<std::size_t> next = config;
+        next[i] = a2;
+        next[j] = b2;
+        std::sort(next.begin(), next.end());
+        const std::size_t ni = config_index.at(next);
+        if (ni != ci) adjacency[ci].push_back(ni);
+      }
+    }
+    std::sort(adjacency[ci].begin(), adjacency[ci].end());
+    adjacency[ci].erase(
+        std::unique(adjacency[ci].begin(), adjacency[ci].end()),
+        adjacency[ci].end());
+  }
+
+  // --- correctness of each configuration ---------------------------------
+  std::vector<bool> correct(num, false);
+  {
+    std::vector<state_t> expanded(n);
+    for (std::size_t ci = 0; ci < num; ++ci) {
+      for (std::size_t i = 0; i < n; ++i)
+        expanded[i] = all_states[configs[ci][i]];
+      correct[ci] = is_valid_ranking(protocol, expanded);
+    }
+  }
+
+  // --- Tarjan SCC (iterative) ---------------------------------------------
+  std::vector<std::size_t> component(num, SIZE_MAX);
+  {
+    std::vector<std::int64_t> index(num, -1), low(num, 0);
+    std::vector<bool> on_stack(num, false);
+    std::vector<std::size_t> stack;
+    std::size_t next_index = 0, next_component = 0;
+
+    struct frame {
+      std::size_t v;
+      std::size_t edge;
+    };
+    for (std::size_t root = 0; root < num; ++root) {
+      if (index[root] != -1) continue;
+      std::vector<frame> call_stack{{root, 0}};
+      while (!call_stack.empty()) {
+        auto& [v, edge] = call_stack.back();
+        if (edge == 0) {
+          index[v] = low[v] = static_cast<std::int64_t>(next_index++);
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (edge < adjacency[v].size()) {
+          const std::size_t w = adjacency[v][edge++];
+          if (index[w] == -1) {
+            call_stack.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            while (true) {
+              const std::size_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              component[w] = next_component;
+              if (w == v) break;
+            }
+            ++next_component;
+          }
+          const std::size_t child = v;
+          call_stack.pop_back();
+          if (!call_stack.empty()) {
+            const std::size_t parent = call_stack.back().v;
+            low[parent] = std::min(low[parent], low[child]);
+          }
+        }
+      }
+    }
+  }
+
+  // --- terminal components and the verdict --------------------------------
+  std::size_t num_components = 0;
+  for (std::size_t ci = 0; ci < num; ++ci)
+    num_components = std::max(num_components, component[ci] + 1);
+
+  std::vector<bool> terminal(num_components, true);
+  for (std::size_t ci = 0; ci < num; ++ci) {
+    for (const std::size_t next : adjacency[ci]) {
+      if (component[next] != component[ci]) terminal[component[ci]] = false;
+    }
+  }
+
+  verification_result result;
+  result.configurations = num;
+  result.self_stabilizing = true;
+  result.silent = true;
+  std::vector<std::size_t> component_size(num_components, 0);
+  for (std::size_t ci = 0; ci < num; ++ci) ++component_size[component[ci]];
+  for (std::size_t ci = 0; ci < num; ++ci) {
+    const std::size_t comp = component[ci];
+    if (!terminal[comp]) continue;
+    if (!correct[ci]) {
+      result.self_stabilizing = false;
+      if (!result.counterexample) result.counterexample = configs[ci];
+    }
+    // Silence: a terminal component must be one configuration where every
+    // pair's transition is null.
+    if (component_size[comp] != 1 || has_nonnull[ci]) result.silent = false;
+  }
+  for (std::size_t comp = 0; comp < num_components; ++comp)
+    result.terminal_components += terminal[comp] ? 1 : 0;
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,55 @@
+#include "verify/smc.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "pp/assert.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr {
+
+smc_result sequential_probability_test(
+    const std::function<bool(std::uint64_t)>& trial, const smc_options& opt,
+    std::uint64_t base_seed) {
+  SSR_REQUIRE(opt.delta > 0.0);
+  SSR_REQUIRE(opt.theta + opt.delta < 1.0 && opt.theta - opt.delta > 0.0);
+  SSR_REQUIRE(opt.alpha > 0.0 && opt.alpha < 0.5);
+  SSR_REQUIRE(opt.beta > 0.0 && opt.beta < 0.5);
+
+  const double p1 = opt.theta + opt.delta;  // H1
+  const double p0 = opt.theta - opt.delta;  // H0
+  // Accept H1 when the log likelihood ratio exceeds log((1-beta)/alpha);
+  // accept H0 when it falls below log(beta/(1-alpha)).
+  const double upper = std::log((1.0 - opt.beta) / opt.alpha);
+  const double lower = std::log(opt.beta / (1.0 - opt.alpha));
+  const double success_step = std::log(p1 / p0);
+  const double failure_step = std::log((1.0 - p1) / (1.0 - p0));
+
+  smc_result result;
+  while (result.samples < opt.max_samples) {
+    const bool success = trial(derive_seed(base_seed, result.samples));
+    ++result.samples;
+    result.successes += success ? 1 : 0;
+    result.log_likelihood_ratio += success ? success_step : failure_step;
+    if (result.log_likelihood_ratio >= upper) {
+      result.verdict = smc_verdict::holds;
+      return result;
+    }
+    if (result.log_likelihood_ratio <= lower) {
+      result.verdict = smc_verdict::violated;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string to_string(smc_verdict verdict) {
+  switch (verdict) {
+    case smc_verdict::holds: return "holds";
+    case smc_verdict::violated: return "violated";
+    case smc_verdict::undecided: return "undecided";
+  }
+  return "unknown";
+}
+
+}  // namespace ssr

@@ -1,0 +1,52 @@
+// Statistical model checking: Wald's sequential probability ratio test
+// (SPRT) over randomized executions.
+//
+// The exhaustive verifier (reachability.hpp) proves probability-1 claims
+// for tiny n; for larger populations we check *quantitative* claims of the
+// form
+//
+//     P[ property of a random execution ] >= theta
+//
+// with prescribed error bounds, sampling only as many seeded runs as the
+// evidence requires (typically tens, not thousands).  The hypotheses are
+// separated by an indifference region: H1: p >= theta + delta versus
+// H0: p <= theta - delta, with false-acceptance/rejection probabilities
+// alpha and beta -- the standard UPPAAL-SMC/PRISM formulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ssr {
+
+enum class smc_verdict {
+  holds,      // accepted: p >= theta + delta (up to error alpha)
+  violated,   // rejected: p <= theta - delta (up to error beta)
+  undecided,  // sample budget exhausted inside the indifference region
+};
+
+struct smc_options {
+  double theta = 0.9;   // claimed probability
+  double delta = 0.05;  // half-width of the indifference region
+  double alpha = 0.01;  // P[accept | H0]
+  double beta = 0.01;   // P[reject | H1]
+  std::uint64_t max_samples = 100000;
+};
+
+struct smc_result {
+  smc_verdict verdict = smc_verdict::undecided;
+  std::uint64_t samples = 0;
+  std::uint64_t successes = 0;
+  double log_likelihood_ratio = 0.0;
+};
+
+/// Runs the SPRT; `trial(seed)` must return whether the property held on
+/// one execution seeded with `seed` (seeds are derived from `base_seed`).
+smc_result sequential_probability_test(
+    const std::function<bool(std::uint64_t)>& trial, const smc_options& opt,
+    std::uint64_t base_seed);
+
+std::string to_string(smc_verdict verdict);
+
+}  // namespace ssr

@@ -1,0 +1,143 @@
+#include "pp/accelerated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/ks_test.hpp"
+#include "pp/convergence.hpp"
+#include "pp/trial.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/initialized.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace ssr {
+namespace {
+
+optimal_silent_ssr::tuning small_tuning(std::uint32_t n) {
+  optimal_silent_ssr::tuning t;
+  t.e_max = 4 * n;
+  t.r_max = 8;
+  t.d_max = 2 * n;
+  return t;
+}
+
+TEST(AcceleratedSimulation, BaselineMatchesDirectDistribution) {
+  const std::uint32_t n = 10;
+  silent_n_state_ssr p(n);
+  std::vector<silent_n_state_ssr::agent_state> init(n);  // all rank 0
+
+  const auto direct = run_trials(300, 91000, [&](std::uint64_t seed) {
+    return measure_convergence(p, init, seed).convergence_time;
+  });
+  const auto fast = run_trials(300, 92000, [&](std::uint64_t seed) {
+    accelerated_simulation<silent_n_state_ssr> sim(p, p.all_states(), init,
+                                                   seed);
+    EXPECT_TRUE(sim.run_until_correct(100'000'000ull));
+    return sim.parallel_time();
+  });
+  const auto ks = ks_two_sample(direct, fast);
+  EXPECT_GT(ks.p_value, 0.001) << "KS statistic " << ks.statistic;
+}
+
+TEST(AcceleratedSimulation, OptimalSilentMatchesDirectDistribution) {
+  // The generic count-based simulator handles the full three-role protocol
+  // (k = 3n + E + 2(R + D + 1) states) and must agree with direct
+  // simulation in distribution, exercising resets, the dormant election
+  // and the ranking pipeline.
+  const std::uint32_t n = 6;
+  optimal_silent_ssr p(n, small_tuning(n));
+  const auto init = p.initial_configuration();
+
+  const auto direct = run_trials(200, 93000, [&](std::uint64_t seed) {
+    return measure_convergence(p, init, seed, {.max_parallel_time = 1e8})
+        .convergence_time;
+  });
+  const auto fast = run_trials(200, 94000, [&](std::uint64_t seed) {
+    accelerated_simulation<optimal_silent_ssr> sim(p, p.all_states(), init,
+                                                   seed);
+    EXPECT_TRUE(sim.run_until_correct(4'000'000'000ull));
+    return sim.parallel_time();
+  });
+  const auto ks = ks_two_sample(direct, fast);
+  EXPECT_GT(ks.p_value, 0.001) << "KS statistic " << ks.statistic;
+}
+
+TEST(AcceleratedSimulation, DetectsSilence) {
+  const std::uint32_t n = 6;
+  silent_n_state_ssr p(n);
+  std::vector<silent_n_state_ssr::agent_state> ranked(n);
+  for (std::uint32_t i = 0; i < n; ++i) ranked[i].rank = i;
+  accelerated_simulation<silent_n_state_ssr> sim(p, p.all_states(), ranked,
+                                                 1);
+  EXPECT_TRUE(sim.silent());
+  EXPECT_TRUE(sim.correct());
+  EXPECT_TRUE(sim.run_until_correct(100));
+  EXPECT_EQ(sim.interactions(), 0u);
+}
+
+TEST(AcceleratedSimulation, ReportsSilentButWrongAsStuck) {
+  // The initialized protocol from all-followers: silent, leaderless,
+  // forever.  run_until_correct must report failure immediately rather
+  // than spinning.
+  const std::uint32_t n = 4;
+  initialized_leader_election p(n);
+  std::vector<initialized_leader_election::agent_state> states(2);
+  states[0].leader = false;
+  states[1].leader = true;
+  accelerated_simulation<initialized_leader_election> sim(
+      p, states, p.all_followers(), 3);
+  EXPECT_TRUE(sim.silent());
+  EXPECT_FALSE(sim.run_until_correct(1'000'000ull));
+  EXPECT_EQ(sim.interactions(), 0u);
+}
+
+TEST(AcceleratedSimulation, CountsArePreserved) {
+  // Population size is invariant: counts always sum to n.
+  const std::uint32_t n = 8;
+  optimal_silent_ssr p(n, small_tuning(n));
+  rng_t rng(5);
+  const auto init = adversarial_configuration(
+      p, optimal_silent_scenario::uniform_random, rng);
+  accelerated_simulation<optimal_silent_ssr> sim(p, p.all_states(), init, 7);
+  const auto states = p.all_states();
+  for (int step = 0; step < 2000 && !sim.silent(); ++step) {
+    sim.step();
+    if (step % 100 != 0) continue;
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < states.size(); ++s) total += sim.count_of(s);
+    ASSERT_EQ(total, n);
+  }
+}
+
+TEST(AcceleratedSimulation, InteractionsCountIncludesSkippedNulls) {
+  // From a two-agent collision in a large population, the expected jump is
+  // ~n^2/2 interactions even though only one transition executes.
+  const std::uint32_t n = 64;
+  silent_n_state_ssr p(n);
+  std::vector<silent_n_state_ssr::agent_state> init(n);
+  for (std::uint32_t i = 0; i < n; ++i) init[i].rank = i;
+  init[1].rank = 0;  // one collision; rank 1 free
+  double total = 0.0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    accelerated_simulation<silent_n_state_ssr> sim(p, p.all_states(), init,
+                                                   1000 + trial);
+    sim.step();
+    total += static_cast<double>(sim.interactions());
+  }
+  const double mean = total / trials;
+  const double expected = static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(mean, expected, 0.25 * expected);
+}
+
+TEST(AcceleratedSimulation, RejectsForeignStates) {
+  silent_n_state_ssr p(4);
+  std::vector<silent_n_state_ssr::agent_state> partial(1);  // only rank 0
+  std::vector<silent_n_state_ssr::agent_state> init(4);
+  init[2].rank = 3;  // not in the inventory
+  EXPECT_THROW(accelerated_simulation<silent_n_state_ssr>(p, partial, init, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,150 @@
+#include "protocols/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssr {
+namespace {
+
+TEST(Adversary, BaselineConfigurationInRange) {
+  silent_n_state_ssr p(16);
+  rng_t rng(1);
+  const auto config = adversarial_configuration(p, rng);
+  ASSERT_EQ(config.size(), 16u);
+  for (const auto& s : config) EXPECT_LT(s.rank, 16u);
+}
+
+TEST(Adversary, OptimalSilentScenariosMatchTheirNames) {
+  optimal_silent_ssr p(10);
+  rng_t rng(2);
+
+  auto all_rank1 = adversarial_configuration(
+      p, optimal_silent_scenario::all_settled_rank_one, rng);
+  for (const auto& s : all_rank1) {
+    EXPECT_EQ(s.role, optimal_silent_ssr::role_t::settled);
+    EXPECT_EQ(s.rank, 1u);
+  }
+
+  auto no_leader =
+      adversarial_configuration(p, optimal_silent_scenario::no_leader, rng);
+  std::set<std::uint32_t> no_leader_ranks;
+  for (const auto& s : no_leader) {
+    EXPECT_NE(p.rank_of(s), 1u);
+    if (s.role == optimal_silent_ssr::role_t::settled)
+      no_leader_ranks.insert(s.rank);
+  }
+  EXPECT_EQ(no_leader_ranks.size(), no_leader.size() - 1);  // no collision
+
+  auto expired = adversarial_configuration(
+      p, optimal_silent_scenario::all_unsettled_expired, rng);
+  for (const auto& s : expired) {
+    EXPECT_EQ(s.role, optimal_silent_ssr::role_t::unsettled);
+    EXPECT_EQ(s.errorcount, 0u);
+  }
+
+  auto dormant = adversarial_configuration(
+      p, optimal_silent_scenario::all_dormant_followers, rng);
+  for (const auto& s : dormant) {
+    EXPECT_EQ(s.role, optimal_silent_ssr::role_t::resetting);
+    EXPECT_FALSE(s.leader);
+    EXPECT_EQ(s.reset.resetcount, 0u);
+    EXPECT_GE(s.reset.delaytimer, 1u);
+  }
+
+  auto dup = adversarial_configuration(
+      p, optimal_silent_scenario::duplicated_ranks, rng);
+  std::set<std::uint32_t> ranks;
+  for (const auto& s : dup) ranks.insert(s.rank);
+  EXPECT_EQ(ranks.size(), 5u);  // each rank held twice
+
+  auto valid =
+      adversarial_configuration(p, optimal_silent_scenario::valid_ranking, rng);
+  EXPECT_TRUE(is_valid_ranking(p, valid));
+}
+
+TEST(Adversary, OptimalSilentUniformRandomStaysInStateSpace) {
+  optimal_silent_ssr p(12);
+  rng_t rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto config = adversarial_configuration(
+        p, optimal_silent_scenario::uniform_random, rng);
+    for (const auto& s : config) {
+      switch (s.role) {
+        case optimal_silent_ssr::role_t::settled:
+          EXPECT_GE(s.rank, 1u);
+          EXPECT_LE(s.rank, 12u);
+          EXPECT_LE(s.children, 2u);
+          break;
+        case optimal_silent_ssr::role_t::unsettled:
+          EXPECT_LE(s.errorcount, p.params().e_max);
+          break;
+        case optimal_silent_ssr::role_t::resetting:
+          EXPECT_LE(s.reset.resetcount, p.params().r_max);
+          EXPECT_LE(s.reset.delaytimer, p.params().d_max);
+          break;
+      }
+    }
+  }
+}
+
+TEST(Adversary, SublinearScenariosMatchTheirNames) {
+  sublinear_time_ssr p(8, 2u);
+  rng_t rng(5);
+
+  auto same = adversarial_configuration(
+      p, sublinear_scenario::all_same_name, rng);
+  for (const auto& s : same) EXPECT_EQ(s.name, same[0].name);
+
+  auto collision = adversarial_configuration(
+      p, sublinear_scenario::single_collision, rng);
+  EXPECT_EQ(collision[0].name, collision[1].name);
+  {
+    std::set<name_t> rest;
+    for (std::size_t i = 1; i < collision.size(); ++i)
+      rest.insert(collision[i].name);
+    EXPECT_EQ(rest.size(), collision.size() - 1);  // others all distinct
+    for (const auto& s : collision)
+      EXPECT_EQ(s.roster.size(), collision.size() - 1);
+  }
+
+  auto ghosts =
+      adversarial_configuration(p, sublinear_scenario::ghost_names, rng);
+  bool some_padded = false;
+  for (const auto& s : ghosts) some_padded |= s.roster.size() > 1;
+  EXPECT_TRUE(some_padded);
+
+  auto missing = adversarial_configuration(
+      p, sublinear_scenario::missing_own_name, rng);
+  for (const auto& s : missing) {
+    EXPECT_FALSE(std::binary_search(s.roster.begin(), s.roster.end(), s.name));
+  }
+
+  auto valid =
+      adversarial_configuration(p, sublinear_scenario::valid_ranking, rng);
+  EXPECT_TRUE(is_valid_ranking(p, valid));
+  std::set<name_t> names;
+  for (const auto& s : valid) names.insert(s.name);
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Adversary, SublinearTreesRespectInvariants) {
+  sublinear_time_ssr p(8, 3u);
+  rng_t rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto config = adversarial_configuration(
+        p, sublinear_scenario::planted_histories, rng);
+    for (const auto& s : config) {
+      EXPECT_TRUE(s.tree.simply_labelled());
+      EXPECT_LE(s.tree.depth(), p.params().h);
+    }
+  }
+}
+
+TEST(Adversary, ScenarioNamesRender) {
+  EXPECT_EQ(to_string(optimal_silent_scenario::no_leader), "no_leader");
+  EXPECT_EQ(to_string(sublinear_scenario::ghost_names), "ghost_names");
+}
+
+}  // namespace
+}  // namespace ssr

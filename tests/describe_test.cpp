@@ -1,0 +1,75 @@
+#include "protocols/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/adversary.hpp"
+
+namespace ssr {
+namespace {
+
+TEST(Describe, BaselineState) {
+  silent_n_state_ssr p(8);
+  silent_n_state_ssr::agent_state s{3};
+  EXPECT_EQ(describe(p, s), "rank=4");  // formal rank space 1..n
+}
+
+TEST(Describe, OptimalSilentRoles) {
+  optimal_silent_ssr p(8);
+  optimal_silent_ssr::agent_state s;
+  s.role = optimal_silent_ssr::role_t::settled;
+  s.rank = 3;
+  s.children = 1;
+  EXPECT_EQ(describe(p, s), "Settled{rank=3, children=1}");
+
+  s = {};
+  s.role = optimal_silent_ssr::role_t::unsettled;
+  s.errorcount = 12;
+  EXPECT_EQ(describe(p, s), "Unsettled{errorcount=12}");
+
+  s = {};
+  s.role = optimal_silent_ssr::role_t::resetting;
+  s.leader = true;
+  s.reset = {5, 2};
+  EXPECT_EQ(describe(p, s), "Resetting{L, resetcount=5, delaytimer=2}");
+}
+
+TEST(Describe, SublinearState) {
+  sublinear_time_ssr p(4, 1u);
+  rng_t rng(1);
+  auto config = p.initial_configuration(rng);
+  const std::string text = describe(p, config[0]);
+  EXPECT_NE(text.find("Collecting{name="), std::string::npos);
+  EXPECT_NE(text.find("|roster|=1"), std::string::npos);
+}
+
+TEST(Describe, LooseState) {
+  loose_stabilizing_le p(4, 9);
+  EXPECT_EQ(describe(p, {true, 9}), "Leader{timer=9}");
+  EXPECT_EQ(describe(p, {false, 2}), "Follower{timer=2}");
+}
+
+TEST(Describe, SummariesReportCorrectness) {
+  optimal_silent_ssr p(6);
+  rng_t rng(2);
+  const auto valid = adversarial_configuration(
+      p, optimal_silent_scenario::valid_ranking, rng);
+  EXPECT_NE(summarize_configuration(p, valid).find("VALID RANKING"),
+            std::string::npos);
+  const auto broken = adversarial_configuration(
+      p, optimal_silent_scenario::duplicated_ranks, rng);
+  EXPECT_NE(summarize_configuration(p, broken).find("not yet valid"),
+            std::string::npos);
+}
+
+TEST(Describe, SummariesCountRoles) {
+  optimal_silent_ssr p(6);
+  rng_t rng(3);
+  const auto dormant = adversarial_configuration(
+      p, optimal_silent_scenario::all_dormant_followers, rng);
+  const std::string text = summarize_configuration(p, dormant);
+  EXPECT_NE(text.find("6 resetting"), std::string::npos);
+  EXPECT_NE(text.find("0 leader candidates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,118 @@
+// Fuzz-style property tests for the history-tree operations: arbitrary
+// interleavings of grafts, own-name scrubs and aging must preserve the
+// structural invariants Protocol 7 relies on, and a faithfully simulated
+// multi-agent soup must never produce a tree the protocol could not have
+// built.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pp/random.hpp"
+#include "protocols/history_tree.hpp"
+#include "protocols/serialize.hpp"
+
+namespace ssr {
+namespace {
+
+name_t make_name(std::uint32_t id) {
+  name_t n;
+  for (int b = 5; b >= 0; --b) n.append_bit((id >> b) & 1);
+  return n;
+}
+
+struct soup {
+  static constexpr std::uint32_t kAgents = 10;
+  std::uint32_t h;
+  std::uint32_t t_h;
+  std::vector<history_tree> trees;
+
+  explicit soup(std::uint32_t depth, std::uint32_t timer)
+      : h(depth), t_h(timer) {
+    for (std::uint32_t i = 0; i < kAgents; ++i)
+      trees.emplace_back(make_name(i));
+  }
+
+  // One protocol-faithful interaction between agents i and j.
+  void meet(std::uint32_t i, std::uint32_t j, rng_t& rng,
+            std::int64_t retention) {
+    const auto sync = static_cast<std::uint32_t>(1 + uniform_below(rng, 100));
+    const history_tree before_i = trees[i];
+    trees[i].graft_partner(trees[j], h - 1, sync, t_h);
+    trees[j].graft_partner(before_i, h - 1, sync, t_h);
+    trees[i].remove_named_subtrees(trees[i].root_name());
+    trees[j].remove_named_subtrees(trees[j].root_name());
+    trees[i].age_edges(retention);
+    trees[j].age_edges(retention);
+  }
+};
+
+class HistoryTreeFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(HistoryTreeFuzz, InvariantsSurviveRandomInterleavings) {
+  const auto [h, seed] = GetParam();
+  soup world(h, /*timer=*/12);
+  rng_t rng(derive_seed(4242 + h, seed));
+  for (int step = 0; step < 1500; ++step) {
+    const auto i = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents));
+    auto j = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents - 1));
+    if (j >= i) ++j;
+    world.meet(i, j, rng, /*retention=*/12);
+
+    if (step % 100 != 0) continue;
+    for (std::uint32_t agent = 0; agent < soup::kAgents; ++agent) {
+      const auto& tree = world.trees[agent];
+      ASSERT_LE(tree.depth(), h) << "agent " << agent << " step " << step;
+      ASSERT_TRUE(tree.simply_labelled())
+          << "agent " << agent << " step " << step;
+      ASSERT_EQ(tree.root_name(), make_name(agent));
+      // Serialization round-trips arbitrary reachable trees.
+      const std::string text = tree_to_text(tree);
+      ASSERT_EQ(tree_to_text(tree_from_text(text)), text);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistoryTreeFuzz,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Range(0, 3)));
+
+// With pruning disabled the node count is monotone in information content
+// but still bounded by the structural cap sum_{d<=H} (kAgents-1)^d.
+TEST(HistoryTreeFuzz, NodeCountRespectsStructuralCap) {
+  const std::uint32_t h = 2;
+  soup world(h, /*timer=*/1000);
+  rng_t rng(99);
+  for (int step = 0; step < 3000; ++step) {
+    const auto i = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents));
+    auto j = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents - 1));
+    if (j >= i) ++j;
+    world.meet(i, j, rng, /*retention=*/-1);
+  }
+  const std::size_t cap = 1 + 9 + 9 * 9;  // root + depth1 + depth2
+  for (const auto& tree : world.trees) {
+    EXPECT_LE(tree.node_count(), cap);
+  }
+}
+
+// Aggressive pruning (retention 0) keeps trees small without ever breaking
+// the structural invariants -- only detection power is affected.
+TEST(HistoryTreeFuzz, AggressivePruningStaysStructurallySound) {
+  const std::uint32_t h = 3;
+  soup world(h, /*timer=*/4);
+  rng_t rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents));
+    auto j = static_cast<std::uint32_t>(uniform_below(rng, soup::kAgents - 1));
+    if (j >= i) ++j;
+    world.meet(i, j, rng, /*retention=*/0);
+  }
+  for (const auto& tree : world.trees) {
+    EXPECT_TRUE(tree.simply_labelled());
+    EXPECT_LE(tree.depth(), h);
+    EXPECT_LT(tree.node_count(), 200u);  // timers cap the fresh horizon
+  }
+}
+
+}  // namespace
+}  // namespace ssr

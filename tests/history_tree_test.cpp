@@ -1,0 +1,196 @@
+#include "protocols/history_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ssr {
+namespace {
+
+name_t nm(const std::string& bits) {
+  name_t n;
+  for (const char c : bits) n.append_bit(c == '1');
+  return n;
+}
+
+// Re-enacts Figure 2 (left): interactions a-b (sync 1), b-c (sync 2),
+// c-d (sync 3), from singleton trees, using the same tree operations the
+// protocol performs.
+struct figure2_agents {
+  static constexpr std::uint32_t H = 3;
+  static constexpr std::uint32_t T = 100;
+
+  history_tree a{nm("00")}, b{nm("01")}, c{nm("10")}, d{nm("11")};
+
+  void meet(history_tree& x, history_tree& y, std::uint32_t sync) {
+    const history_tree x_before = x;
+    x.graft_partner(y, H - 1, sync, T);
+    y.graft_partner(x_before, H - 1, sync, T);
+    x.remove_named_subtrees(x.root_name());
+    y.remove_named_subtrees(y.root_name());
+    // No timer aging here: Figure 2 abstracts from timers.
+  }
+};
+
+TEST(HistoryTree, SingletonAfterReset) {
+  history_tree t(nm("0"));
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.depth(), 0u);
+  EXPECT_EQ(t.root_name(), nm("0"));
+  EXPECT_TRUE(t.simply_labelled());
+}
+
+TEST(HistoryTree, GraftRecordsInteraction) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  // a's tree: a -1-> b; b's tree: b -1-> a.
+  EXPECT_EQ(f.a.node_count(), 2u);
+  EXPECT_EQ(f.a.depth(), 1u);
+  EXPECT_EQ(f.a.root().edges.size(), 1u);
+  EXPECT_EQ(f.a.root().edges[0].sync, 1u);
+  EXPECT_EQ(f.a.root().edges[0].child.name, nm("01"));
+  EXPECT_EQ(f.b.root().edges[0].child.name, nm("00"));
+}
+
+TEST(HistoryTree, Figure2LeftBuildsChains) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.c, f.d, 3);
+  // d's tree: d -3-> c -2-> b -1-> a (Figure 2, bottom-right of left panel).
+  EXPECT_EQ(f.d.depth(), 3u);
+  const tree_node& root = f.d.root();
+  ASSERT_EQ(root.edges.size(), 1u);
+  EXPECT_EQ(root.edges[0].sync, 3u);
+  EXPECT_EQ(root.edges[0].child.name, nm("10"));  // c
+  const tree_node& c_node = root.edges[0].child;
+  ASSERT_EQ(c_node.edges.size(), 1u);
+  EXPECT_EQ(c_node.edges[0].sync, 2u);
+  EXPECT_EQ(c_node.edges[0].child.name, nm("01"));  // b
+  const tree_node& b_node = c_node.edges[0].child;
+  ASSERT_EQ(b_node.edges.size(), 1u);
+  EXPECT_EQ(b_node.edges[0].sync, 1u);
+  EXPECT_EQ(b_node.edges[0].child.name, nm("00"));  // a
+  EXPECT_TRUE(f.d.simply_labelled());
+}
+
+// Figure 2 caption, left: when a and d would interact, d checks its path
+// d -> c -> b -> a against a's tree (a -1-> b); the first edge of a's
+// reversed suffix matches sync 1 -> consistent.
+TEST(HistoryTree, Figure2LeftConsistencyCheck) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.c, f.d, 3);
+  EXPECT_FALSE(f.d.detects_collision_against(nm("00"), f.a));
+  EXPECT_FALSE(f.a.detects_collision_against(nm("11"), f.d));
+}
+
+// Figure 2, right: a-b re-interact (sync 7) before c-d meet; a's reversed
+// suffix is a -7-> b -2-> c whose *first* edge mismatches d's record (1),
+// but the second (2) matches -> still consistent.
+TEST(HistoryTree, Figure2RightReinteractionStaysConsistent) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.a, f.b, 7);
+  f.meet(f.c, f.d, 3);
+  // a's tree is now a -7-> b -2-> c.
+  ASSERT_EQ(f.a.root().edges.size(), 1u);
+  EXPECT_EQ(f.a.root().edges[0].sync, 7u);
+  EXPECT_FALSE(f.d.detects_collision_against(nm("00"), f.a));
+}
+
+// An impostor with a's name but no matching history is caught.
+TEST(HistoryTree, ImpostorWithoutHistoryIsDetected) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.c, f.d, 3);
+  history_tree impostor(nm("00"));  // claims to be a, singleton tree
+  EXPECT_TRUE(f.d.detects_collision_against(nm("00"), impostor));
+}
+
+// An impostor whose sync values disagree on every edge of the reversed
+// suffix is caught.
+TEST(HistoryTree, ImpostorWithWrongSyncsIsDetected) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.c, f.d, 3);
+  figure2_agents g;  // an unrelated world with different syncs
+  g.meet(g.a, g.b, 40);
+  g.meet(g.b, g.c, 50);
+  EXPECT_TRUE(f.d.detects_collision_against(nm("00"), g.a));
+}
+
+TEST(HistoryTree, ExpiredEdgesDoNotDetect) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  // Age b's record of a beyond T: the stale path must not participate.
+  for (std::uint32_t i = 0; i <= figure2_agents::T; ++i)
+    f.b.age_edges(/*prune_retention=*/-1);
+  history_tree impostor(nm("00"));
+  EXPECT_FALSE(f.b.detects_collision_against(nm("00"), impostor));
+}
+
+TEST(HistoryTree, GraftReplacesPreviousRecord) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.a, f.b, 9);
+  // Still exactly one record of b at depth 1, with the newer sync.
+  ASSERT_EQ(f.a.root().edges.size(), 1u);
+  EXPECT_EQ(f.a.root().edges[0].sync, 9u);
+}
+
+TEST(HistoryTree, DepthTruncationOnGraft) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  f.meet(f.c, f.d, 3);
+  // d now has a depth-3 chain; an H=3 graft truncates it to depth 2 before
+  // attaching, so the receiver stays within depth H.
+  history_tree e(nm("000"));
+  const history_tree e_before = e;
+  e.graft_partner(f.d, figure2_agents::H - 1, 5, figure2_agents::T);
+  EXPECT_LE(e.depth(), figure2_agents::H);
+  EXPECT_TRUE(e.simply_labelled());
+}
+
+TEST(HistoryTree, RemoveNamedSubtreesKeepsSimpleLabelling) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  f.meet(f.b, f.c, 2);
+  // c's tree contains ... -> b -> a; grafting c into a would create a path
+  // a -> c -> b -> a; the own-name scrub removes the trailing a.
+  f.meet(f.a, f.c, 4);
+  EXPECT_TRUE(f.a.simply_labelled());
+}
+
+TEST(HistoryTree, AgeEdgesPrunesAfterRetention) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  EXPECT_EQ(f.a.node_count(), 2u);
+  for (std::uint32_t i = 0; i < figure2_agents::T + 5; ++i)
+    f.a.age_edges(/*prune_retention=*/3);
+  EXPECT_EQ(f.a.node_count(), 1u);  // pruned T + 3 + 1 steps after creation
+}
+
+TEST(HistoryTree, NegativeRetentionNeverPrunes) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  for (std::uint32_t i = 0; i < 10 * figure2_agents::T; ++i)
+    f.a.age_edges(/*prune_retention=*/-1);
+  EXPECT_EQ(f.a.node_count(), 2u);
+}
+
+TEST(HistoryTree, ToStringRendersPaths) {
+  figure2_agents f;
+  f.meet(f.a, f.b, 1);
+  const std::string s = f.a.to_string();
+  EXPECT_NE(s.find("00"), std::string::npos);
+  EXPECT_NE(s.find("--1("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

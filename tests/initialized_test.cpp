@@ -1,0 +1,102 @@
+// Contrast tests: why self-stabilization is hard.
+//
+// 1. The 2-state initialized protocol (l,l)->(l,f) elects a unique leader
+//    from its designated start, but is stuck forever from the all-followers
+//    configuration -- one transient fault away.
+// 2. Theorem 2.1's nonuniformity argument, executed: embedding a stable
+//    single-leader population of a *smaller* size inside a larger one makes
+//    the baseline protocol produce extra leaders (the larger population
+//    cannot be stable under the smaller population's transitions).
+#include <gtest/gtest.h>
+
+#include "pp/simulation.hpp"
+#include "protocols/initialized.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace ssr {
+namespace {
+
+std::size_t leaders(const initialized_leader_election& p,
+                    std::span<const initialized_leader_election::agent_state> a) {
+  std::size_t count = 0;
+  for (const auto& s : a) count += p.rank_of(s) == 1 ? 1 : 0;
+  return count;
+}
+
+TEST(Initialized, ElectsUniqueLeaderFromDesignatedStart) {
+  const std::uint32_t n = 64;
+  initialized_leader_election p(n);
+  simulation<initialized_leader_election> sim(p, p.initial_configuration(), 3);
+  const bool done = sim.run_until(
+      [&](const simulation<initialized_leader_election>& s) {
+        return leaders(s.protocol(), s.agents()) == 1;
+      },
+      10'000'000ull);
+  ASSERT_TRUE(done);
+  // Stable: the single leader can never be eliminated.
+  for (int i = 0; i < 100000; ++i) sim.step();
+  EXPECT_EQ(leaders(p, sim.agents()), 1u);
+}
+
+TEST(Initialized, UsesTwoStates) {
+  EXPECT_EQ(initialized_leader_election::state_count(1000), 2u);
+}
+
+TEST(Initialized, AllFollowersIsPermanentFailure) {
+  const std::uint32_t n = 16;
+  initialized_leader_election p(n);
+  simulation<initialized_leader_election> sim(p, p.all_followers(), 5);
+  // The all-followers configuration is silent and leaderless forever.
+  EXPECT_TRUE(sim.is_silent_configuration());
+  for (int i = 0; i < 100000; ++i) sim.step();
+  EXPECT_EQ(leaders(p, sim.agents()), 0u);
+}
+
+// Theorem 2.1, executed.  Take the baseline protocol *for population size
+// n1* and run it in a population of size n2 > n1 whose first n1 agents form
+// the stable single-leader configuration.  Interactions among the extra
+// agents (which duplicate existing ranks) must eventually push some agent
+// back to rank 0, i.e. create a second leader: the same transition table
+// cannot be stable for two population sizes.
+TEST(Nonuniformity, SmallerProtocolInLargerPopulationCreatesExtraLeaders) {
+  const std::uint32_t n1 = 8;
+  const std::uint32_t n2 = 12;
+  // The protocol object believes the population size is n1 (its transitions
+  // are "rank + 1 mod n1"), but we schedule n2 agents.  To express this we
+  // construct the protocol with n1 and hand the simulation n2 agents via a
+  // wrapper protocol reporting n2.
+  struct oversized_baseline {
+    using agent_state = silent_n_state_ssr::agent_state;
+    silent_n_state_ssr inner;
+    std::uint32_t n2;
+    std::uint32_t population_size() const { return n2; }
+    bool interact(agent_state& a, agent_state& b, rng_t& rng) const {
+      return inner.interact(a, b, rng);
+    }
+    std::uint32_t rank_of(const agent_state& s) const {
+      return inner.rank_of(s);
+    }
+  };
+  oversized_baseline p{silent_n_state_ssr(n1), n2};
+
+  std::vector<silent_n_state_ssr::agent_state> config(n2);
+  for (std::uint32_t i = 0; i < n2; ++i) config[i].rank = i % n1;
+  // Initially there is exactly one agent at rank 0 among the first n1...
+  // plus agent 8 also at rank 0 (duplicates are unavoidable by pigeonhole).
+  simulation<oversized_baseline> sim(p, std::move(config), 9);
+
+  // Track how often the configuration holds more than one leader (rank 0).
+  std::size_t multi_leader_observations = 0;
+  for (int i = 0; i < 200000; ++i) {
+    sim.step();
+    std::size_t leaders = 0;
+    for (const auto& s : sim.agents()) leaders += s.rank == 0 ? 1 : 0;
+    multi_leader_observations += leaders > 1 ? 1 : 0;
+  }
+  // The run must keep revisiting multi-leader configurations: no stable
+  // single-leader configuration exists for the wrong population size.
+  EXPECT_GT(multi_leader_observations, 100u);
+}
+
+}  // namespace
+}  // namespace ssr

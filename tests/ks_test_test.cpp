@@ -1,0 +1,68 @@
+#include "analysis/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pp/random.hpp"
+
+namespace ssr {
+namespace {
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(KsTest, DisjointSamplesHaveStatisticOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 11.0, 12.0};
+  const auto r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.1);
+}
+
+TEST(KsTest, SameDistributionUsuallyAccepted) {
+  rng_t rng(5);
+  int rejections = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a(200), b(200);
+    for (auto& x : a) x = uniform_unit(rng);
+    for (auto& x : b) x = uniform_unit(rng);
+    if (ks_two_sample(a, b).p_value < 0.01) ++rejections;
+  }
+  // At alpha = 1%, expect ~0.4 false rejections over 40 runs.
+  EXPECT_LE(rejections, 3);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  rng_t rng(7);
+  std::vector<double> a(500), b(500);
+  for (auto& x : a) x = uniform_unit(rng);
+  for (auto& x : b) x = uniform_unit(rng) + 0.3;
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, ScaledVarianceRejected) {
+  // Same mean, different spread: a mean-based test would miss this; KS must
+  // not.
+  rng_t rng(9);
+  std::vector<double> a(800), b(800);
+  for (auto& x : a) x = uniform_unit(rng);            // U(0, 1)
+  for (auto& x : b) x = 0.5 + (uniform_unit(rng) - 0.5) * 0.2;  // U(0.4, 0.6)
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsEmptySamples) {
+  const std::vector<double> xs{1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(ks_two_sample(xs, empty), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ssr

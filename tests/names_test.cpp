@@ -1,0 +1,98 @@
+#include "protocols/names.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ssr {
+namespace {
+
+name_t from_string(const std::string& bits) {
+  name_t n;
+  for (const char c : bits) n.append_bit(c == '1');
+  return n;
+}
+
+TEST(Name, EmptyName) {
+  const name_t n;
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n.length(), 0u);
+  EXPECT_EQ(n.to_string(), "ε");
+}
+
+TEST(Name, AppendAndRender) {
+  const name_t n = from_string("0101");
+  EXPECT_EQ(n.length(), 4u);
+  EXPECT_EQ(n.to_string(), "0101");
+}
+
+TEST(Name, EqualityIsLengthAndBits) {
+  EXPECT_EQ(from_string("01"), from_string("01"));
+  EXPECT_NE(from_string("01"), from_string("010"));
+  EXPECT_NE(from_string("01"), from_string("10"));
+  // leading zeros matter: "001" != "01"
+  EXPECT_NE(from_string("001"), from_string("01"));
+}
+
+TEST(Name, LexicographicOrder) {
+  // bitwise comparison on the common prefix...
+  EXPECT_LT(from_string("0"), from_string("1"));
+  EXPECT_LT(from_string("01"), from_string("10"));
+  EXPECT_LT(from_string("011"), from_string("10"));
+  // ...and a proper prefix sorts before its extensions.
+  EXPECT_LT(from_string("01"), from_string("010"));
+  EXPECT_LT(from_string("01"), from_string("011"));
+  EXPECT_LT(name_t{}, from_string("0"));
+}
+
+TEST(Name, OrderIsStrictTotalOrder) {
+  // Exhaustive check over all bitstrings of length <= 4: trichotomy and
+  // transitivity via sorted uniqueness.
+  std::vector<name_t> all;
+  all.push_back(name_t{});
+  for (int len = 1; len <= 4; ++len) {
+    for (int v = 0; v < (1 << len); ++v) {
+      name_t n;
+      for (int b = len - 1; b >= 0; --b) n.append_bit((v >> b) & 1);
+      all.push_back(n);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_LT(all[i], all[i + 1]);  // strictly increasing => all distinct
+  }
+  EXPECT_EQ(all.size(), 1u + 2 + 4 + 8 + 16);
+}
+
+TEST(Name, FullNameBits) {
+  EXPECT_EQ(full_name_bits(8), 9u);    // 3 * log2(8)
+  EXPECT_EQ(full_name_bits(9), 12u);   // 3 * ceil(log2 9)
+  EXPECT_EQ(full_name_bits(1024), 30u);
+}
+
+TEST(Name, RandomNamesHaveRequestedLength) {
+  rng_t rng(1);
+  const name_t n = random_name(rng, 12);
+  EXPECT_EQ(n.length(), 12u);
+}
+
+TEST(Name, RandomFullNamesRarelyCollide) {
+  // With 3 log2 n bits, n draws collide with probability ~n^2/(2 n^3); for
+  // n = 256 that's ~0.2% per trial.  Check that 64 populations of distinct
+  // draws produce at most a couple of collisions.
+  rng_t rng(99);
+  const std::uint32_t n = 256;
+  const std::uint32_t bits = full_name_bits(n);
+  int collisions = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    std::set<name_t> seen;
+    for (std::uint32_t i = 0; i < n; ++i) seen.insert(random_name(rng, bits));
+    if (seen.size() != n) ++collisions;
+  }
+  EXPECT_LE(collisions, 3);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/statistics.hpp"
+#include "pp/trial.hpp"
+#include "processes/analytic.hpp"
+#include "processes/bounded_epidemic.hpp"
+#include "processes/epidemic.hpp"
+#include "processes/roll_call.hpp"
+
+namespace ssr {
+namespace {
+
+TEST(Epidemic, CompletesAndCountsInteractions) {
+  const epidemic_result r = run_epidemic(64, 1);
+  EXPECT_GT(r.interactions, 63u);  // at least n-1 infecting interactions
+  EXPECT_DOUBLE_EQ(r.completion_time, r.interactions / 64.0);
+}
+
+TEST(Epidemic, LogarithmicGrowth) {
+  // Mean completion time should grow ~ln n: ratio between n=1024 and n=64
+  // is ln(1024)/ln(64) = 10/6 ~ 1.67, far from the linear ratio 16.
+  auto mean_time = [](std::uint32_t n) {
+    const auto times = run_trials(40, n, [n](std::uint64_t seed) {
+      return run_epidemic(n, seed).completion_time;
+    });
+    return summarize(times).mean;
+  };
+  const double t64 = mean_time(64);
+  const double t1024 = mean_time(1024);
+  EXPECT_GT(t1024, t64);
+  EXPECT_LT(t1024 / t64, 3.0);
+}
+
+TEST(Epidemic, KnownConstant) {
+  // Expected interactions telescope to sum_{I=1..n-1} n(n-1)/(2 I (n-I))
+  // ~= n ln n, i.e. ~1.0 * ln n parallel time (the paper derives sharp
+  // large-deviation constants from [48]).  Allow generous slack.
+  const std::uint32_t n = 512;
+  const auto times = run_trials(60, 99, [n](std::uint64_t seed) {
+    return run_epidemic(n, seed).completion_time;
+  });
+  const double mean = summarize(times).mean;
+  const double ln_n = std::log(static_cast<double>(n));
+  EXPECT_GT(mean, 0.8 * ln_n);
+  EXPECT_LT(mean, 1.6 * ln_n);
+}
+
+TEST(Epidemic, TailIsLight) {
+  // WHP claims rest on the epidemic's concentration: the p99 completion
+  // time should stay within a small constant of ln n.
+  const std::uint32_t n = 256;
+  const auto times = run_trials(300, 123, [n](std::uint64_t seed) {
+    return run_epidemic(n, seed).completion_time;
+  });
+  const double ln_n = std::log(static_cast<double>(n));
+  EXPECT_LT(quantile(times, 0.99), 3.0 * ln_n);
+}
+
+TEST(BoundedEpidemic, HitTimesAreMonotoneInK) {
+  const bounded_epidemic_result r = run_bounded_epidemic(256, 8, 7);
+  // tau_k is non-increasing in k wherever defined (value <= k-1 implies
+  // value <= k).
+  double prev = 1e300;
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    if (r.hit_time[k] == 0.0) continue;
+    EXPECT_LE(r.hit_time[k], prev + 1e-9);
+    prev = r.hit_time[k];
+  }
+}
+
+TEST(BoundedEpidemic, Tau1RequiresDirectMeeting) {
+  // tau_1 means the target heard the source directly: expected time is
+  // (n-1)/2 (direct_meeting_time).  Check the mean against the formula.
+  const std::uint32_t n = 64;
+  const auto times = run_trials(200, 5, [n](std::uint64_t seed) {
+    return run_bounded_epidemic(n, 1, seed).hit_time[1];
+  });
+  const summary s = summarize(times);
+  const double expected = direct_meeting_time(n);
+  EXPECT_NEAR(s.mean, expected, 0.25 * expected);
+}
+
+TEST(BoundedEpidemic, LargerKIsMuchFaster) {
+  const std::uint32_t n = 1024;
+  auto mean_tau = [&](std::uint32_t k) {
+    const auto times = run_trials(40, k * 1000, [&](std::uint64_t seed) {
+      return run_bounded_epidemic(n, k, seed).hit_time[k];
+    });
+    return summarize(times).mean;
+  };
+  const double tau1 = mean_tau(1);
+  const double tau3 = mean_tau(3);
+  // E[tau_1] = Theta(n), E[tau_3] = O(n^{1/3}): expect at least ~8x gap at
+  // n = 1024.
+  EXPECT_GT(tau1 / tau3, 8.0);
+}
+
+TEST(BoundedEpidemic, RejectsBadParameters) {
+  EXPECT_THROW(run_bounded_epidemic(8, 0, 1), std::logic_error);
+  EXPECT_THROW(run_bounded_epidemic(8, 8, 1), std::logic_error);
+}
+
+TEST(RollCall, CompletesWithAllKnowledge) {
+  const roll_call_result r = run_roll_call(64, 3);
+  EXPECT_GT(r.completion_time, 0.0);
+  EXPECT_GE(r.completion_time, r.first_complete_time);
+}
+
+TEST(RollCall, RoughlyOnePointFiveTimesEpidemic) {
+  // Section 2: roll call is only ~1.5x slower than one epidemic.
+  const std::uint32_t n = 256;
+  const auto epidemic_times = run_trials(60, 11, [n](std::uint64_t seed) {
+    return run_epidemic(n, seed).completion_time;
+  });
+  const auto roll_times = run_trials(60, 13, [n](std::uint64_t seed) {
+    return run_roll_call(n, seed).completion_time;
+  });
+  const double ratio =
+      summarize(roll_times).mean / summarize(epidemic_times).mean;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(Analytic, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(100000), std::log(100000.0) + 0.5772, 1e-4);
+}
+
+TEST(Analytic, LeaderEliminationIsLinear) {
+  EXPECT_NEAR(leader_elimination_time(100), 99.0 * 99.0 / 100.0, 1e-9);
+  EXPECT_GT(leader_elimination_time(1000), leader_elimination_time(100));
+}
+
+TEST(Analytic, DirectMeeting) {
+  EXPECT_DOUBLE_EQ(direct_meeting_time(101), 50.0);
+}
+
+TEST(Analytic, SilentTailBound) {
+  // alpha = 1/3 gives probability >= 1/(2n).
+  EXPECT_NEAR(silent_tail_lower_bound(100, 1.0 / 3.0), 0.005, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,237 @@
+#include "protocols/propagate_reset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pp/random.hpp"
+#include "pp/scheduler.hpp"
+
+namespace ssr {
+namespace {
+
+// Minimal outer protocol for exercising Propagate-Reset in isolation: agents
+// are either computing or resetting, and Reset increments a per-agent
+// generation counter so tests can verify the "clean reset" property (every
+// agent resets exactly once per global reset).
+struct toy_agent {
+  bool resetting = false;
+  reset_fields reset;
+  int resets_executed = 0;
+};
+
+struct toy_hooks {
+  bool is_resetting(const toy_agent& a) const { return a.resetting; }
+  reset_fields& fields(toy_agent& a) const { return a.reset; }
+  void enter_resetting(toy_agent& a) const { a.resetting = true; }
+  void reset(toy_agent& a) const {
+    a.resetting = false;
+    a.reset = reset_fields{};
+    ++a.resets_executed;
+  }
+};
+
+reset_params params_for(std::uint32_t n) {
+  return {default_r_max(n), default_r_max(n) + 8};
+}
+
+TEST(PropagateReset, TriggerSetsFullCountdown) {
+  toy_agent a;
+  const reset_params p{10, 20};
+  trigger_reset(a, p, toy_hooks{});
+  EXPECT_TRUE(a.resetting);
+  EXPECT_EQ(a.reset.resetcount, 10u);
+}
+
+TEST(PropagateReset, PropagatingAgentConvertsComputingPartner) {
+  toy_agent a, b;
+  const reset_params p{10, 20};
+  trigger_reset(a, p, toy_hooks{});
+  propagate_reset(a, b, p, toy_hooks{});
+  EXPECT_TRUE(b.resetting);
+  // Line 5: both move to max(rc_a - 1, rc_b - 1, 0) = 9.
+  EXPECT_EQ(a.reset.resetcount, 9u);
+  EXPECT_EQ(b.reset.resetcount, 9u);
+  EXPECT_EQ(b.resets_executed, 0);
+}
+
+TEST(PropagateReset, CountdownDecrementsOnEveryResettingPair) {
+  toy_agent a, b;
+  const reset_params p{5, 20};
+  trigger_reset(a, p, toy_hooks{});
+  trigger_reset(b, p, toy_hooks{});
+  propagate_reset(a, b, p, toy_hooks{});
+  EXPECT_EQ(a.reset.resetcount, 4u);
+  EXPECT_EQ(b.reset.resetcount, 4u);
+}
+
+TEST(PropagateReset, DormantAgentAwakensOnComputingPartner) {
+  toy_agent dormant, computing;
+  const reset_params p{5, 20};
+  trigger_reset(dormant, p, toy_hooks{});
+  dormant.reset.resetcount = 0;  // force dormancy
+  dormant.reset.delaytimer = 15;
+  propagate_reset(dormant, computing, p, toy_hooks{});
+  // Awakening by epidemic: partner is computing.
+  EXPECT_FALSE(dormant.resetting);
+  EXPECT_EQ(dormant.resets_executed, 1);
+  EXPECT_FALSE(computing.resetting);
+}
+
+TEST(PropagateReset, DormantPairCountsDownDelay) {
+  toy_agent a, b;
+  const reset_params p{5, 20};
+  for (toy_agent* x : {&a, &b}) {
+    trigger_reset(*x, p, toy_hooks{});
+    x->reset.resetcount = 0;
+    x->reset.delaytimer = 10;
+  }
+  propagate_reset(a, b, p, toy_hooks{});
+  EXPECT_EQ(a.reset.delaytimer, 9u);
+  EXPECT_EQ(b.reset.delaytimer, 9u);
+  EXPECT_TRUE(a.resetting);
+  EXPECT_TRUE(b.resetting);
+}
+
+TEST(PropagateReset, DelayExpiryExecutesReset) {
+  toy_agent a, b;
+  const reset_params p{5, 20};
+  for (toy_agent* x : {&a, &b}) {
+    trigger_reset(*x, p, toy_hooks{});
+    x->reset.resetcount = 0;
+  }
+  a.reset.delaytimer = 1;
+  b.reset.delaytimer = 50;
+  propagate_reset(a, b, p, toy_hooks{});
+  // a's delay hits 0 -> Reset(a); b then sees a computing partner
+  // (sequential evaluation) and also awakens.
+  EXPECT_FALSE(a.resetting);
+  EXPECT_EQ(a.resets_executed, 1);
+  EXPECT_FALSE(b.resetting);
+  EXPECT_EQ(b.resets_executed, 1);
+}
+
+TEST(PropagateReset, CountdownReachingZeroInitializesDelay) {
+  toy_agent a, b;
+  const reset_params p{5, 20};
+  trigger_reset(a, p, toy_hooks{});
+  trigger_reset(b, p, toy_hooks{});
+  a.reset.resetcount = 1;
+  b.reset.resetcount = 1;
+  propagate_reset(a, b, p, toy_hooks{});
+  // Both just became dormant: delay initialized, not decremented, no reset.
+  EXPECT_EQ(a.reset.resetcount, 0u);
+  EXPECT_EQ(a.reset.delaytimer, 20u);
+  EXPECT_EQ(b.reset.delaytimer, 20u);
+  EXPECT_TRUE(a.resetting);
+}
+
+// Global property: from a single triggered agent in a computing population,
+// every agent eventually executes Reset exactly once, and the population
+// returns to fully computing (the "awakening configuration" analysis of
+// Section 3).
+TEST(PropagateReset, CleanResetTouchesEveryAgentExactlyOnce) {
+  for (const std::uint32_t n : {8u, 32u, 128u}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      std::vector<toy_agent> agents(n);
+      const reset_params p = params_for(n);
+      trigger_reset(agents[0], p, toy_hooks{});
+
+      rng_t rng(derive_seed(n, seed));
+      std::uint64_t steps = 0;
+      const std::uint64_t cap = 20000ull * n;
+      auto any_resetting = [&] {
+        for (const auto& a : agents)
+          if (a.resetting) return true;
+        return false;
+      };
+      while (any_resetting() && steps < cap) {
+        const agent_pair pr = sample_pair(rng, n);
+        toy_agent& x = agents[pr.initiator];
+        toy_agent& y = agents[pr.responder];
+        if (x.resetting || y.resetting) propagate_reset(x, y, p, toy_hooks{});
+        ++steps;
+      }
+      ASSERT_LT(steps, cap) << "reset did not complete, n=" << n;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(agents[i].resets_executed, 1)
+            << "agent " << i << " n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// Completion time scales logarithmically: doubling n several times should
+// increase completion time only mildly.
+TEST(PropagateReset, CompletionTimeGrowsSlowly) {
+  auto completion_time = [](std::uint32_t n, std::uint64_t seed) {
+    std::vector<toy_agent> agents(n);
+    const reset_params p = params_for(n);
+    trigger_reset(agents[0], p, toy_hooks{});
+    rng_t rng(seed);
+    std::uint64_t steps = 0;
+    auto any_resetting = [&] {
+      for (const auto& a : agents)
+        if (a.resetting) return true;
+      return false;
+    };
+    while (any_resetting()) {
+      const agent_pair pr = sample_pair(rng, n);
+      toy_agent& x = agents[pr.initiator];
+      toy_agent& y = agents[pr.responder];
+      if (x.resetting || y.resetting) propagate_reset(x, y, p, toy_hooks{});
+      ++steps;
+    }
+    return static_cast<double>(steps) / n;
+  };
+  double t64 = 0, t512 = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    t64 += completion_time(64, s + 1);
+    t512 += completion_time(512, s + 100);
+  }
+  // R_max and D_max are Theta(log n), so completion is Theta(log n): the 8x
+  // population growth should cost well under 3x in time.
+  EXPECT_LT(t512 / t64, 3.0);
+}
+
+// Adversarial starting points: arbitrary mixtures of propagating and
+// dormant agents still drain to fully computing.
+TEST(PropagateReset, DrainsFromArbitraryResettingMixtures) {
+  const std::uint32_t n = 64;
+  const reset_params p = params_for(n);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<toy_agent> agents(n);
+    rng_t rng(seed);
+    for (auto& a : agents) {
+      const auto mode = uniform_below(rng, 3);
+      if (mode == 0) continue;  // computing
+      a.resetting = true;
+      if (mode == 1) {
+        a.reset.resetcount =
+            static_cast<std::uint32_t>(1 + uniform_below(rng, p.r_max));
+      } else {
+        a.reset.resetcount = 0;
+        a.reset.delaytimer =
+            static_cast<std::uint32_t>(uniform_below(rng, p.d_max + 1));
+      }
+    }
+    std::uint64_t steps = 0;
+    const std::uint64_t cap = 20000ull * n;
+    auto any_resetting = [&] {
+      for (const auto& a : agents)
+        if (a.resetting) return true;
+      return false;
+    };
+    while (any_resetting() && steps < cap) {
+      const agent_pair pr = sample_pair(rng, n);
+      toy_agent& x = agents[pr.initiator];
+      toy_agent& y = agents[pr.responder];
+      if (x.resetting || y.resetting) propagate_reset(x, y, p, toy_hooks{});
+      ++steps;
+    }
+    EXPECT_LT(steps, cap) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ssr

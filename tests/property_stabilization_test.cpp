@@ -1,0 +1,117 @@
+// The headline property of the paper, tested wholesale: from *every*
+// adversarial scenario, over many seeds and population sizes, each protocol
+// reaches a stably correct ranking (and therefore a unique leader).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pp/convergence.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace ssr {
+namespace {
+
+// ---------------------------------------------------------------- baseline
+
+class BaselineStabilization
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(BaselineStabilization, FromRandomConfiguration) {
+  const auto [n, seed] = GetParam();
+  silent_n_state_ssr p(n);
+  rng_t rng(derive_seed(1000 + n, seed));
+  auto init = adversarial_configuration(p, rng);
+  std::vector<silent_n_state_ssr::agent_state> final_config;
+  convergence_options opt;
+  opt.max_parallel_time = 1e7;
+  const auto r =
+      measure_convergence(p, std::move(init), seed, opt, &final_config);
+  ASSERT_TRUE(r.converged) << "n=" << n << " seed=" << seed;
+  EXPECT_TRUE(is_valid_ranking(p, final_config));
+  EXPECT_EQ(r.correctness_losses, 0u);  // baseline never revokes a ranking
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineStabilization,
+                         ::testing::Combine(::testing::Values(4u, 16u, 48u),
+                                            ::testing::Range(0, 4)));
+
+// ----------------------------------------------------------- optimal silent
+
+class OptimalSilentStabilization
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, optimal_silent_scenario, int>> {};
+
+TEST_P(OptimalSilentStabilization, FromScenario) {
+  const auto [n, scenario, seed] = GetParam();
+  optimal_silent_ssr p(n);
+  rng_t rng(derive_seed(2000 + n, seed));
+  auto init = adversarial_configuration(p, scenario, rng);
+  std::vector<optimal_silent_ssr::agent_state> final_config;
+  convergence_options opt;
+  opt.max_parallel_time = 1e6;
+  const auto r =
+      measure_convergence(p, std::move(init), seed, opt, &final_config);
+  ASSERT_TRUE(r.converged)
+      << "n=" << n << " scenario=" << to_string(scenario) << " seed=" << seed;
+  EXPECT_TRUE(is_valid_ranking(p, final_config));
+  EXPECT_EQ(leader_count(p, final_config), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalSilentStabilization,
+    ::testing::Combine(
+        ::testing::Values(4u, 16u, 40u),
+        ::testing::Values(optimal_silent_scenario::uniform_random,
+                          optimal_silent_scenario::all_settled_rank_one,
+                          optimal_silent_scenario::no_leader,
+                          optimal_silent_scenario::all_unsettled_expired,
+                          optimal_silent_scenario::all_dormant_followers,
+                          optimal_silent_scenario::duplicated_ranks,
+                          optimal_silent_scenario::valid_ranking),
+        ::testing::Range(0, 3)));
+
+// --------------------------------------------------------------- sublinear
+
+class SublinearStabilization
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, sublinear_scenario, int>> {
+};
+
+TEST_P(SublinearStabilization, FromScenario) {
+  const auto [n, h, scenario, seed] = GetParam();
+  sublinear_time_ssr p(n, h);
+  rng_t rng(derive_seed(3000 + 17 * n + h, seed));
+  auto init = adversarial_configuration(p, scenario, rng);
+  std::vector<sublinear_time_ssr::agent_state> final_config;
+  convergence_options opt;
+  opt.max_parallel_time = 1e6;
+  opt.confirm_parallel_time = 100.0;
+  const auto r =
+      measure_convergence(p, std::move(init), seed, opt, &final_config);
+  ASSERT_TRUE(r.converged)
+      << "n=" << n << " h=" << h << " scenario=" << to_string(scenario)
+      << " seed=" << seed;
+  EXPECT_TRUE(is_valid_ranking(p, final_config));
+  EXPECT_EQ(leader_count(p, final_config), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SublinearStabilization,
+    ::testing::Combine(
+        ::testing::Values(4u, 8u, 12u),
+        ::testing::Values(0u, 1u, 2u, 3u),
+        ::testing::Values(sublinear_scenario::uniform_random,
+                          sublinear_scenario::all_same_name,
+                          sublinear_scenario::single_collision,
+                          sublinear_scenario::ghost_names,
+                          sublinear_scenario::missing_own_name,
+                          sublinear_scenario::planted_histories,
+                          sublinear_scenario::mid_reset,
+                          sublinear_scenario::valid_ranking),
+        ::testing::Range(0, 2)));
+
+}  // namespace
+}  // namespace ssr

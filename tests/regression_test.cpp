@@ -1,0 +1,70 @@
+#include "analysis/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ssr {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 7.0, 9.0};
+  const linear_fit_result f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + 2.0 + ((i % 3) - 1) * 0.01);
+  }
+  const linear_fit_result f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.5, 1e-3);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(linear_fit(one, one), std::logic_error);
+  const std::vector<double> constant{2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(linear_fit(constant, ys), std::logic_error);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(xs, ys), std::logic_error);  // size mismatch
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 8; x <= 1024; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);  // y = 3 x^2
+  }
+  const linear_fit_result f = loglog_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, LogarithmicGrowthHasNearZeroExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 64; x <= 65536; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(std::log(x));
+  }
+  const linear_fit_result f = loglog_fit(xs, ys);
+  EXPECT_LT(f.slope, 0.35);
+  EXPECT_GT(f.slope, 0.0);
+}
+
+TEST(LogLogFit, RejectsNonPositiveValues) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{0.0, 2.0};
+  EXPECT_THROW(loglog_fit(xs, ys), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ssr

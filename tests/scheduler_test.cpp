@@ -1,0 +1,72 @@
+#include "pp/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ssr {
+namespace {
+
+TEST(Scheduler, PairsAreDistinctAndInRange) {
+  rng_t rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const agent_pair p = sample_pair(rng, 7);
+    EXPECT_LT(p.initiator, 7u);
+    EXPECT_LT(p.responder, 7u);
+    EXPECT_NE(p.initiator, p.responder);
+  }
+}
+
+TEST(Scheduler, MinimumPopulationOfTwo) {
+  rng_t rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const agent_pair p = sample_pair(rng, 2);
+    EXPECT_NE(p.initiator, p.responder);
+  }
+}
+
+TEST(Scheduler, RejectsPopulationOfOne) {
+  rng_t rng(3);
+  EXPECT_THROW(sample_pair(rng, 1), std::logic_error);
+}
+
+// Every ordered pair should be drawn with probability 1/(n(n-1)).
+TEST(Scheduler, OrderedPairsAreUniform) {
+  rng_t rng(5);
+  constexpr std::uint32_t n = 6;
+  constexpr int draws = 300000;
+  std::vector<int> count(n * n, 0);
+  for (int i = 0; i < draws; ++i) {
+    const agent_pair p = sample_pair(rng, n);
+    ++count[p.initiator * n + p.responder];
+  }
+  const double expected = static_cast<double>(draws) / (n * (n - 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) {
+        EXPECT_EQ(count[i * n + j], 0);
+      } else {
+        EXPECT_NEAR(count[i * n + j], expected, 5 * std::sqrt(expected))
+            << "pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// The scheduler must be direction-asymmetric in principle (initiator vs
+// responder) even though most of our transitions are symmetric.
+TEST(Scheduler, BothOrdersOccur) {
+  rng_t rng(7);
+  bool saw_01 = false, saw_10 = false;
+  for (int i = 0; i < 1000 && !(saw_01 && saw_10); ++i) {
+    const agent_pair p = sample_pair(rng, 2);
+    saw_01 |= p.initiator == 0;
+    saw_10 |= p.initiator == 1;
+  }
+  EXPECT_TRUE(saw_01);
+  EXPECT_TRUE(saw_10);
+}
+
+}  // namespace
+}  // namespace ssr

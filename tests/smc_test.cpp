@@ -1,0 +1,123 @@
+#include "verify/smc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pp/convergence.hpp"
+#include "pp/random.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace ssr {
+namespace {
+
+// Synthetic Bernoulli oracle with known p.
+std::function<bool(std::uint64_t)> bernoulli_oracle(double p) {
+  return [p](std::uint64_t seed) {
+    rng_t rng(seed);
+    return bernoulli(rng, p);
+  };
+}
+
+TEST(Smc, AcceptsClearlyTrueClaim) {
+  smc_options opt;
+  opt.theta = 0.9;
+  const auto r = sequential_probability_test(bernoulli_oracle(0.99), opt, 1);
+  EXPECT_EQ(r.verdict, smc_verdict::holds);
+  EXPECT_LT(r.samples, 500u);  // sequential: cheap when the truth is clear
+}
+
+TEST(Smc, RejectsClearlyFalseClaim) {
+  smc_options opt;
+  opt.theta = 0.9;
+  const auto r = sequential_probability_test(bernoulli_oracle(0.5), opt, 2);
+  EXPECT_EQ(r.verdict, smc_verdict::violated);
+  EXPECT_LT(r.samples, 100u);
+}
+
+TEST(Smc, UndecidedInsideIndifferenceRegion) {
+  smc_options opt;
+  opt.theta = 0.5;
+  opt.delta = 0.02;
+  opt.max_samples = 50;  // too few to leave the region at p = theta
+  const auto r = sequential_probability_test(bernoulli_oracle(0.5), opt, 3);
+  EXPECT_EQ(r.verdict, smc_verdict::undecided);
+  EXPECT_EQ(r.samples, 50u);
+}
+
+TEST(Smc, HarderClaimsNeedMoreSamples) {
+  smc_options wide;
+  wide.theta = 0.7;
+  wide.delta = 0.2;
+  smc_options narrow = wide;
+  narrow.delta = 0.02;
+  const auto easy =
+      sequential_probability_test(bernoulli_oracle(0.95), wide, 4);
+  const auto hard =
+      sequential_probability_test(bernoulli_oracle(0.95), narrow, 4);
+  ASSERT_EQ(easy.verdict, smc_verdict::holds);
+  ASSERT_EQ(hard.verdict, smc_verdict::holds);
+  EXPECT_LT(easy.samples, hard.samples);
+}
+
+TEST(Smc, RejectsBadOptions) {
+  smc_options opt;
+  opt.theta = 0.99;
+  opt.delta = 0.05;  // theta + delta > 1
+  EXPECT_THROW(
+      sequential_probability_test(bernoulli_oracle(0.5), opt, 1),
+      std::logic_error);
+}
+
+TEST(Smc, VerdictNames) {
+  EXPECT_EQ(to_string(smc_verdict::holds), "holds");
+  EXPECT_EQ(to_string(smc_verdict::violated), "violated");
+}
+
+// --- protocol-level quantitative claims ------------------------------------
+
+TEST(Smc, OptimalSilentStabilizesFastWhp) {
+  // Claim: from uniform-random corruption at n = 48, Optimal-Silent-SSR
+  // stabilizes within 3000 parallel time units with probability >= 0.9.
+  // (E1 measured mean ~460 at n = 48-64, p99 well below 1000.)
+  const std::uint32_t n = 48;
+  smc_options opt;
+  opt.theta = 0.9;
+  const auto r = sequential_probability_test(
+      [&](std::uint64_t seed) {
+        optimal_silent_ssr p(n);
+        rng_t rng(seed ^ 0xa5a5);
+        auto init = adversarial_configuration(
+            p, optimal_silent_scenario::uniform_random, rng);
+        convergence_options copt;
+        copt.max_parallel_time = 3000.0;
+        return measure_convergence(p, std::move(init), seed, copt).converged;
+      },
+      opt, 10);
+  EXPECT_EQ(r.verdict, smc_verdict::holds)
+      << r.successes << "/" << r.samples;
+}
+
+TEST(Smc, BaselineCannotStabilizeInLinearTime) {
+  // Converse claim, refuted: the Theta(n^2) baseline does NOT stabilize
+  // within 2n time units with probability >= 0.5 at n = 64.
+  const std::uint32_t n = 64;
+  smc_options opt;
+  opt.theta = 0.5;
+  opt.delta = 0.1;
+  const auto r = sequential_probability_test(
+      [&](std::uint64_t seed) {
+        silent_n_state_ssr p(n);
+        rng_t rng(seed ^ 0x5a5a);
+        auto init = adversarial_configuration(p, rng);
+        convergence_options copt;
+        copt.max_parallel_time = 2.0 * n;
+        return measure_convergence(p, std::move(init), seed, copt).converged;
+      },
+      opt, 20);
+  EXPECT_EQ(r.verdict, smc_verdict::violated)
+      << r.successes << "/" << r.samples;
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,66 @@
+#include "protocols/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(StateSpace, BaselineIsExactlyN) {
+  EXPECT_EQ(silent_n_state_states(100), 100u);
+}
+
+TEST(StateSpace, OptimalSilentGrowsLinearly) {
+  const auto count = [](std::uint32_t n) {
+    return static_cast<double>(
+        optimal_silent_states(n, optimal_silent_ssr::tuning::defaults(n)));
+  };
+  // Ratio of consecutive doublings approaches 2 (linear growth).
+  const double r1 = count(2048) / count(1024);
+  const double r2 = count(4096) / count(2048);
+  EXPECT_NEAR(r1, 2.0, 0.1);
+  EXPECT_NEAR(r2, 2.0, 0.1);
+}
+
+TEST(StateSpace, OptimalSilentCountsRolesSeparately) {
+  optimal_silent_ssr::tuning t;
+  t.e_max = 10;
+  t.r_max = 5;
+  t.d_max = 7;
+  // settled 3n + unsettled (E+1) + resetting 2(R + D + 1).
+  EXPECT_EQ(optimal_silent_states(4, t), 12u + 11u + 2u * 13u);
+}
+
+TEST(StateSpace, SublinearBitsExplodeWithH) {
+  const std::uint32_t n = 64;
+  const auto bits = [&](std::uint32_t h) {
+    return sublinear_state_bits(n, sublinear_time_ssr::tuning::defaults(n, h));
+  };
+  // Memory grows ~n^H: each extra level multiplies the tree term by n.
+  EXPECT_GT(bits(2) / bits(1), 10.0);
+  EXPECT_GT(bits(3) / bits(2), 10.0);
+}
+
+TEST(StateSpace, SublinearEvenH1IsExponentialStates) {
+  // Theorem 5.1 / conclusion: even H = 1 needs a per-partner dictionary,
+  // i.e. Omega(n log n) bits -- exponentially many states.
+  const std::uint32_t n = 256;
+  const double bits =
+      sublinear_state_bits(n, sublinear_time_ssr::tuning::defaults(n, 1));
+  EXPECT_GT(bits, static_cast<double>(n));  // >> log-space protocols
+}
+
+TEST(StateSpace, TableOneOrdering) {
+  // For any n, baseline states < optimal-silent states << sublinear states.
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    const double baseline = static_cast<double>(silent_n_state_states(n));
+    const double optimal = static_cast<double>(
+        optimal_silent_states(n, optimal_silent_ssr::tuning::defaults(n)));
+    const double sublinear_bits =
+        sublinear_state_bits(n, sublinear_time_ssr::tuning::defaults(n, 1));
+    EXPECT_LT(baseline, optimal);
+    EXPECT_LT(std::log2(optimal), sublinear_bits);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

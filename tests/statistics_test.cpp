@@ -1,0 +1,67 @@
+#include "analysis/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssr {
+namespace {
+
+TEST(Statistics, MeanAndSpread) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Statistics, SingleElementSample) {
+  const std::vector<double> xs{3.5};
+  const summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+}
+
+TEST(Statistics, EmptySampleRejected) {
+  const std::vector<double> xs;
+  EXPECT_THROW(summarize(xs), std::logic_error);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  // type-7: position = 0.5 * 3 = 1.5 -> midpoint of 2 and 3.
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{4.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 8.0);
+}
+
+TEST(Quantile, RejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, 1.5), std::logic_error);
+}
+
+TEST(Statistics, ConfidenceIntervalShrinksWithSamples) {
+  std::vector<double> small(10, 0.0), large(1000, 0.0);
+  for (std::size_t i = 0; i < small.size(); ++i)
+    small[i] = static_cast<double>(i % 2);
+  for (std::size_t i = 0; i < large.size(); ++i)
+    large[i] = static_cast<double>(i % 2);
+  EXPECT_GT(ci95_halfwidth(summarize(small)),
+            ci95_halfwidth(summarize(large)));
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,51 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssr {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  text_table t({"n", "time"});
+  t.add_row({"8", "1.5"});
+  t.add_row({"1024", "123.4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  EXPECT_NE(out.find("123.4"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, CountsRows) {
+  text_table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Format, MeanCi) {
+  EXPECT_EQ(format_mean_ci(12.345, 0.678, 1), "12.3 ± 0.7");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(512), "512");
+  EXPECT_EQ(format_count(2.5e7), "2.50e+07");
+}
+
+}  // namespace
+}  // namespace ssr

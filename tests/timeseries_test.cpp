@@ -1,0 +1,72 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssr {
+namespace {
+
+TEST(TimeSeries, StoresColumns) {
+  time_series ts({"a", "b"});
+  ts.add(0.0, std::vector<double>{1.0, 2.0});
+  ts.add(1.0, std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.columns(), 2u);
+  EXPECT_EQ(ts.column_name(1), "b");
+  EXPECT_DOUBLE_EQ(ts.column(0)[1], 3.0);
+  EXPECT_DOUBLE_EQ(ts.column(1)[0], 2.0);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  time_series ts({"settled"});
+  ts.add(0.0, std::vector<double>{0.0});
+  ts.add(2.5, std::vector<double>{12.0});
+  const std::string csv = ts.to_csv();
+  EXPECT_EQ(csv, "time,settled\n0,0\n2.5,12\n");
+}
+
+TEST(TimeSeries, RejectsWrongArityAndBackwardsTime) {
+  time_series ts({"a"});
+  EXPECT_THROW(ts.add(0.0, std::vector<double>{1.0, 2.0}), std::logic_error);
+  ts.add(5.0, std::vector<double>{1.0});
+  EXPECT_THROW(ts.add(4.0, std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(TimeSeries, AsciiChartHasRequestedGeometry) {
+  time_series ts({"x"});
+  for (int i = 0; i <= 100; ++i)
+    ts.add(i, std::vector<double>{static_cast<double>(i % 10)});
+  const std::string chart = ts.ascii_chart(0, 40, 8);
+  // Header + 8 rows + time footer.
+  int lines = 0;
+  for (const char c : chart) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 10);
+  EXPECT_NE(chart.find("x (min 0"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(TimeSeries, AsciiChartMonotoneSeriesFillsCorners) {
+  time_series ts({"ramp"});
+  for (int i = 0; i <= 63; ++i)
+    ts.add(i, std::vector<double>{static_cast<double>(i)});
+  const std::string chart = ts.ascii_chart(0, 64, 6);
+  // The first data row (max level) must contain a '*' near the right edge,
+  // the last (min level) near the left edge.
+  std::vector<std::string> lines;
+  std::istringstream is(chart);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 8u);
+  EXPECT_NE(lines[1].rfind('*'), std::string::npos);
+  EXPECT_LT(lines[6].find('*'), 4u);   // bottom row starts at the left
+  EXPECT_GT(lines[1].rfind('*'), 60u);  // top row ends at the right
+}
+
+TEST(TimeSeries, EmptyChartDoesNotCrash) {
+  time_series ts({"x"});
+  EXPECT_EQ(ts.ascii_chart(0), "(empty series)\n");
+}
+
+}  // namespace
+}  // namespace ssr

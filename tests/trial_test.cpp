@@ -1,0 +1,61 @@
+#include "pp/trial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "pp/rng.hpp"
+
+namespace ssr {
+namespace {
+
+TEST(ParallelForIndex, VisitsEveryIndexOnce) {
+  constexpr std::size_t count = 1000;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for_index(count, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForIndex, SequentialModeWorks) {
+  std::vector<int> order;
+  parallel_for_index(
+      5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+      /*parallel=*/false);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for_index(100,
+                                  [](std::size_t i) {
+                                    if (i == 37)
+                                      throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelForIndex, ZeroCountIsNoOp) {
+  parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(RunTrials, ResultsAreOrderedAndSeedDerived) {
+  const auto results = run_trials(
+      16, 7, [](std::uint64_t seed) { return static_cast<double>(seed % 97); });
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(results[i],
+                     static_cast<double>(derive_seed(7, i) % 97));
+  }
+}
+
+TEST(RunTrials, ParallelAndSequentialAgree) {
+  const auto trial = [](std::uint64_t seed) {
+    return static_cast<double>(seed & 0xffff);
+  };
+  const auto par = run_trials(64, 3, trial, /*parallel=*/true);
+  const auto seq = run_trials(64, 3, trial, /*parallel=*/false);
+  EXPECT_EQ(par, seq);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,289 @@
+#include <cmath>
+// ssr_cli -- command-line driver for the library.
+//
+// Runs any protocol from any adversarial scenario on any topology, printing
+// periodic configuration summaries and a final verdict.  Examples:
+//
+//   ssr_cli --protocol=optimal --n=64 --scenario=all_dormant_followers
+//   ssr_cli --protocol=baseline --n=16 --graph=ring --max-time=10000
+//   ssr_cli --protocol=sublinear --n=16 --h=3 --scenario=single_collision
+//           (add --trace-every=50 for periodic summaries)
+//   ssr_cli --protocol=loose --n=64 --t-max=40
+//
+// Exit code 0 iff the run reached a correct configuration.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "protocols/describe.hpp"
+#include "pp/graph_simulation.hpp"
+#include "protocols/adversary.hpp"
+#include "ssr.hpp"
+
+namespace {
+
+using namespace ssr;
+
+struct options {
+  std::string protocol = "optimal";
+  std::uint32_t n = 32;
+  std::uint32_t h = 1;
+  std::uint32_t t_max = 0;  // loose: 0 = 4 log2 n
+  std::string scenario = "uniform_random";
+  std::string graph = "complete";
+  double graph_p = 0.9;  // for --graph=gnp
+  std::uint64_t seed = 1;
+  double max_time = 1e7;
+  double trace_every = 0.0;  // 0 = only start/end
+  bool show_agents = false;
+  std::string dump_path;  // write the starting configuration here
+  std::string load_path;  // read the starting configuration instead
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: ssr_cli [options]\n"
+      "  --protocol=baseline|optimal|sublinear|loose\n"
+      "  --n=<int>              population size (default 32)\n"
+      "  --h=<int>              sublinear history depth (default 1)\n"
+      "  --t-max=<int>          loose timeout (default 4 log2 n)\n"
+      "  --scenario=<name>      adversarial start (default uniform_random);\n"
+      "                         optimal: uniform_random all_settled_rank_one\n"
+      "                           no_leader all_unsettled_expired\n"
+      "                           all_dormant_followers duplicated_ranks\n"
+      "                           valid_ranking\n"
+      "                         sublinear: uniform_random all_same_name\n"
+      "                           single_collision ghost_names\n"
+      "                           missing_own_name planted_histories\n"
+      "                           mid_reset valid_ranking\n"
+      "  --graph=complete|ring|star|path|gnp   (baseline/optimal only)\n"
+      "  --graph-p=<float>      edge probability for gnp (default 0.9)\n"
+      "  --seed=<int>           rng seed (default 1)\n"
+      "  --max-time=<float>     parallel-time budget (default 1e7)\n"
+      "  --trace-every=<float>  summary every T time units\n"
+      "  --show-agents          dump every agent state at start/end\n"
+      "  --dump=<file>          write the starting configuration (see\n"
+      "                         protocols/serialize.hpp for the format)\n"
+      "  --load=<file>          start from a saved configuration\n";
+  std::exit(2);
+}
+
+options parse(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") usage();
+    if (arg == "--show-agents") {
+      opt.show_agents = true;
+    } else if (auto v = value_of("--protocol")) {
+      opt.protocol = *v;
+    } else if (auto v = value_of("--n")) {
+      opt.n = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value_of("--h")) {
+      opt.h = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value_of("--t-max")) {
+      opt.t_max = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value_of("--scenario")) {
+      opt.scenario = *v;
+    } else if (auto v = value_of("--graph")) {
+      opt.graph = *v;
+    } else if (auto v = value_of("--graph-p")) {
+      opt.graph_p = std::stod(*v);
+    } else if (auto v = value_of("--seed")) {
+      opt.seed = std::stoull(*v);
+    } else if (auto v = value_of("--max-time")) {
+      opt.max_time = std::stod(*v);
+    } else if (auto v = value_of("--trace-every")) {
+      opt.trace_every = std::stod(*v);
+    } else if (auto v = value_of("--dump")) {
+      opt.dump_path = *v;
+    } else if (auto v = value_of("--load")) {
+      opt.load_path = *v;
+    } else {
+      usage("unknown argument: " + arg);
+    }
+  }
+  return opt;
+}
+
+interaction_graph make_graph(const options& opt) {
+  if (opt.graph == "complete") return interaction_graph::complete(opt.n);
+  if (opt.graph == "ring") return interaction_graph::ring(opt.n);
+  if (opt.graph == "star") return interaction_graph::star(opt.n);
+  if (opt.graph == "path") return interaction_graph::path(opt.n);
+  if (opt.graph == "gnp")
+    return interaction_graph::erdos_renyi(opt.n, opt.graph_p, opt.seed ^ 0x9e);
+  usage("unknown graph: " + opt.graph);
+}
+
+optimal_silent_scenario parse_optimal_scenario(const std::string& s) {
+  static const std::map<std::string, optimal_silent_scenario> table{
+      {"uniform_random", optimal_silent_scenario::uniform_random},
+      {"all_settled_rank_one", optimal_silent_scenario::all_settled_rank_one},
+      {"no_leader", optimal_silent_scenario::no_leader},
+      {"all_unsettled_expired",
+       optimal_silent_scenario::all_unsettled_expired},
+      {"all_dormant_followers",
+       optimal_silent_scenario::all_dormant_followers},
+      {"duplicated_ranks", optimal_silent_scenario::duplicated_ranks},
+      {"valid_ranking", optimal_silent_scenario::valid_ranking},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) usage("unknown optimal scenario: " + s);
+  return it->second;
+}
+
+sublinear_scenario parse_sublinear_scenario(const std::string& s) {
+  static const std::map<std::string, sublinear_scenario> table{
+      {"uniform_random", sublinear_scenario::uniform_random},
+      {"all_same_name", sublinear_scenario::all_same_name},
+      {"single_collision", sublinear_scenario::single_collision},
+      {"ghost_names", sublinear_scenario::ghost_names},
+      {"missing_own_name", sublinear_scenario::missing_own_name},
+      {"planted_histories", sublinear_scenario::planted_histories},
+      {"mid_reset", sublinear_scenario::mid_reset},
+      {"valid_ranking", sublinear_scenario::valid_ranking},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) usage("unknown sublinear scenario: " + s);
+  return it->second;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Applies --dump/--load: optionally replaces `initial` with a saved
+/// configuration, optionally writes the starting configuration out.
+template <class P>
+std::vector<typename P::agent_state> resolve_initial(
+    const options& opt, const P& protocol,
+    std::vector<typename P::agent_state> initial) {
+  if (!opt.load_path.empty())
+    initial = config_from_text(protocol, slurp(opt.load_path));
+  if (!opt.dump_path.empty()) {
+    std::ofstream out(opt.dump_path);
+    if (!out) usage("cannot write " + opt.dump_path);
+    out << to_text(protocol, initial);
+    std::cout << "wrote starting configuration to " << opt.dump_path << '\n';
+  }
+  return initial;
+}
+
+/// Drives one run with periodic summaries; returns success.
+template <class P>
+int drive(const options& opt, const P& protocol,
+          std::vector<typename P::agent_state> initial,
+          const interaction_graph& graph) {
+  initial = resolve_initial(opt, protocol, std::move(initial));
+  graph_simulation<P> sim(protocol, graph, std::move(initial), opt.seed);
+  std::cout << "t=0.0: " << summarize_configuration(protocol, sim.agents())
+            << '\n';
+  if (opt.show_agents) {
+    for (std::size_t i = 0; i < sim.agents().size(); ++i)
+      std::cout << "  agent " << i << ": "
+                << describe(protocol, sim.agents()[i]) << '\n';
+  }
+
+  const double step_window =
+      opt.trace_every > 0 ? opt.trace_every : opt.max_time;
+  bool done = false;
+  while (!done && sim.parallel_time() < opt.max_time) {
+    const double next_checkpoint =
+        std::min(sim.parallel_time() + step_window, opt.max_time);
+    done = sim.run_until(
+        [&](const graph_simulation<P>& s) {
+          return is_valid_ranking(s.protocol(), s.agents()) ||
+                 s.parallel_time() >= next_checkpoint;
+        },
+        static_cast<std::uint64_t>(opt.max_time *
+                                   static_cast<double>(opt.n)));
+    done = done && is_valid_ranking(protocol, sim.agents());
+    if (opt.trace_every > 0 || done) {
+      std::cout << "t=" << sim.parallel_time() << ": "
+                << summarize_configuration(protocol, sim.agents()) << '\n';
+    }
+  }
+
+  if (opt.show_agents) {
+    for (std::size_t i = 0; i < sim.agents().size(); ++i)
+      std::cout << "  agent " << i << ": "
+                << describe(protocol, sim.agents()[i]) << '\n';
+  }
+  if (done) {
+    std::cout << "stabilized at t=" << sim.parallel_time() << " ("
+              << sim.interactions() << " interactions); leader is the rank-1 "
+              << "agent\n";
+    return 0;
+  }
+  std::cout << "did NOT stabilize within t=" << opt.max_time << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt = parse(argc, argv);
+  rng_t scenario_rng(opt.seed ^ 0xabcdef123456ULL);
+  const interaction_graph graph = make_graph(opt);
+
+  if (opt.protocol == "baseline") {
+    silent_n_state_ssr p(opt.n);
+    return drive(opt, p, adversarial_configuration(p, scenario_rng), graph);
+  }
+  if (opt.protocol == "optimal") {
+    optimal_silent_ssr p(opt.n);
+    return drive(opt, p,
+                 adversarial_configuration(
+                     p, parse_optimal_scenario(opt.scenario), scenario_rng),
+                 graph);
+  }
+  if (opt.protocol == "sublinear") {
+    if (opt.graph != "complete")
+      usage("sublinear runs on the complete graph only");
+    sublinear_time_ssr p(opt.n, opt.h);
+    return drive(opt, p,
+                 adversarial_configuration(
+                     p, parse_sublinear_scenario(opt.scenario), scenario_rng),
+                 graph);
+  }
+  if (opt.protocol == "loose") {
+    const auto t_max =
+        opt.t_max > 0
+            ? opt.t_max
+            : static_cast<std::uint32_t>(
+                  4 * std::ceil(std::log2(static_cast<double>(opt.n))));
+    loose_stabilizing_le p(opt.n, t_max);
+    // Loose LE has no ranking notion; run until a unique leader, report.
+    auto initial =
+        resolve_initial(opt, p, p.dead_configuration());  // --dump/--load
+    graph_simulation<loose_stabilizing_le> sim(p, graph, std::move(initial),
+                                               opt.seed);
+    std::cout << "t=0.0: " << summarize_configuration(p, sim.agents())
+              << '\n';
+    const bool done = sim.run_until(
+        [&](const graph_simulation<loose_stabilizing_le>& s) {
+          return s.protocol().leader_count(s.agents()) == 1;
+        },
+        static_cast<std::uint64_t>(opt.max_time *
+                                   static_cast<double>(opt.n)));
+    std::cout << "t=" << sim.parallel_time() << ": "
+              << summarize_configuration(p, sim.agents()) << '\n';
+    return done ? 0 : 1;
+  }
+  usage("unknown protocol: " + opt.protocol);
+}
