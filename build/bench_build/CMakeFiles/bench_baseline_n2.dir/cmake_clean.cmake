@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_n2"
+  "../bench/bench_baseline_n2.pdb"
+  "CMakeFiles/bench_baseline_n2.dir/bench_baseline_n2.cpp.o"
+  "CMakeFiles/bench_baseline_n2.dir/bench_baseline_n2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_n2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

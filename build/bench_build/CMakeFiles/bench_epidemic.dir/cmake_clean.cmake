@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_epidemic"
+  "../bench/bench_epidemic.pdb"
+  "CMakeFiles/bench_epidemic.dir/bench_epidemic.cpp.o"
+  "CMakeFiles/bench_epidemic.dir/bench_epidemic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

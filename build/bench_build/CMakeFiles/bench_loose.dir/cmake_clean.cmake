@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_loose"
+  "../bench/bench_loose.pdb"
+  "CMakeFiles/bench_loose.dir/bench_loose.cpp.o"
+  "CMakeFiles/bench_loose.dir/bench_loose.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

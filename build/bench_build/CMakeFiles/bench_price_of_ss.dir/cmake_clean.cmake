@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_price_of_ss"
+  "../bench/bench_price_of_ss.pdb"
+  "CMakeFiles/bench_price_of_ss.dir/bench_price_of_ss.cpp.o"
+  "CMakeFiles/bench_price_of_ss.dir/bench_price_of_ss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_price_of_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

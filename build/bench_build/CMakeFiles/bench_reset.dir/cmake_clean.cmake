@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reset"
+  "../bench/bench_reset.pdb"
+  "CMakeFiles/bench_reset.dir/bench_reset.cpp.o"
+  "CMakeFiles/bench_reset.dir/bench_reset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

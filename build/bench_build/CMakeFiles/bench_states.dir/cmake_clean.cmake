@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_states"
+  "../bench/bench_states.pdb"
+  "CMakeFiles/bench_states.dir/bench_states.cpp.o"
+  "CMakeFiles/bench_states.dir/bench_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tradeoff_h"
+  "../bench/bench_tradeoff_h.pdb"
+  "CMakeFiles/bench_tradeoff_h.dir/bench_tradeoff_h.cpp.o"
+  "CMakeFiles/bench_tradeoff_h.dir/bench_tradeoff_h.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whp"
+  "../bench/bench_whp.pdb"
+  "CMakeFiles/bench_whp.dir/bench_whp.cpp.o"
+  "CMakeFiles/bench_whp.dir/bench_whp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

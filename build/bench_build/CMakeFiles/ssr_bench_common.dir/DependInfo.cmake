@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench_build/CMakeFiles/ssr_bench_common.dir/common.cpp.o" "gcc" "bench_build/CMakeFiles/ssr_bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

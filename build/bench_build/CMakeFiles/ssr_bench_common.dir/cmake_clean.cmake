@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ssr_bench_common.dir/common.cpp.o.d"
+  "libssr_bench_common.a"
+  "libssr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/composition.cpp" "examples/CMakeFiles/composition.dir/composition.cpp.o" "gcc" "examples/CMakeFiles/composition.dir/composition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_trajectory.dir/convergence_trajectory.cpp.o"
+  "CMakeFiles/convergence_trajectory.dir/convergence_trajectory.cpp.o.d"
+  "convergence_trajectory"
+  "convergence_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_tree_ranking.dir/figure1_tree_ranking.cpp.o"
+  "CMakeFiles/figure1_tree_ranking.dir/figure1_tree_ranking.cpp.o.d"
+  "figure1_tree_ranking"
+  "figure1_tree_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_tree_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_history_trees.dir/figure2_history_trees.cpp.o"
+  "CMakeFiles/figure2_history_trees.dir/figure2_history_trees.cpp.o.d"
+  "figure2_history_trees"
+  "figure2_history_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_history_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublinear_pipeline.dir/sublinear_pipeline.cpp.o"
+  "CMakeFiles/sublinear_pipeline.dir/sublinear_pipeline.cpp.o.d"
+  "sublinear_pipeline"
+  "sublinear_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublinear_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

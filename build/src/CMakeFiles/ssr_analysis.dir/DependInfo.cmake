@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ks_test.cpp" "src/CMakeFiles/ssr_analysis.dir/analysis/ks_test.cpp.o" "gcc" "src/CMakeFiles/ssr_analysis.dir/analysis/ks_test.cpp.o.d"
+  "/root/repo/src/analysis/regression.cpp" "src/CMakeFiles/ssr_analysis.dir/analysis/regression.cpp.o" "gcc" "src/CMakeFiles/ssr_analysis.dir/analysis/regression.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/CMakeFiles/ssr_analysis.dir/analysis/statistics.cpp.o" "gcc" "src/CMakeFiles/ssr_analysis.dir/analysis/statistics.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/CMakeFiles/ssr_analysis.dir/analysis/table.cpp.o" "gcc" "src/CMakeFiles/ssr_analysis.dir/analysis/table.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/CMakeFiles/ssr_analysis.dir/analysis/timeseries.cpp.o" "gcc" "src/CMakeFiles/ssr_analysis.dir/analysis/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_analysis.dir/analysis/ks_test.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/analysis/ks_test.cpp.o.d"
+  "CMakeFiles/ssr_analysis.dir/analysis/regression.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/analysis/regression.cpp.o.d"
+  "CMakeFiles/ssr_analysis.dir/analysis/statistics.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/analysis/statistics.cpp.o.d"
+  "CMakeFiles/ssr_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/analysis/table.cpp.o.d"
+  "CMakeFiles/ssr_analysis.dir/analysis/timeseries.cpp.o"
+  "CMakeFiles/ssr_analysis.dir/analysis/timeseries.cpp.o.d"
+  "libssr_analysis.a"
+  "libssr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_cli.dir/__/tools/ssr_cli.cpp.o"
+  "CMakeFiles/ssr_cli.dir/__/tools/ssr_cli.cpp.o.d"
+  "ssr_cli"
+  "ssr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pp/continuous_time.cpp" "src/CMakeFiles/ssr_pp.dir/pp/continuous_time.cpp.o" "gcc" "src/CMakeFiles/ssr_pp.dir/pp/continuous_time.cpp.o.d"
+  "/root/repo/src/pp/graph.cpp" "src/CMakeFiles/ssr_pp.dir/pp/graph.cpp.o" "gcc" "src/CMakeFiles/ssr_pp.dir/pp/graph.cpp.o.d"
+  "/root/repo/src/pp/scheduler.cpp" "src/CMakeFiles/ssr_pp.dir/pp/scheduler.cpp.o" "gcc" "src/CMakeFiles/ssr_pp.dir/pp/scheduler.cpp.o.d"
+  "/root/repo/src/pp/trial.cpp" "src/CMakeFiles/ssr_pp.dir/pp/trial.cpp.o" "gcc" "src/CMakeFiles/ssr_pp.dir/pp/trial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

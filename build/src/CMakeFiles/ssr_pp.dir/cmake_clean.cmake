@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_pp.dir/pp/continuous_time.cpp.o"
+  "CMakeFiles/ssr_pp.dir/pp/continuous_time.cpp.o.d"
+  "CMakeFiles/ssr_pp.dir/pp/graph.cpp.o"
+  "CMakeFiles/ssr_pp.dir/pp/graph.cpp.o.d"
+  "CMakeFiles/ssr_pp.dir/pp/scheduler.cpp.o"
+  "CMakeFiles/ssr_pp.dir/pp/scheduler.cpp.o.d"
+  "CMakeFiles/ssr_pp.dir/pp/trial.cpp.o"
+  "CMakeFiles/ssr_pp.dir/pp/trial.cpp.o.d"
+  "libssr_pp.a"
+  "libssr_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_processes.dir/processes/analytic.cpp.o"
+  "CMakeFiles/ssr_processes.dir/processes/analytic.cpp.o.d"
+  "CMakeFiles/ssr_processes.dir/processes/bounded_epidemic.cpp.o"
+  "CMakeFiles/ssr_processes.dir/processes/bounded_epidemic.cpp.o.d"
+  "CMakeFiles/ssr_processes.dir/processes/epidemic.cpp.o"
+  "CMakeFiles/ssr_processes.dir/processes/epidemic.cpp.o.d"
+  "CMakeFiles/ssr_processes.dir/processes/roll_call.cpp.o"
+  "CMakeFiles/ssr_processes.dir/processes/roll_call.cpp.o.d"
+  "libssr_processes.a"
+  "libssr_processes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

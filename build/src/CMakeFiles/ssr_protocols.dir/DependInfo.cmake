@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/adversary.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/adversary.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/adversary.cpp.o.d"
+  "/root/repo/src/protocols/describe.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/describe.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/describe.cpp.o.d"
+  "/root/repo/src/protocols/history_tree.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/history_tree.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/history_tree.cpp.o.d"
+  "/root/repo/src/protocols/initialized_ranking.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/initialized_ranking.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/initialized_ranking.cpp.o.d"
+  "/root/repo/src/protocols/loose_stabilizing.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/loose_stabilizing.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/loose_stabilizing.cpp.o.d"
+  "/root/repo/src/protocols/names.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/names.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/names.cpp.o.d"
+  "/root/repo/src/protocols/optimal_silent.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/optimal_silent.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/optimal_silent.cpp.o.d"
+  "/root/repo/src/protocols/serialize.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/serialize.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/serialize.cpp.o.d"
+  "/root/repo/src/protocols/silent_n_state.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/silent_n_state.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/silent_n_state.cpp.o.d"
+  "/root/repo/src/protocols/state_space.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/state_space.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/state_space.cpp.o.d"
+  "/root/repo/src/protocols/sublinear.cpp" "src/CMakeFiles/ssr_protocols.dir/protocols/sublinear.cpp.o" "gcc" "src/CMakeFiles/ssr_protocols.dir/protocols/sublinear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

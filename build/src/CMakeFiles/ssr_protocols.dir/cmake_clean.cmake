@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_protocols.dir/protocols/adversary.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/adversary.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/describe.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/describe.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/history_tree.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/history_tree.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/initialized_ranking.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/initialized_ranking.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/loose_stabilizing.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/loose_stabilizing.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/names.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/names.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/optimal_silent.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/optimal_silent.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/serialize.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/serialize.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/silent_n_state.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/silent_n_state.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/state_space.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/state_space.cpp.o.d"
+  "CMakeFiles/ssr_protocols.dir/protocols/sublinear.cpp.o"
+  "CMakeFiles/ssr_protocols.dir/protocols/sublinear.cpp.o.d"
+  "libssr_protocols.a"
+  "libssr_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_verify.dir/verify/smc.cpp.o"
+  "CMakeFiles/ssr_verify.dir/verify/smc.cpp.o.d"
+  "libssr_verify.a"
+  "libssr_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

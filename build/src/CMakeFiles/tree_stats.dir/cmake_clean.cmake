@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_stats.dir/__/tools/tree_stats.cpp.o"
+  "CMakeFiles/tree_stats.dir/__/tools/tree_stats.cpp.o.d"
+  "tree_stats"
+  "tree_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

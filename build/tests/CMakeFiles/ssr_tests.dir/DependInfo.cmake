@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accelerated_test.cpp" "tests/CMakeFiles/ssr_tests.dir/accelerated_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/accelerated_test.cpp.o.d"
+  "/root/repo/tests/adversary_test.cpp" "tests/CMakeFiles/ssr_tests.dir/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/adversary_test.cpp.o.d"
+  "/root/repo/tests/continuous_time_test.cpp" "tests/CMakeFiles/ssr_tests.dir/continuous_time_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/continuous_time_test.cpp.o.d"
+  "/root/repo/tests/convergence_test.cpp" "tests/CMakeFiles/ssr_tests.dir/convergence_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/convergence_test.cpp.o.d"
+  "/root/repo/tests/describe_test.cpp" "tests/CMakeFiles/ssr_tests.dir/describe_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/describe_test.cpp.o.d"
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/ssr_tests.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/ssr_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/history_tree_fuzz_test.cpp" "tests/CMakeFiles/ssr_tests.dir/history_tree_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/history_tree_fuzz_test.cpp.o.d"
+  "/root/repo/tests/history_tree_test.cpp" "tests/CMakeFiles/ssr_tests.dir/history_tree_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/history_tree_test.cpp.o.d"
+  "/root/repo/tests/initialized_ranking_test.cpp" "tests/CMakeFiles/ssr_tests.dir/initialized_ranking_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/initialized_ranking_test.cpp.o.d"
+  "/root/repo/tests/initialized_test.cpp" "tests/CMakeFiles/ssr_tests.dir/initialized_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/initialized_test.cpp.o.d"
+  "/root/repo/tests/invariants_test.cpp" "tests/CMakeFiles/ssr_tests.dir/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/invariants_test.cpp.o.d"
+  "/root/repo/tests/ks_test_test.cpp" "tests/CMakeFiles/ssr_tests.dir/ks_test_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/ks_test_test.cpp.o.d"
+  "/root/repo/tests/loose_stabilizing_test.cpp" "tests/CMakeFiles/ssr_tests.dir/loose_stabilizing_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/loose_stabilizing_test.cpp.o.d"
+  "/root/repo/tests/names_test.cpp" "tests/CMakeFiles/ssr_tests.dir/names_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/names_test.cpp.o.d"
+  "/root/repo/tests/optimal_silent_test.cpp" "tests/CMakeFiles/ssr_tests.dir/optimal_silent_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/optimal_silent_test.cpp.o.d"
+  "/root/repo/tests/processes_test.cpp" "tests/CMakeFiles/ssr_tests.dir/processes_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/processes_test.cpp.o.d"
+  "/root/repo/tests/propagate_reset_test.cpp" "tests/CMakeFiles/ssr_tests.dir/propagate_reset_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/propagate_reset_test.cpp.o.d"
+  "/root/repo/tests/property_stabilization_test.cpp" "tests/CMakeFiles/ssr_tests.dir/property_stabilization_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/property_stabilization_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/ssr_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/ssr_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/ssr_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/ssr_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/silent_n_state_test.cpp" "tests/CMakeFiles/ssr_tests.dir/silent_n_state_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/silent_n_state_test.cpp.o.d"
+  "/root/repo/tests/simulation_test.cpp" "tests/CMakeFiles/ssr_tests.dir/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/simulation_test.cpp.o.d"
+  "/root/repo/tests/smc_test.cpp" "tests/CMakeFiles/ssr_tests.dir/smc_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/smc_test.cpp.o.d"
+  "/root/repo/tests/ssle_integration_test.cpp" "tests/CMakeFiles/ssr_tests.dir/ssle_integration_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/ssle_integration_test.cpp.o.d"
+  "/root/repo/tests/state_space_test.cpp" "tests/CMakeFiles/ssr_tests.dir/state_space_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/state_space_test.cpp.o.d"
+  "/root/repo/tests/statistics_test.cpp" "tests/CMakeFiles/ssr_tests.dir/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/statistics_test.cpp.o.d"
+  "/root/repo/tests/sublinear_test.cpp" "tests/CMakeFiles/ssr_tests.dir/sublinear_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/sublinear_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/ssr_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/timeseries_test.cpp" "tests/CMakeFiles/ssr_tests.dir/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/timeseries_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/ssr_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trial_test.cpp" "tests/CMakeFiles/ssr_tests.dir/trial_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/trial_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/ssr_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/ssr_tests.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_processes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
