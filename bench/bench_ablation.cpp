@@ -25,7 +25,6 @@
 #include "analysis/table.hpp"
 #include "common.hpp"
 #include "pp/convergence.hpp"
-#include "pp/simulation.hpp"
 #include "pp/trial.hpp"
 
 namespace {
@@ -43,7 +42,8 @@ struct optimal_run {
 optimal_run optimal_run_with(std::uint32_t n,
                              const optimal_silent_ssr::tuning& t,
                              optimal_silent_scenario scenario,
-                             std::size_t trials, std::uint64_t seed) {
+                             std::size_t trials, std::uint64_t seed,
+                             engine_kind engine) {
   std::vector<double> times(trials), losses(trials);
   parallel_for_index(trials, [&](std::size_t i) {
     optimal_silent_ssr p(n, t);
@@ -52,8 +52,8 @@ optimal_run optimal_run_with(std::uint32_t n,
     convergence_options opt;
     opt.max_parallel_time = 1e7;
     const auto r =
-        measure_convergence(p, std::move(init), derive_seed(seed ^ 0xff, i),
-                            opt);
+        measure_convergence_with(engine, p, std::move(init),
+                                 derive_seed(seed ^ 0xff, i), opt);
     times[i] = r.converged ? r.convergence_time : opt.max_parallel_time;
     losses[i] = r.correctness_losses;
   });
@@ -62,9 +62,10 @@ optimal_run optimal_run_with(std::uint32_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E8: bench_ablation", "design-choice ablations (DESIGN.md §2)",
          "constants hidden in the paper's Theta() terms, made explicit");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   const std::uint32_t n = 64;
 
@@ -77,9 +78,11 @@ int main() {
       auto params = optimal_silent_ssr::tuning::defaults(n);
       params.e_max = factor * n;
       const auto clean = optimal_run_with(
-          n, params, optimal_silent_scenario::valid_ranking, 30, 100 + factor);
+          n, params, optimal_silent_scenario::valid_ranking, 30, 100 + factor,
+          engine);
       const auto noleader = optimal_run_with(
-          n, params, optimal_silent_scenario::no_leader, 30, 200 + factor);
+          n, params, optimal_silent_scenario::no_leader, 30, 200 + factor,
+          engine);
       t.add_row({std::to_string(factor) + "n",
                  format_fixed(clean.time, 1),
                  format_fixed(clean.losses, 2),
@@ -105,7 +108,7 @@ int main() {
       params.d_max = factor * n;
       const auto run = optimal_run_with(
           n, params, optimal_silent_scenario::all_unsettled_expired, 30,
-          300 + factor);
+          300 + factor, engine);
       t.add_row({std::to_string(factor) + "n", format_fixed(run.time, 1),
                  format_fixed(static_cast<double>(n - 1) * (n - 1) / n, 1)});
     }
@@ -140,19 +143,31 @@ int main() {
         rng_t rng(derive_seed(400, trial));
         auto init = adversarial_configuration(
             p, sublinear_scenario::valid_ranking, rng);
-        simulation<sublinear_time_ssr> sim(p, std::move(init),
-                                           derive_seed(401, trial));
-        bool reset_seen = false;
-        for (int step = 0; step < 20000; ++step) {
-          sim.step();
-          if (step % 500 == 0) {
-            for (const auto& s : sim.agents()) {
+        // Scan the population every 500 interactions for 20k interactions;
+        // any non-collecting role from this clean start is a false positive.
+        const auto probe = [&](auto& eng) {
+          bool reset_seen = false;
+          while (eng.interactions() < 20000) {
+            eng.run(eng.interactions() + 500, [](const agent_pair&) {},
+                    [](const agent_pair&, bool) { return false; });
+            for (const auto& s : eng.agents()) {
               if (s.role == sublinear_time_ssr::role_t::collecting)
                 max_nodes = std::max(max_nodes, s.tree.node_count());
               else
                 reset_seen = true;
             }
           }
+          return reset_seen;
+        };
+        bool reset_seen = false;
+        if (engine == engine_kind::direct) {
+          direct_engine<sublinear_time_ssr> eng(p, std::move(init),
+                                                derive_seed(401, trial));
+          reset_seen = probe(eng);
+        } else {
+          batched_engine<sublinear_time_ssr> eng(p, std::move(init),
+                                                 derive_seed(401, trial));
+          reset_seen = probe(eng);
         }
         false_positives += reset_seen ? 1 : 0;
       }
@@ -185,8 +200,8 @@ int main() {
         convergence_options opt;
         opt.max_parallel_time = 1e7;
         opt.confirm_parallel_time = 30.0;
-        times[i] = measure_convergence(p, std::move(init),
-                                       derive_seed(501, i), opt)
+        times[i] = measure_convergence_with(engine, p, std::move(init),
+                                            derive_seed(501, i), opt)
                        .convergence_time;
       });
       t.add_row({std::to_string(params.r_max) + " (" +

@@ -12,21 +12,22 @@
 #include "analysis/table.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   using namespace ssr::bench;
 
   banner("E5: bench_baseline_n2", "Section 2 (baseline time analysis)",
          "Theta(n^2) from the lower-bound configuration and from random "
          "configurations");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   std::vector<double> ns, lb_means, rnd_means;
   text_table t({"n", "trials", "lower-bound start: mean ± ci", "t/n^2",
                 "random start: mean ± ci", "t/n^2"});
   for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
     const std::size_t trials = n <= 1024 ? 100 : 40;
-    const auto lb = baseline_lower_bound_times(n, trials, 5 + n);
-    const auto rnd = baseline_times(n, trials, 17 + n);
+    const auto lb = baseline_lower_bound_times(n, trials, 5 + n, engine);
+    const auto rnd = baseline_times(n, trials, 17 + n, engine);
     const summary ls = summarize(lb);
     const summary rs = summarize(rnd);
     const double n2 = static_cast<double>(n) * n;

@@ -1,0 +1,143 @@
+// E15 -- head-to-head engine scaling: simulated interactions per second of
+// the direct and batched engines at n = 10^3 .. 10^6.
+//
+// The quantity that matters for experiment sizing is *simulated*
+// interactions per wall-clock second: the batched engine advances the same
+// stochastic process (distribution-equivalence is tested in
+// tests/engine_equivalence_test.cpp) but skips whole geometric runs of
+// certainly-null interactions for batch-countable protocols, so its
+// simulated rate grows with the null fraction -- dramatic near silence,
+// where almost every sampled pair is settled/settled with distinct ranks.
+// Each cell below is time-boxed: the engine runs from an adversarial start
+// in growing chunks until the time budget is spent (restarting from a fresh
+// adversarial configuration if it reaches quiescence), and reports
+// simulated-interactions / elapsed-seconds.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "pp/engine.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace {
+
+using namespace ssr;
+using namespace ssr::bench;
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Runs engines produced by `make` for ~`budget_seconds` of wall-clock time
+/// and returns simulated interactions per second.  Chunks double while they
+/// finish quickly so that clock reads never dominate, which matters once
+/// the count engine skips millions of nulls per executed interaction.
+template <class MakeEngine>
+double interactions_per_second(MakeEngine make, double budget_seconds) {
+  auto eng = make();
+  std::uint64_t total = 0;
+  std::uint64_t chunk = std::uint64_t{1} << 14;
+  const auto start = clock_type::now();
+  double elapsed = 0.0;
+  while (elapsed < budget_seconds) {
+    const std::uint64_t before = eng.interactions();
+    eng.run(before + chunk, [](const agent_pair&) {},
+            [](const agent_pair&, bool) { return false; });
+    const double chunk_seconds = seconds_since(start) - elapsed;
+    elapsed += chunk_seconds;
+    if (eng.quiescent()) {
+      // A quiescent count engine consumes the rest of the chunk budget as
+      // one free jump (every remaining interaction is null); counting that
+      // tail would measure skipping of a dead configuration, not
+      // simulation.  Discard the chunk and restart from a fresh start.
+      total += before;
+      eng = make();
+      continue;
+    }
+    if (chunk_seconds < 5e-3 && chunk < (std::uint64_t{1} << 40)) chunk *= 2;
+  }
+  total += eng.interactions();
+  return static_cast<double>(total) / elapsed;
+}
+
+template <class P, class MakeConfig>
+void scaling_table(const char* title, MakeConfig make_config,
+                   double budget_seconds) {
+  std::cout << "\n" << title << " (time box " << format_fixed(budget_seconds, 1)
+            << " s per cell):\n";
+  text_table t({"n", "direct inter/s", "batched inter/s", "speedup"});
+  for (const std::uint32_t n : {1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    std::uint64_t seed = 9000 + n;
+    const auto direct_rate = interactions_per_second(
+        [&] {
+          P p(n);
+          rng_t rng(++seed);
+          auto init = make_config(p, rng);
+          return direct_engine<P>(p, std::move(init), ++seed);
+        },
+        budget_seconds);
+    const auto batched_rate = interactions_per_second(
+        [&] {
+          P p(n);
+          rng_t rng(++seed);
+          auto init = make_config(p, rng);
+          return batched_engine<P>(p, std::move(init), ++seed);
+        },
+        budget_seconds);
+    t.add_row({std::to_string(n), format_count(direct_rate),
+               format_count(batched_rate),
+               format_fixed(batched_rate / direct_rate, 1) + "x"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  banner("E15: bench_engine_scaling",
+         "implementation measurement (no paper counterpart)",
+         "the batched engine's geometric null-skipping buys orders of "
+         "magnitude in simulated interactions/sec as n grows");
+  engine_from_args(argc, argv);
+  std::cout << "(this bench always measures both engines; the flag selects "
+               "nothing here)\n";
+
+  scaling_table<silent_n_state_ssr>(
+      "Silent-n-state-SSR, uniform random ranks",
+      [](const silent_n_state_ssr& p, rng_t& rng) {
+        return adversarial_configuration(p, rng);
+      },
+      0.3);
+
+  scaling_table<optimal_silent_ssr>(
+      "Optimal-Silent-SSR, uniform random start",
+      [](const optimal_silent_ssr& p, rng_t& rng) {
+        return adversarial_configuration(
+            p, optimal_silent_scenario::uniform_random, rng);
+      },
+      0.3);
+
+  std::cout << "\nInterpretation: the direct engine's rate is flat in n "
+               "(every interaction costs one\nRNG draw + one transition), "
+               "while the batched rate scales with n(n-1)/W -- the\n"
+               "expected run of certainly-null pairs per maybe-active one.  "
+               "The baseline's random\nstart has W ~ n, so whole Theta(n) "
+               "null runs collapse into one geometric draw and\nan "
+               "O(log n) count update; this is what makes the n >= 10^6 "
+               "regime reachable at\nall.  Optimal-Silent's uniform-random "
+               "start is the honest contrast: most agents\nstart Unsettled "
+               "(volatile), nothing is certainly null, and the count "
+               "engine's\nindexing overhead buys nothing until the "
+               "population is largely settled."
+            << std::endl;
+  return 0;
+}

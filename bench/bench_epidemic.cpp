@@ -16,13 +16,18 @@
 #include "processes/epidemic.hpp"
 #include "processes/roll_call.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   using namespace ssr::bench;
 
   banner("E6: bench_epidemic", "Section 2 (probabilistic tools) + Sec. 1.1",
          "epidemic Theta(log n); roll call ~1.5x epidemic; "
          "E[tau_k] = O(k n^{1/k})");
+  const engine_kind engine = engine_from_args(argc, argv);
+  if (engine == engine_kind::batched) {
+    std::cout << "(note: the tool processes have their own specialized "
+                 "simulators; the flag\n selects nothing here)\n";
+  }
 
   {
     std::cout << "\nTwo-way epidemic vs roll call:\n";

@@ -31,41 +31,54 @@ struct loose_outcome {
 };
 
 loose_outcome run_once(std::uint32_t n, std::uint32_t t_max,
-                       std::uint64_t seed, double holding_cap) {
+                       std::uint64_t seed, double holding_cap,
+                       engine_kind kind) {
   loose_stabilizing_le p(n, t_max);
-  auto agents = p.dead_configuration();
-  rng_t rng(seed);
-  std::uint64_t steps = 0;
 
-  auto leaders = [&] { return p.leader_count(agents); };
-  while (leaders() != 1) {
-    const agent_pair pair = sample_pair(rng, n);
-    p.interact(agents[pair.initiator], agents[pair.responder], rng);
-    ++steps;
-  }
-  loose_outcome out;
-  out.convergence = static_cast<double>(steps) / n;
+  const auto drive = [&](auto& eng) {
+    loose_outcome out;
+    const auto leaders = [&] { return p.leader_count(eng.agents()); };
+    // The leader count only moves on a state change, so unchanged
+    // interactions need no rescan.
+    if (leaders() != 1) {
+      eng.run(
+          UINT64_MAX, [](const agent_pair&) {},
+          [&](const agent_pair&, bool changed) {
+            return changed && leaders() == 1;
+          });
+    }
+    const std::uint64_t conv_steps = eng.interactions();
+    out.convergence = static_cast<double>(conv_steps) / n;
 
-  const auto cap =
-      static_cast<std::uint64_t>(holding_cap * static_cast<double>(n));
-  std::uint64_t held = 0;
-  while (held < cap && leaders() == 1) {
-    const agent_pair pair = sample_pair(rng, n);
-    p.interact(agents[pair.initiator], agents[pair.responder], rng);
-    ++held;
+    const auto cap =
+        static_cast<std::uint64_t>(holding_cap * static_cast<double>(n));
+    eng.run(
+        conv_steps + cap, [](const agent_pair&) {},
+        [&](const agent_pair&, bool changed) {
+          return changed && leaders() != 1;
+        });
+    const std::uint64_t held = eng.interactions() - conv_steps;
+    out.holding = static_cast<double>(held) / n;
+    out.held_to_cap = held >= cap;
+    return out;
+  };
+
+  if (kind == engine_kind::direct) {
+    direct_engine<loose_stabilizing_le> eng(p, p.dead_configuration(), seed);
+    return drive(eng);
   }
-  out.holding = static_cast<double>(held) / n;
-  out.held_to_cap = held >= cap;
-  return out;
+  batched_engine<loose_stabilizing_le> eng(p, p.dead_configuration(), seed);
+  return drive(eng);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E11: bench_loose",
          "loose stabilization (Sections 1 and 6; Sudo et al. [56])",
          "Theta(log n) states buy fast convergence but only a finite "
          "holding time, exponential in the timeout constant");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   const std::uint32_t n = 64;
   const double log2n = std::log2(static_cast<double>(n));
@@ -80,7 +93,7 @@ int main() {
     int capped = 0;
     for (std::size_t i = 0; i < trials; ++i) {
       const auto out = run_once(n, t_max, derive_seed(42 + t_max, i),
-                                holding_cap);
+                                holding_cap, engine);
       conv[i] = out.convergence;
       hold[i] = out.holding;
       capped += out.held_to_cap ? 1 : 0;

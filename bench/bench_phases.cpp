@@ -39,12 +39,11 @@ struct phase_breakdown {
 };
 
 phase_breakdown run_phases(std::uint32_t n, optimal_silent_scenario scenario,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, engine_kind kind) {
   optimal_silent_ssr p(n);
   rng_t scenario_rng(seed ^ 0x1234);
   std::vector<state_t> agents = adversarial_configuration(p, scenario,
                                                           scenario_rng);
-  rng_t rng(seed);
 
   // Incremental phase counters.
   auto resetting = [](const state_t& s) { return s.role == role_t::resetting; };
@@ -62,43 +61,68 @@ phase_breakdown run_phases(std::uint32_t n, optimal_silent_scenario scenario,
   phase_breakdown out;
   double t_trigger = -1.0, t_dormant = -1.0, t_awake = -1.0;
   bool was_fully_dormant = num_dormant == static_cast<std::int64_t>(n);
-  std::uint64_t steps = 0;
   const std::uint64_t cap = static_cast<std::uint64_t>(1e6) * n;
 
-  while (!tracker.correct() && steps < cap) {
-    const agent_pair pair = sample_pair(rng, n);
-    state_t& a = agents[pair.initiator];
-    state_t& b = agents[pair.responder];
-    const int reset_before = (resetting(a) ? 1 : 0) + (resetting(b) ? 1 : 0);
-    const int dorm_before = (dormant(a) ? 1 : 0) + (dormant(b) ? 1 : 0);
-    const auto ra = p.rank_of(a);
-    const auto rb = p.rank_of(b);
-    p.interact(a, b, rng);
-    ++steps;
-    tracker.update(ra, p.rank_of(a));
-    tracker.update(rb, p.rank_of(b));
-    num_resetting +=
-        (resetting(a) ? 1 : 0) + (resetting(b) ? 1 : 0) - reset_before;
-    num_dormant += (dormant(a) ? 1 : 0) + (dormant(b) ? 1 : 0) - dorm_before;
+  // Phase markers are sampled at surfaced interactions.  Counters only move
+  // on state changes, which every engine surfaces; the batched engine's
+  // certainly-null skips (settled/settled pairs of distinct ranks) can defer
+  // a marker only by the geometric gap to the next maybe-active pair, which
+  // involves a resetting (hence volatile) agent whenever a marker condition
+  // is live -- o(1) parallel time at these n.
+  const auto drive = [&](auto& eng) {
+    if (tracker.correct()) return;
+    int reset_before = 0, dorm_before = 0;
+    std::uint32_t ra = 0, rb = 0;
+    eng.run(
+        cap,
+        [&](const agent_pair& pair) {
+          const auto& a = eng.agents()[pair.initiator];
+          const auto& b = eng.agents()[pair.responder];
+          reset_before = (resetting(a) ? 1 : 0) + (resetting(b) ? 1 : 0);
+          dorm_before = (dormant(a) ? 1 : 0) + (dormant(b) ? 1 : 0);
+          ra = p.rank_of(a);
+          rb = p.rank_of(b);
+        },
+        [&](const agent_pair& pair, bool changed) {
+          const auto& a = eng.agents()[pair.initiator];
+          const auto& b = eng.agents()[pair.responder];
+          if (changed) {
+            tracker.update(ra, p.rank_of(a));
+            tracker.update(rb, p.rank_of(b));
+            num_resetting +=
+                (resetting(a) ? 1 : 0) + (resetting(b) ? 1 : 0) - reset_before;
+            num_dormant +=
+                (dormant(a) ? 1 : 0) + (dormant(b) ? 1 : 0) - dorm_before;
+          }
+          const double t = eng.parallel_time();
+          if (t_trigger < 0 && num_resetting > 0) t_trigger = t;
+          const bool fully_dormant =
+              num_dormant == static_cast<std::int64_t>(n);
+          if (fully_dormant && !was_fully_dormant) {
+            ++out.reset_rounds;
+            if (t_dormant < 0) t_dormant = t;
+          }
+          // First awakening: a computing agent appears after a fully dormant
+          // episode was seen.
+          if (t_awake < 0 && t_dormant >= 0 &&
+              num_resetting < static_cast<std::int64_t>(n)) {
+            t_awake = t;
+          }
+          was_fully_dormant = fully_dormant;
+          return tracker.correct();
+        });
+    out.total = eng.parallel_time();
+  };
 
-    const double t = static_cast<double>(steps) / n;
-    if (t_trigger < 0 && num_resetting > 0) t_trigger = t;
-    const bool fully_dormant = num_dormant == static_cast<std::int64_t>(n);
-    if (fully_dormant && !was_fully_dormant) {
-      ++out.reset_rounds;
-      if (t_dormant < 0) t_dormant = t;
-    }
-    // First awakening: a computing agent appears after a fully dormant
-    // episode was seen.
-    if (t_awake < 0 && t_dormant >= 0 &&
-        num_resetting < static_cast<std::int64_t>(n)) {
-      t_awake = t;
-    }
-    was_fully_dormant = fully_dormant;
+  if (kind == engine_kind::direct) {
+    direct_engine<optimal_silent_ssr> eng(p, std::move(agents), seed);
+    drive(eng);
+  } else {
+    batched_engine<optimal_silent_ssr> eng(p, std::move(agents), seed);
+    drive(eng);
   }
 
   out.converged = tracker.correct();
-  out.total = static_cast<double>(steps) / n;
   if (t_trigger >= 0) {
     out.detect = t_trigger;
     if (t_dormant >= 0) {
@@ -116,10 +140,11 @@ phase_breakdown run_phases(std::uint32_t n, optimal_silent_scenario scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E13: bench_phases", "Section 4 (proof-stage decomposition)",
          "detect O(n) + drain O(log n) + dormant O(n) + rank O(n), with a "
          "constant expected number of reset rounds");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   for (const auto scenario : {optimal_silent_scenario::duplicated_ranks,
                               optimal_silent_scenario::no_leader,
@@ -132,7 +157,7 @@ int main() {
       std::vector<double> detect(trials), drain(trials), dormantv(trials),
           rank(trials), total(trials), rounds(trials);
       parallel_for_index(trials, [&](std::size_t i) {
-        const auto r = run_phases(n, scenario, derive_seed(5 + n, i));
+        const auto r = run_phases(n, scenario, derive_seed(5 + n, i), engine);
         detect[i] = r.detect;
         drain[i] = r.drain;
         dormantv[i] = r.dormant;

@@ -53,18 +53,19 @@ double optimal_clean_mean(std::uint32_t n, std::size_t trials,
 }
 
 double optimal_adversarial_mean(std::uint32_t n, std::size_t trials,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, engine_kind engine) {
   const auto times = optimal_silent_times(
-      n, trials, seed, optimal_silent_scenario::uniform_random);
+      n, trials, seed, optimal_silent_scenario::uniform_random, engine);
   return summarize(times).mean;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E12: bench_price_of_ss", "Conclusion (initialized ranking)",
          "the same Theta(n) tree ranking, with and without the "
          "self-stabilization machinery");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   text_table t({"n", "initialized (3n+1 states)", "t/n",
                 "optimal-silent, clean start", "t/n",
@@ -73,7 +74,7 @@ int main() {
     const std::size_t trials = n <= 256 ? 40 : 20;
     const double init = initialized_mean(n, trials, 3 + n);
     const double clean = optimal_clean_mean(n, trials, 17 + n);
-    const double adv = optimal_adversarial_mean(n, trials, 31 + n);
+    const double adv = optimal_adversarial_mean(n, trials, 31 + n, engine);
     t.add_row({std::to_string(n), format_fixed(init, 1),
                format_fixed(init / n, 3), format_fixed(clean, 1),
                format_fixed(clean / n, 3), format_fixed(adv, 1),

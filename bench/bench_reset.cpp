@@ -39,58 +39,91 @@ struct toy_hooks {
   }
 };
 
+// The toy harness packaged as a population protocol so the run can be
+// driven by either simulation engine.  interact() reports "changed"
+// whenever a resetting agent took part -- conservative (countdown ticks
+// always mutate state anyway) and enough for the incremental counters.
+struct toy_reset_protocol {
+  using agent_state = toy_agent;
+
+  std::uint32_t n;
+  reset_params params;
+
+  std::uint32_t population_size() const { return n; }
+  bool interact(toy_agent& x, toy_agent& y, rng_t&) const {
+    if (!x.resetting && !y.resetting) return false;
+    propagate_reset(x, y, params, toy_hooks{});
+    return true;
+  }
+};
+
 struct reset_run {
   double completion_time = 0.0;
   double dormant_time = 0.0;  // first fully dormant configuration
   bool clean = true;          // every agent reset exactly once
 };
 
-reset_run run_reset(std::uint32_t n, std::uint64_t seed) {
+reset_run run_reset(std::uint32_t n, std::uint64_t seed, engine_kind kind) {
   std::vector<toy_agent> agents(n);
   const reset_params params{default_r_max(n), default_r_max(n) + 8};
   trigger_reset(agents[0], params, toy_hooks{});
+  const toy_reset_protocol p{n, params};
 
-  rng_t rng(seed);
   reset_run out;
-  std::uint64_t steps = 0;
-  bool seen_dormant = false;
 
   // Phase counters maintained incrementally: a full scan per step would
   // make the n = 8192 sweep quadratic.
   auto is_dormant = [](const toy_agent& a) {
     return a.resetting && a.reset.resetcount == 0;
   };
-  std::int64_t resetting = 1, dormant = 0;
 
-  while (resetting > 0) {
-    const agent_pair pr = sample_pair(rng, n);
-    toy_agent& x = agents[pr.initiator];
-    toy_agent& y = agents[pr.responder];
-    if (x.resetting || y.resetting) {
-      const int reset_before = (x.resetting ? 1 : 0) + (y.resetting ? 1 : 0);
-      const int dorm_before = (is_dormant(x) ? 1 : 0) + (is_dormant(y) ? 1 : 0);
-      propagate_reset(x, y, params, toy_hooks{});
-      const int reset_after = (x.resetting ? 1 : 0) + (y.resetting ? 1 : 0);
-      const int dorm_after = (is_dormant(x) ? 1 : 0) + (is_dormant(y) ? 1 : 0);
-      resetting += reset_after - reset_before;
-      dormant += dorm_after - dorm_before;
-    }
-    ++steps;
-    if (!seen_dormant && dormant == static_cast<std::int64_t>(n)) {
-      seen_dormant = true;
-      out.dormant_time = static_cast<double>(steps) / n;
-    }
+  const auto drive = [&](auto& eng) {
+    bool seen_dormant = false;
+    std::int64_t resetting = 1, dormant = 0;
+    int reset_before = 0, dorm_before = 0;
+    eng.run(
+        UINT64_MAX,
+        [&](const agent_pair& pr) {
+          const auto& x = eng.agents()[pr.initiator];
+          const auto& y = eng.agents()[pr.responder];
+          reset_before = (x.resetting ? 1 : 0) + (y.resetting ? 1 : 0);
+          dorm_before = (is_dormant(x) ? 1 : 0) + (is_dormant(y) ? 1 : 0);
+        },
+        [&](const agent_pair& pr, bool changed) {
+          if (changed) {
+            const auto& x = eng.agents()[pr.initiator];
+            const auto& y = eng.agents()[pr.responder];
+            resetting += (x.resetting ? 1 : 0) + (y.resetting ? 1 : 0) -
+                         reset_before;
+            dormant += (is_dormant(x) ? 1 : 0) + (is_dormant(y) ? 1 : 0) -
+                       dorm_before;
+          }
+          if (!seen_dormant && dormant == static_cast<std::int64_t>(n)) {
+            seen_dormant = true;
+            out.dormant_time = eng.parallel_time();
+          }
+          return resetting == 0;
+        });
+    out.completion_time = eng.parallel_time();
+    for (const auto& a : eng.agents()) out.clean &= a.resets == 1;
+  };
+
+  if (kind == engine_kind::direct) {
+    direct_engine<toy_reset_protocol> eng(p, std::move(agents), seed);
+    drive(eng);
+  } else {
+    batched_engine<toy_reset_protocol> eng(p, std::move(agents), seed);
+    drive(eng);
   }
-  out.completion_time = static_cast<double>(steps) / n;
-  for (const auto& a : agents) out.clean &= a.resets == 1;
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E7: bench_reset", "Section 3 (Propagate-Reset)",
          "completes in O(log n) time; every agent resets exactly once");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   text_table t({"n", "trials", "completion mean ± ci", "t/ln n",
                 "fully-dormant by", "clean resets"});
@@ -100,7 +133,7 @@ int main() {
     std::vector<double> completion(trials), dormant(trials);
     std::size_t clean = 0;
     for (std::size_t i = 0; i < trials; ++i) {
-      const reset_run r = run_reset(n, derive_seed(77 + n, i));
+      const reset_run r = run_reset(n, derive_seed(77 + n, i), engine);
       completion[i] = r.completion_time;
       dormant[i] = r.dormant_time;
       clean += r.clean ? 1 : 0;

@@ -27,24 +27,29 @@ using namespace ssr::bench;
 // vacated) is exactly the planted-duplicate-leader configuration.
 std::vector<double> planted_duplicate_times(std::uint32_t n,
                                             std::size_t trials,
-                                            std::uint64_t seed) {
-  return run_trials(trials, seed, [n](std::uint64_t s) {
-    silent_n_state_ssr p(n);
-    std::vector<silent_n_state_ssr::agent_state> config(n);
-    for (std::uint32_t i = 0; i < n; ++i) config[i].rank = i;
-    config[1].rank = 0;  // duplicate leader; rank 1 now vacant
-    const auto r = measure_convergence(p, std::move(config), s,
-                                       {.max_parallel_time = 1e9});
-    return r.convergence_time;
-  });
+                                            std::uint64_t seed,
+                                            engine_kind engine) {
+  return run_trials(
+      trials, seed,
+      [n](std::uint64_t s, engine_kind kind) {
+        silent_n_state_ssr p(n);
+        std::vector<silent_n_state_ssr::agent_state> config(n);
+        for (std::uint32_t i = 0; i < n; ++i) config[i].rank = i;
+        config[1].rank = 0;  // duplicate leader; rank 1 now vacant
+        const auto r = measure_convergence_with(kind, p, std::move(config), s,
+                                                {.max_parallel_time = 1e9});
+        return r.convergence_time;
+      },
+      {.parallel = true, .engine = engine});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E4: bench_silent_lower_bound", "Observation 2.2",
          "silent SSLE: expected >= ~n/3 time; P[time >= alpha n ln n] >= "
          "0.5 n^(-3 alpha)");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   {
     std::cout << "\nPlanted duplicate leader in the baseline's silent "
@@ -52,7 +57,7 @@ int main() {
     text_table t({"n", "trials", "mean time ± ci", "(n-1)/2 pred", "t/pred"});
     for (const std::uint32_t n : {16u, 32u, 64u, 128u, 256u}) {
       const std::size_t trials = 200;
-      const auto times = planted_duplicate_times(n, trials, 11 + n);
+      const auto times = planted_duplicate_times(n, trials, 11 + n, engine);
       const summary s = summarize(times);
       const double pred = direct_meeting_time(n);
       t.add_row({std::to_string(n), std::to_string(trials),
@@ -72,7 +77,7 @@ int main() {
                   "0.5 n^(-3a) bound"});
     for (const std::uint32_t n : {16u, 32u, 64u}) {
       const std::size_t trials = 3000;
-      const auto times = planted_duplicate_times(n, trials, 900 + n);
+      const auto times = planted_duplicate_times(n, trials, 900 + n, engine);
       const double threshold =
           static_cast<double>(n) * std::log(static_cast<double>(n)) / 3.0;
       std::size_t over = 0;

@@ -10,13 +10,18 @@
 #include "common.hpp"
 #include "protocols/state_space.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   using namespace ssr::bench;
 
   banner("E3: bench_states", "Table 1 (states column) + Theorem 2.1",
          "baseline n states (optimal); Optimal-Silent O(n); "
          "Sublinear exp(O(n^H) log n)");
+  const engine_kind engine = engine_from_args(argc, argv);
+  if (engine == engine_kind::batched) {
+    std::cout << "(note: state counting is arithmetic, no simulation runs; "
+                 "the flag selects nothing here)\n";
+  }
 
   {
     std::cout << "\nExact state counts (linear-state protocols):\n";

@@ -31,9 +31,10 @@ void fit_row(const char* protocol, const std::vector<double>& ns,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E1: bench_table1", "Table 1, rows 1-3 (time columns)",
          "Theta(n^2) vs Theta(n) [Theta(n log n) WHP] vs Theta(log n)");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   // -- Silent-n-state-SSR (accelerated exact simulation) -------------------
   {
@@ -42,7 +43,7 @@ int main() {
     std::vector<double> ns, means;
     for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
       const std::size_t trials = 100;
-      const auto times = baseline_times(n, trials, 42 + n);
+      const auto times = baseline_times(n, trials, 42 + n, engine);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       t.add_row({std::to_string(n), std::to_string(trials), cells[0], cells[1],
@@ -64,7 +65,8 @@ int main() {
     for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
       const std::size_t trials = n <= 512 ? 60 : 24;
       const auto times = optimal_silent_times(
-          n, trials, 1000 + n, optimal_silent_scenario::uniform_random);
+          n, trials, 1000 + n, optimal_silent_scenario::uniform_random,
+          engine);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       const double ln_n = std::log(static_cast<double>(n));
@@ -101,7 +103,7 @@ int main() {
       const auto times = sublinear_times(n, h, trials, 3000 + n,
                                          sublinear_scenario::single_collision,
                                          /*confirm=*/50.0,
-                                         /*parallel=*/n < 32);
+                                         /*parallel=*/n < 32, engine);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       const double ln_n = std::log(static_cast<double>(n));

@@ -1,10 +1,14 @@
 // E10 -- engine microbenchmarks (google-benchmark): interaction throughput
-// per protocol and the speedup of the accelerated baseline simulator.  These
-// are implementation measurements (no paper counterpart) that size the
-// experiments above.
+// per protocol, the speedup of the accelerated baseline simulator, and the
+// per-interaction cost of the batched engine (google-benchmark owns argv
+// here, so the engines appear as separate BM_ functions rather than an
+// --engine flag; bench_engine_scaling has the flag-driven head-to-head).
+// These are implementation measurements (no paper counterpart) that size
+// the experiments above.
 #include <benchmark/benchmark.h>
 
 #include "pp/convergence.hpp"
+#include "pp/engine.hpp"
 #include "pp/simulation.hpp"
 #include "protocols/adversary.hpp"
 #include "protocols/optimal_silent.hpp"
@@ -60,6 +64,77 @@ BENCHMARK(BM_SublinearInteractions)
     ->Args({16, 2})
     ->Args({16, 4})
     ->Args({64, 2});
+
+void BM_BaselineBatchedInteractions(benchmark::State& state) {
+  // Count engine on Silent-n-state-SSR: items processed counts *simulated*
+  // interactions, including whole geometrically-skipped runs of certain
+  // nulls -- the throughput metric the batched engine exists to move.  The
+  // run stabilizes (and the engine goes quiescent) well inside the timing
+  // loop at these n, so it is restarted from a fresh adversarial
+  // configuration whenever that happens.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  silent_n_state_ssr p(n);
+  std::uint64_t seed = 1, total = 0;
+  const auto make = [&] {
+    rng_t rng(++seed);
+    auto init = adversarial_configuration(p, rng);
+    return batched_engine<silent_n_state_ssr>(p, std::move(init), ++seed);
+  };
+  auto eng = make();
+  for (auto _ : state) {
+    if (eng.quiescent()) {
+      total += eng.interactions();
+      eng = make();
+    }
+    eng.run(eng.interactions() + 1024, [](const agent_pair&) {},
+            [](const agent_pair&, bool) { return false; });
+  }
+  total += eng.interactions();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_BaselineBatchedInteractions)->Arg(64)->Arg(1024);
+
+void BM_OptimalSilentBatchedInteractions(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  optimal_silent_ssr p(n);
+  std::uint64_t seed = 3, total = 0;
+  const auto make = [&] {
+    rng_t rng(++seed);
+    auto init = adversarial_configuration(
+        p, optimal_silent_scenario::uniform_random, rng);
+    return batched_engine<optimal_silent_ssr>(p, std::move(init), ++seed);
+  };
+  auto eng = make();
+  for (auto _ : state) {
+    if (eng.quiescent()) {
+      total += eng.interactions();
+      eng = make();
+    }
+    eng.run(eng.interactions() + 1024, [](const agent_pair&) {},
+            [](const agent_pair&, bool) { return false; });
+  }
+  total += eng.interactions();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_OptimalSilentBatchedInteractions)->Arg(64)->Arg(1024);
+
+void BM_SublinearBatchedInteractions(benchmark::State& state) {
+  // Sublinear-Time-SSR is not batch-countable; this exercises the
+  // collision-aware block path of the batched engine.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto h = static_cast<std::uint32_t>(state.range(1));
+  sublinear_time_ssr p(n, h);
+  rng_t rng(4);
+  batched_engine<sublinear_time_ssr> eng(p, p.initial_configuration(rng), 5);
+  std::uint64_t budget = 0;
+  for (auto _ : state) {
+    budget += 1024;
+    eng.run(budget, [](const agent_pair&) {},
+            [](const agent_pair&, bool) { return false; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(eng.interactions()));
+}
+BENCHMARK(BM_SublinearBatchedInteractions)->Args({16, 2})->Args({64, 2});
 
 void BM_RankTrackerUpdate(benchmark::State& state) {
   // The O(1) correctness tracker is on the hot path of every measurement;

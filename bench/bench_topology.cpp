@@ -70,11 +70,18 @@ std::string mean_time(const outcome& o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("E9: bench_topology",
          "the complete-graph model assumption (Sections 1-2)",
          "off the complete graph, self-stabilization fails: colliding "
          "agents that are not adjacent can never be detected");
+  const engine_kind engine = engine_from_args(argc, argv);
+  if (engine == engine_kind::batched) {
+    std::cout << "(note: this bench samples interactions from non-complete "
+                 "graphs, which only the\n graph simulator supports -- the "
+                 "engines assume the uniform complete-graph\n scheduler, so "
+                 "the flag selects nothing here)\n";
+  }
 
   const std::uint32_t n = 16;
   silent_n_state_ssr baseline(n);

@@ -20,13 +20,14 @@
 #include "common.hpp"
 #include "protocols/state_space.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   using namespace ssr::bench;
 
   banner("E2: bench_tradeoff_h", "Table 1, row 4 (+ Theorem 5.1)",
          "detection Theta(H n^{1/(H+1)}) for constant H, Theta(log n) at "
          "H=Theta(log n); states exp(O(n^H) log n)");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   struct point {
     std::uint32_t n, h;
@@ -60,12 +61,12 @@ int main() {
     }
     const auto detect =
         detection_latencies(pt.n, pt.h, pt.trials, 900 + 31 * pt.n + pt.h,
-                            pt.parallel);
+                            pt.parallel, engine);
     const auto total = sublinear_times(pt.n, pt.h, std::max<std::size_t>(
                                            pt.trials / 2, 3),
                                        500 + 17 * pt.n + pt.h,
                                        sublinear_scenario::single_collision,
-                                       /*confirm=*/30.0, pt.parallel);
+                                       /*confirm=*/30.0, pt.parallel, engine);
     const summary ds = summarize(detect);
     const summary ts = summarize(total);
     const double pred =

@@ -17,13 +17,14 @@
 #include "common.hpp"
 #include "pp/trial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   using namespace ssr::bench;
 
   banner("E14: bench_whp", "Table 1 WHP columns + Corollary 4.2",
          "tail quantiles: baseline collapses under n^2 scaling; "
          "optimal-silent's extreme quantiles stay O(n log n)");
+  const engine_kind engine = engine_from_args(argc, argv);
 
   {
     std::cout << "\nSilent-n-state-SSR, 1000 runs per n, times divided by "
@@ -31,7 +32,7 @@ int main() {
     text_table t({"n", "p50/n^2", "p90/n^2", "p99/n^2", "p99.9/n^2",
                   "p99.9/p50"});
     for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
-      const auto times = baseline_times(n, 1000, 7 + n);
+      const auto times = baseline_times(n, 1000, 7 + n, engine);
       const double n2 = static_cast<double>(n) * n;
       const double p50 = quantile(times, 0.50);
       const double p999 = quantile(times, 0.999);
@@ -52,7 +53,7 @@ int main() {
                   "p99.9/p50"});
     for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
       const auto times = optimal_silent_times(
-          n, 1000, 11 + n, optimal_silent_scenario::uniform_random);
+          n, 1000, 11 + n, optimal_silent_scenario::uniform_random, engine);
       const double p50 = quantile(times, 0.50);
       const double p999 = quantile(times, 0.999);
       const double ln_n = std::log(static_cast<double>(n));

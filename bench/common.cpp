@@ -1,11 +1,11 @@
 #include "common.hpp"
 
+#include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 
 #include "analysis/table.hpp"
 #include "pp/convergence.hpp"
-#include "pp/simulation.hpp"
 #include "pp/trial.hpp"
 #include "protocols/silent_n_state.hpp"
 
@@ -19,91 +19,163 @@ void banner(const std::string& experiment, const std::string& artifact,
             << "==================================================\n";
 }
 
+engine_kind engine_from_args(int argc, char** argv) {
+  engine_kind engine = engine_kind::direct;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--engine=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const auto parsed = parse_engine(arg.substr(prefix.size()));
+      if (!parsed) {
+        std::cerr << "error: unknown engine '" << arg.substr(prefix.size())
+                  << "' (use --engine=direct|batched)\n";
+        std::exit(2);
+      }
+      engine = *parsed;
+    } else {
+      std::cerr << "error: unknown argument '" << arg
+                << "' (benches accept --engine=direct|batched)\n";
+      std::exit(2);
+    }
+  }
+  std::cout << "engine: " << to_string(engine) << "\n";
+  return engine;
+}
+
 std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
-                                   std::uint64_t seed) {
-  return run_trials(trials, seed, [n](std::uint64_t s) {
-    rng_t rng(s);
-    std::vector<std::uint32_t> ranks(n);
-    for (auto& r : ranks)
-      r = static_cast<std::uint32_t>(uniform_below(rng, n));
-    accelerated_silent_n_state sim(n, ranks, s ^ 0x5bd1e995);
-    return sim.run_to_stabilization();
-  });
+                                   std::uint64_t seed, engine_kind engine) {
+  return run_trials(
+      trials, seed,
+      [n](std::uint64_t s, engine_kind kind) -> double {
+        if (kind == engine_kind::direct) {
+          // Seed behavior: the Protocol 1-specialized exact jump simulator.
+          rng_t rng(s);
+          std::vector<std::uint32_t> ranks(n);
+          for (auto& r : ranks)
+            r = static_cast<std::uint32_t>(uniform_below(rng, n));
+          accelerated_silent_n_state sim(n, ranks, s ^ 0x5bd1e995);
+          return sim.run_to_stabilization();
+        }
+        silent_n_state_ssr p(n);
+        rng_t rng(s);
+        auto init = adversarial_configuration(p, rng);
+        const auto r = measure_convergence_with(kind, p, std::move(init),
+                                                s ^ 0x5bd1e995);
+        if (!r.converged)
+          throw std::runtime_error("baseline did not converge");
+        return r.convergence_time;
+      },
+      {.parallel = true, .engine = engine});
 }
 
 std::vector<double> baseline_lower_bound_times(std::uint32_t n,
                                                std::size_t trials,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               engine_kind engine) {
   silent_n_state_ssr p(n);
   const auto config = p.lower_bound_configuration();
   std::vector<std::uint32_t> ranks(n);
   for (std::uint32_t i = 0; i < n; ++i) ranks[i] = config[i].rank;
-  return run_trials(trials, seed, [n, ranks](std::uint64_t s) {
-    accelerated_silent_n_state sim(n, ranks, s);
-    return sim.run_to_stabilization();
-  });
+  return run_trials(
+      trials, seed,
+      [n, ranks, config](std::uint64_t s, engine_kind kind) -> double {
+        if (kind == engine_kind::direct) {
+          accelerated_silent_n_state sim(n, ranks, s);
+          return sim.run_to_stabilization();
+        }
+        const auto r = measure_convergence_with(kind, silent_n_state_ssr(n),
+                                                config, s);
+        if (!r.converged)
+          throw std::runtime_error("baseline did not converge");
+        return r.convergence_time;
+      },
+      {.parallel = true, .engine = engine});
 }
 
 std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
                                          std::uint64_t seed,
-                                         optimal_silent_scenario scenario) {
-  return run_trials(trials, seed, [=](std::uint64_t s) {
-    optimal_silent_ssr p(n);
-    rng_t rng(s);
-    auto init = adversarial_configuration(p, scenario, rng);
-    convergence_options opt;
-    opt.max_parallel_time = 1e9;
-    const auto r = measure_convergence(p, std::move(init), s ^ 0x9747b28c, opt);
-    if (!r.converged) throw std::runtime_error("optimal-silent did not converge");
-    return r.convergence_time;
-  });
+                                         optimal_silent_scenario scenario,
+                                         engine_kind engine) {
+  return run_trials(
+      trials, seed,
+      [=](std::uint64_t s, engine_kind kind) {
+        optimal_silent_ssr p(n);
+        rng_t rng(s);
+        auto init = adversarial_configuration(p, scenario, rng);
+        convergence_options opt;
+        opt.max_parallel_time = 1e9;
+        const auto r = measure_convergence_with(kind, p, std::move(init),
+                                                s ^ 0x9747b28c, opt);
+        if (!r.converged)
+          throw std::runtime_error("optimal-silent did not converge");
+        return r.convergence_time;
+      },
+      {.parallel = true, .engine = engine});
 }
 
 std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
                                     std::size_t trials, std::uint64_t seed,
                                     sublinear_scenario scenario,
-                                    double confirm, bool parallel) {
+                                    double confirm, bool parallel,
+                                    engine_kind engine) {
   return run_trials(
       trials, seed,
-      [=](std::uint64_t s) {
-    sublinear_time_ssr p(n, h);
-    rng_t rng(s);
-    auto init = adversarial_configuration(p, scenario, rng);
-    convergence_options opt;
-    opt.max_parallel_time = 1e8;
-    opt.confirm_parallel_time = confirm;
-    const auto r = measure_convergence(p, std::move(init), s ^ 0x85ebca6b, opt);
-    if (!r.converged) throw std::runtime_error("sublinear did not converge");
-    return r.convergence_time;
+      [=](std::uint64_t s, engine_kind kind) {
+        sublinear_time_ssr p(n, h);
+        rng_t rng(s);
+        auto init = adversarial_configuration(p, scenario, rng);
+        convergence_options opt;
+        opt.max_parallel_time = 1e8;
+        opt.confirm_parallel_time = confirm;
+        const auto r = measure_convergence_with(kind, p, std::move(init),
+                                                s ^ 0x85ebca6b, opt);
+        if (!r.converged)
+          throw std::runtime_error("sublinear did not converge");
+        return r.convergence_time;
       },
-      parallel);
+      {.parallel = parallel, .engine = engine});
 }
 
 std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
                                         std::size_t trials,
-                                        std::uint64_t seed, bool parallel) {
+                                        std::uint64_t seed, bool parallel,
+                                        engine_kind engine) {
   return run_trials(
       trials, seed,
-      [=](std::uint64_t s) {
+      [=](std::uint64_t s, engine_kind kind) {
         sublinear_time_ssr p(n, h);
         rng_t rng(s);
         auto init = adversarial_configuration(
             p, sublinear_scenario::single_collision, rng);
-        simulation<sublinear_time_ssr> sim(p, std::move(init),
-                                           s ^ 0xc2b2ae35);
-        const bool detected = sim.run_until(
-            [](const simulation<sublinear_time_ssr>& sm) {
-              for (const auto& a : sm.agents()) {
-                if (a.role == sublinear_time_ssr::role_t::resetting)
-                  return true;
-              }
-              return false;
-            },
-            2'000'000'000ull);
-        if (!detected) throw std::runtime_error("collision never detected");
-        return sim.parallel_time();
+        // A Resetting agent can only appear through an interaction it takes
+        // part in, so probing the two participants after each state change
+        // finds the same interaction index the historical full-configuration
+        // scan did.
+        const auto detect = [](auto& eng) {
+          const bool detected = eng.run(
+              2'000'000'000ull, [](const agent_pair&) {},
+              [&eng](const agent_pair& pair, bool changed) {
+                if (!changed) return false;
+                const auto agents = eng.agents();
+                return agents[pair.initiator].role ==
+                           sublinear_time_ssr::role_t::resetting ||
+                       agents[pair.responder].role ==
+                           sublinear_time_ssr::role_t::resetting;
+              });
+          if (!detected)
+            throw std::runtime_error("collision never detected");
+          return eng.parallel_time();
+        };
+        if (kind == engine_kind::direct) {
+          direct_engine<sublinear_time_ssr> eng(p, std::move(init),
+                                                s ^ 0xc2b2ae35);
+          return detect(eng);
+        }
+        batched_engine<sublinear_time_ssr> eng(p, std::move(init),
+                                               s ^ 0xc2b2ae35);
+        return detect(eng);
       },
-      parallel);
+      {.parallel = parallel, .engine = engine});
 }
 
 std::vector<std::string> time_cells(const summary& s) {

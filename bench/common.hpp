@@ -2,8 +2,19 @@
 //
 // Every experiment measures stabilization times over many seeded trials and
 // prints paper-style rows; the helpers here own the repetitive parts:
-// per-protocol trial functions, summary formatting, and a banner that ties
-// each binary back to the table/figure it reproduces.
+// per-protocol trial functions, summary formatting, a banner that ties
+// each binary back to the table/figure it reproduces, and the --engine
+// flag every bench accepts.
+//
+// Engine selection (pp/engine.hpp): each trial helper takes an engine_kind.
+// `direct` keeps the seed behavior: per-interaction stepping, except for
+// the Protocol 1 baseline whose "direct" path has always been the
+// protocol-specialized exact jump simulator (accelerated_silent_n_state) --
+// truly direct stepping of a Theta(n^2)-time protocol is Theta(n^3)
+// interactions and infeasible at bench sizes.  `batched` routes through the
+// unified batched engine, which is distribution-equivalent
+// (tests/engine_equivalence_test.cpp) and the only way to the n >= 10^6
+// regime; bench_engine_scaling quantifies the gap.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +22,7 @@
 #include <vector>
 
 #include "analysis/statistics.hpp"
+#include "pp/engine.hpp"
 #include "protocols/adversary.hpp"
 
 namespace ssr::bench {
@@ -19,21 +31,29 @@ namespace ssr::bench {
 void banner(const std::string& experiment, const std::string& artifact,
             const std::string& claim);
 
-/// Stabilization times (parallel) of the accelerated baseline from uniform
-/// random configurations.
-std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
-                                   std::uint64_t seed);
+/// Parses --engine=direct|batched from a bench binary's argv (default
+/// direct), prints the choice, and rejects unknown arguments.  Every bench
+/// main routes its argv through this so the sweep driver can flip engines
+/// uniformly.
+engine_kind engine_from_args(int argc, char** argv);
 
-/// Stabilization times of the accelerated baseline from the paper's
-/// Omega(n^2) lower-bound configuration.
-std::vector<double> baseline_lower_bound_times(std::uint32_t n,
-                                               std::size_t trials,
-                                               std::uint64_t seed);
+/// Stabilization times (parallel) of the baseline from uniform random
+/// configurations.
+std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
+                                   std::uint64_t seed,
+                                   engine_kind engine = engine_kind::direct);
+
+/// Stabilization times of the baseline from the paper's Omega(n^2)
+/// lower-bound configuration.
+std::vector<double> baseline_lower_bound_times(
+    std::uint32_t n, std::size_t trials, std::uint64_t seed,
+    engine_kind engine = engine_kind::direct);
 
 /// Convergence times of Optimal-Silent-SSR from a scenario.
-std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
-                                         std::uint64_t seed,
-                                         optimal_silent_scenario scenario);
+std::vector<double> optimal_silent_times(
+    std::uint32_t n, std::size_t trials, std::uint64_t seed,
+    optimal_silent_scenario scenario,
+    engine_kind engine = engine_kind::direct);
 
 /// Convergence times of Sublinear-Time-SSR from a scenario.  `confirm` is
 /// the extra parallel time correctness must hold (the protocol is
@@ -43,16 +63,16 @@ std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
 std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
                                     std::size_t trials, std::uint64_t seed,
                                     sublinear_scenario scenario,
-                                    double confirm, bool parallel = true);
+                                    double confirm, bool parallel = true,
+                                    engine_kind engine = engine_kind::direct);
 
 /// Detection latency of Sublinear-Time-SSR: parallel time from the
 /// single_collision configuration until any agent triggers a reset.  This
 /// isolates Detect-Name-Collision from the (constant-heavy) reset and
 /// re-ranking phases; Section 5.2 predicts Theta(H * n^{1/(H+1)}).
-std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
-                                        std::size_t trials,
-                                        std::uint64_t seed,
-                                        bool parallel = true);
+std::vector<double> detection_latencies(
+    std::uint32_t n, std::uint32_t h, std::size_t trials, std::uint64_t seed,
+    bool parallel = true, engine_kind engine = engine_kind::direct);
 
 /// "mean ± ci  p90  p99" cells for a sample.
 std::vector<std::string> time_cells(const summary& s);

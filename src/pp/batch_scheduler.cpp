@@ -1,0 +1,37 @@
+#include "pp/batch_scheduler.hpp"
+
+#include <algorithm>
+
+#include "pp/assert.hpp"
+
+namespace ssr {
+
+batch_scheduler::batch_scheduler(std::uint32_t n, std::uint32_t capacity)
+    : n_(n), capacity_(capacity) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(capacity >= 1);
+  buffer_.reserve(capacity);
+  stamp_.assign(n, 0);
+}
+
+std::span<const agent_pair> batch_scheduler::next_batch(rng_t& rng,
+                                                        std::uint64_t limit) {
+  buffer_.clear();
+  ++epoch_;
+  ++batches_;
+  const std::uint64_t want = std::min<std::uint64_t>(capacity_, limit);
+  while (buffer_.size() < want) {
+    const agent_pair pair = sample_pair(rng, n_);
+    buffer_.push_back(pair);
+    if (stamp_[pair.initiator] == epoch_ || stamp_[pair.responder] == epoch_) {
+      ++truncations_;
+      break;
+    }
+    stamp_[pair.initiator] = epoch_;
+    stamp_[pair.responder] = epoch_;
+  }
+  pairs_ += buffer_.size();
+  return buffer_;
+}
+
+}  // namespace ssr

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pp/assert.hpp"
+#include "pp/engine.hpp"
 #include "pp/protocol.hpp"
 #include "pp/random.hpp"
 #include "pp/scheduler.hpp"
@@ -91,22 +92,27 @@ class rank_tracker {
   std::uint32_t singletons_ = 0;
 };
 
-/// Runs `protocol` from `initial` under the uniform scheduler and measures
-/// convergence per the options.  `final_config`, when non-null, receives the
-/// configuration at the end of the run.
-template <ranking_protocol P>
-convergence_result measure_convergence(
-    P protocol, std::vector<typename P::agent_state> initial,
-    std::uint64_t seed, const convergence_options& opt = {},
-    std::vector<typename P::agent_state>* final_config = nullptr) {
-  const std::uint32_t n = protocol.population_size();
-  SSR_REQUIRE(initial.size() == n);
-  SSR_REQUIRE(n >= 2);
+/// Measures convergence on an already-constructed engine.  This is the
+/// engine-generic core: the direct engine reproduces the historical
+/// measure_convergence trajectories bit for bit, and any other
+/// simulation_engine (pp/engine.hpp) samples the same distribution.
+///
+/// Correctness can only change on a state-changing interaction, so engines
+/// that elide certainly-null interactions (the batched count engine) feed
+/// the tracker an equivalent stream.  When the engine can prove quiescence
+/// while the configuration is correct, convergence is declared immediately:
+/// no future interaction can revoke correctness, so every confirmation
+/// window is trivially satisfied.
+template <simulation_engine E>
+  requires ranking_protocol<typename E::protocol_type>
+convergence_result measure_convergence_run(
+    E& engine, const convergence_options& opt = {},
+    std::vector<typename E::agent_state>* final_config = nullptr) {
+  const auto& protocol = engine.protocol();
+  const std::uint32_t n = engine.population_size();
 
-  std::vector<typename P::agent_state> agents = std::move(initial);
-  rng_t rng(seed);
   rank_tracker tracker(n);
-  for (const auto& s : agents) tracker.add(protocol.rank_of(s));
+  for (const auto& s : engine.agents()) tracker.add(protocol.rank_of(s));
 
   const auto max_interactions = static_cast<std::uint64_t>(
       opt.max_parallel_time * static_cast<double>(n));
@@ -114,43 +120,92 @@ convergence_result measure_convergence(
       opt.confirm_parallel_time * static_cast<double>(n));
 
   convergence_result result;
-  std::uint64_t interactions = 0;
-  std::uint64_t last_entry = 0;  // interaction index of last entry into correctness
+  std::uint64_t last_entry = 0;  // interaction index of last entry
   bool was_correct = tracker.correct();
   bool ever_correct = was_correct;
+  std::uint32_t pre_ra = 0, pre_rb = 0;  // captured by the pre hook
 
-  while (interactions < max_interactions) {
-    if (was_correct && interactions - last_entry >= confirm_interactions) {
+  while (engine.interactions() < max_interactions) {
+    if (was_correct &&
+        (engine.interactions() - last_entry >= confirm_interactions ||
+         engine.quiescent())) {
       result.converged = true;
       break;
     }
-    const agent_pair pair = sample_pair(rng, n);
-    auto& a = agents[pair.initiator];
-    auto& b = agents[pair.responder];
-    const std::uint32_t ra = protocol.rank_of(a);
-    const std::uint32_t rb = protocol.rank_of(b);
-    protocol.interact(a, b, rng);
-    ++interactions;
-    tracker.update(ra, protocol.rank_of(a));
-    tracker.update(rb, protocol.rank_of(b));
-
-    const bool correct = tracker.correct();
-    if (correct && !was_correct) {
-      last_entry = interactions;
-      ever_correct = true;
-    } else if (!correct && was_correct) {
-      ++result.correctness_losses;
-    }
-    was_correct = correct;
+    // While correct, run only to the end of the confirmation window; the
+    // next loop iteration then declares convergence (matching the historical
+    // check-before-step order).
+    const std::uint64_t budget =
+        was_correct
+            ? std::min<std::uint64_t>(max_interactions,
+                                      last_entry + confirm_interactions)
+            : max_interactions;
+    engine.run(
+        budget,
+        [&](const agent_pair& pair) {
+          pre_ra = protocol.rank_of(engine.agents()[pair.initiator]);
+          pre_rb = protocol.rank_of(engine.agents()[pair.responder]);
+        },
+        [&](const agent_pair& pair, bool changed) {
+          if (!changed) return false;
+          tracker.update(pre_ra,
+                         protocol.rank_of(engine.agents()[pair.initiator]));
+          tracker.update(pre_rb,
+                         protocol.rank_of(engine.agents()[pair.responder]));
+          const bool correct = tracker.correct();
+          if (correct == was_correct) return false;
+          if (correct) {
+            last_entry = engine.interactions();
+            ever_correct = true;
+          } else {
+            ++result.correctness_losses;
+          }
+          was_correct = correct;
+          return true;  // correctness flipped: re-evaluate the budget
+        });
   }
 
-  result.interactions = interactions;
+  result.interactions = engine.interactions();
   if (result.converged && ever_correct) {
     result.convergence_time =
         static_cast<double>(last_entry) / static_cast<double>(n);
   }
-  if (final_config != nullptr) *final_config = std::move(agents);
+  if (final_config != nullptr) {
+    final_config->assign(engine.agents().begin(), engine.agents().end());
+  }
   return result;
+}
+
+/// Runs `protocol` from `initial` under the uniform scheduler and measures
+/// convergence per the options.  `final_config`, when non-null, receives the
+/// configuration at the end of the run.  Equivalent to
+/// measure_convergence_with(engine_kind::direct, ...).
+template <ranking_protocol P>
+convergence_result measure_convergence(
+    P protocol, std::vector<typename P::agent_state> initial,
+    std::uint64_t seed, const convergence_options& opt = {},
+    std::vector<typename P::agent_state>* final_config = nullptr) {
+  SSR_REQUIRE(initial.size() == protocol.population_size());
+  direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
+  return measure_convergence_run(engine, opt, final_config);
+}
+
+/// Engine-selectable variant: runs the measurement on the requested engine.
+/// Both engines sample the same stabilization-time distribution
+/// (tests/engine_equivalence_test.cpp); the batched engine is the one that
+/// reaches n >= 10^6 (see docs/protocol_map.md, "Engines").
+template <ranking_protocol P>
+convergence_result measure_convergence_with(
+    engine_kind kind, P protocol, std::vector<typename P::agent_state> initial,
+    std::uint64_t seed, const convergence_options& opt = {},
+    std::vector<typename P::agent_state>* final_config = nullptr) {
+  SSR_REQUIRE(initial.size() == protocol.population_size());
+  if (kind == engine_kind::direct) {
+    direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
+    return measure_convergence_run(engine, opt, final_config);
+  }
+  batched_engine<P> engine(std::move(protocol), std::move(initial), seed);
+  return measure_convergence_run(engine, opt, final_config);
 }
 
 }  // namespace ssr

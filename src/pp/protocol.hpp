@@ -28,6 +28,30 @@ concept population_protocol =
       { p.interact(a, b, rng) } -> std::same_as<bool>;
     };
 
+/// Key returned by batch_key for states outside the inert partition (see
+/// batch_countable_protocol).
+inline constexpr std::uint32_t batch_volatile_key = 0xffffffffu;
+
+/// A batch-countable protocol partitions its states for the batched engine
+/// (pp/engine.hpp): batch_key(s) is either an *inert key* in
+/// [0, batch_key_count()) or batch_volatile_key.  The contract is:
+///
+///   two agents whose states carry *distinct inert keys* interact nully,
+///   in both initiator/responder orders.
+///
+/// Nothing is promised about pairs sharing an inert key or involving a
+/// volatile agent -- the engine probes those with the real transition
+/// function, so a conservative partition (more volatile states) is always
+/// sound, merely slower.  The batched engine uses the partition to skip
+/// runs of certainly-null interactions in one geometric draw.
+template <class P>
+concept batch_countable_protocol =
+    population_protocol<P> &&
+    requires(const P p, const typename P::agent_state& s) {
+      { p.batch_key(s) } -> std::convertible_to<std::uint32_t>;
+      { p.batch_key_count() } -> std::convertible_to<std::uint32_t>;
+    };
+
 /// A ranking protocol additionally exposes the rank output field of a state:
 /// 1..n when the agent currently holds a rank, 0 when it does not.  The
 /// measurement harness uses this to track correctness in O(1) per

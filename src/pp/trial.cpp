@@ -60,4 +60,18 @@ std::vector<double> run_trials(
   return results;
 }
 
+std::vector<double> run_trials(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t, engine_kind)>& trial,
+    const trial_options& options) {
+  std::vector<double> results(count);
+  parallel_for_index(
+      count,
+      [&](std::size_t i) {
+        results[i] = trial(derive_seed(base_seed, i), options.engine);
+      },
+      options.parallel);
+  return results;
+}
+
 }  // namespace ssr

@@ -10,6 +10,8 @@
 #include <functional>
 #include <vector>
 
+#include "pp/engine.hpp"
+
 namespace ssr {
 
 /// Runs `body(index)` for every index in [0, count), possibly concurrently.
@@ -23,5 +25,22 @@ void parallel_for_index(std::size_t count,
 std::vector<double> run_trials(
     std::size_t count, std::uint64_t base_seed,
     const std::function<double(std::uint64_t)>& trial, bool parallel = true);
+
+/// Options for engine-aware sweeps.  The engine choice rides along with the
+/// parallelism flag so every measurement layer (bench/common, ssr_cli,
+/// one-off sweeps) selects --engine=direct|batched uniformly.
+struct trial_options {
+  bool parallel = true;
+  engine_kind engine = engine_kind::direct;
+};
+
+/// Engine-aware overload: `trial(seed, engine)` runs one measurement on the
+/// selected engine.  Seeds are derived exactly as in the base overload, so
+/// for a fixed engine the results are bit-identical regardless of the
+/// parallel flag or thread count (tests/determinism_test.cpp).
+std::vector<double> run_trials(
+    std::size_t count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t, engine_kind)>& trial,
+    const trial_options& options);
 
 }  // namespace ssr

@@ -80,6 +80,19 @@ class optimal_silent_ssr {
     return s.role == role_t::settled ? s.rank : 0;
   }
 
+  /// Batched-engine partition (pp/engine.hpp): Settled agents are keyed by
+  /// rank.  Two Settled agents with distinct ranks interact nully in both
+  /// orders: rank collisions need equal ranks, recruitment needs an
+  /// Unsettled partner, and only Unsettled/Resetting agents carry moving
+  /// counters.  Everyone else is volatile -- any interaction touching an
+  /// Unsettled or Resetting agent moves a counter and is non-null.  Settled
+  /// states with an out-of-range rank are conservatively volatile.
+  std::uint32_t batch_key_count() const { return n_; }
+  std::uint32_t batch_key(const agent_state& s) const {
+    if (s.role != role_t::settled) return batch_volatile_key;
+    return s.rank >= 1 && s.rank <= n_ ? s.rank - 1 : batch_volatile_key;
+  }
+
   /// Clean start: every agent Unsettled with full patience.  The protocol is
   /// self-stabilizing, so this is only a convenience (it exercises the
   /// errorcount -> reset -> leader election -> tree ranking pipeline).

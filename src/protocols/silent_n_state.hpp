@@ -52,6 +52,16 @@ class silent_n_state_ssr {
   /// Output map to the formal rank space {1..n}.
   std::uint32_t rank_of(const agent_state& s) const { return s.rank + 1; }
 
+  /// Batched-engine partition (pp/engine.hpp): the rank is the inert key --
+  /// the single transition fires only on equal ranks, so agents holding
+  /// distinct in-range ranks always interact nully.  Out-of-range ranks
+  /// (constructible only through deserialization) are conservatively
+  /// volatile.
+  std::uint32_t batch_key_count() const { return n_; }
+  std::uint32_t batch_key(const agent_state& s) const {
+    return s.rank < n_ ? s.rank : batch_volatile_key;
+  }
+
   /// Exactly n states (Table 1).
   static std::uint64_t state_count(std::uint32_t n) { return n; }
 

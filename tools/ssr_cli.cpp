@@ -42,6 +42,7 @@ struct options {
   bool show_agents = false;
   std::string dump_path;  // write the starting configuration here
   std::string load_path;  // read the starting configuration instead
+  engine_kind engine = engine_kind::direct;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -63,6 +64,9 @@ struct options {
       "                           mid_reset valid_ranking\n"
       "  --graph=complete|ring|star|path|gnp   (baseline/optimal only)\n"
       "  --graph-p=<float>      edge probability for gnp (default 0.9)\n"
+      "  --engine=direct|batched  simulation engine (default direct; the\n"
+      "                         batched engine assumes the uniform complete-\n"
+      "                         graph scheduler, so it needs --graph=complete)\n"
       "  --seed=<int>           rng seed (default 1)\n"
       "  --max-time=<float>     parallel-time budget (default 1e7)\n"
       "  --trace-every=<float>  summary every T time units\n"
@@ -99,6 +103,10 @@ options parse(int argc, char** argv) {
       opt.graph = *v;
     } else if (auto v = value_of("--graph-p")) {
       opt.graph_p = std::stod(*v);
+    } else if (auto v = value_of("--engine")) {
+      const auto parsed = parse_engine(*v);
+      if (!parsed) usage("unknown engine: " + *v);
+      opt.engine = *parsed;
     } else if (auto v = value_of("--seed")) {
       opt.seed = std::stoull(*v);
     } else if (auto v = value_of("--max-time")) {
@@ -113,6 +121,8 @@ options parse(int argc, char** argv) {
       usage("unknown argument: " + arg);
     }
   }
+  if (opt.engine == engine_kind::batched && opt.graph != "complete")
+    usage("--engine=batched requires --graph=complete");
   return opt;
 }
 
@@ -184,6 +194,69 @@ std::vector<typename P::agent_state> resolve_initial(
   return initial;
 }
 
+/// Engine-based counterpart of drive() for --engine=batched on the complete
+/// graph: same summaries and verdict, but the trajectory advances through a
+/// pp/engine.hpp engine and correctness is tracked incrementally (the
+/// engine may skip certainly-null interactions, so a per-step full-scan
+/// check would defeat the point).
+template <class P>
+int drive_engine(const options& opt, const P& protocol,
+                 std::vector<typename P::agent_state> initial) {
+  initial = resolve_initial(opt, protocol, std::move(initial));
+  batched_engine<P> eng(protocol, std::move(initial), opt.seed);
+  std::cout << "t=0.0: " << summarize_configuration(protocol, eng.agents())
+            << '\n';
+  if (opt.show_agents) {
+    for (std::size_t i = 0; i < eng.agents().size(); ++i)
+      std::cout << "  agent " << i << ": "
+                << describe(protocol, eng.agents()[i]) << '\n';
+  }
+
+  rank_tracker tracker(protocol.population_size());
+  for (const auto& s : eng.agents()) tracker.add(protocol.rank_of(s));
+  std::uint32_t ra = 0, rb = 0;
+  const auto pre = [&](const agent_pair& pair) {
+    ra = protocol.rank_of(eng.agents()[pair.initiator]);
+    rb = protocol.rank_of(eng.agents()[pair.responder]);
+  };
+  const auto post = [&](const agent_pair& pair, bool changed) {
+    if (changed) {
+      tracker.update(ra, protocol.rank_of(eng.agents()[pair.initiator]));
+      tracker.update(rb, protocol.rank_of(eng.agents()[pair.responder]));
+    }
+    return tracker.correct();
+  };
+
+  const double step_window =
+      opt.trace_every > 0 ? opt.trace_every : opt.max_time;
+  bool done = tracker.correct();
+  while (!done && eng.parallel_time() < opt.max_time) {
+    const double next_checkpoint =
+        std::min(eng.parallel_time() + step_window, opt.max_time);
+    done = eng.run(static_cast<std::uint64_t>(
+                       next_checkpoint * static_cast<double>(opt.n)),
+                   pre, post);
+    if (opt.trace_every > 0 || done) {
+      std::cout << "t=" << eng.parallel_time() << ": "
+                << summarize_configuration(protocol, eng.agents()) << '\n';
+    }
+  }
+
+  if (opt.show_agents) {
+    for (std::size_t i = 0; i < eng.agents().size(); ++i)
+      std::cout << "  agent " << i << ": "
+                << describe(protocol, eng.agents()[i]) << '\n';
+  }
+  if (done) {
+    std::cout << "stabilized at t=" << eng.parallel_time() << " ("
+              << eng.interactions() << " interactions); leader is the rank-1 "
+              << "agent\n";
+    return 0;
+  }
+  std::cout << "did NOT stabilize within t=" << opt.max_time << '\n';
+  return 1;
+}
+
 /// Drives one run with periodic summaries; returns success.
 template <class P>
 int drive(const options& opt, const P& protocol,
@@ -241,25 +314,28 @@ int main(int argc, char** argv) {
   rng_t scenario_rng(opt.seed ^ 0xabcdef123456ULL);
   const interaction_graph graph = make_graph(opt);
 
+  const bool batched = opt.engine == engine_kind::batched;
   if (opt.protocol == "baseline") {
     silent_n_state_ssr p(opt.n);
-    return drive(opt, p, adversarial_configuration(p, scenario_rng), graph);
+    auto init = adversarial_configuration(p, scenario_rng);
+    return batched ? drive_engine(opt, p, std::move(init))
+                   : drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "optimal") {
     optimal_silent_ssr p(opt.n);
-    return drive(opt, p,
-                 adversarial_configuration(
-                     p, parse_optimal_scenario(opt.scenario), scenario_rng),
-                 graph);
+    auto init = adversarial_configuration(
+        p, parse_optimal_scenario(opt.scenario), scenario_rng);
+    return batched ? drive_engine(opt, p, std::move(init))
+                   : drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "sublinear") {
     if (opt.graph != "complete")
       usage("sublinear runs on the complete graph only");
     sublinear_time_ssr p(opt.n, opt.h);
-    return drive(opt, p,
-                 adversarial_configuration(
-                     p, parse_sublinear_scenario(opt.scenario), scenario_rng),
-                 graph);
+    auto init = adversarial_configuration(
+        p, parse_sublinear_scenario(opt.scenario), scenario_rng);
+    return batched ? drive_engine(opt, p, std::move(init))
+                   : drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "loose") {
     const auto t_max =
@@ -271,6 +347,25 @@ int main(int argc, char** argv) {
     // Loose LE has no ranking notion; run until a unique leader, report.
     auto initial =
         resolve_initial(opt, p, p.dead_configuration());  // --dump/--load
+    if (batched) {
+      batched_engine<loose_stabilizing_le> eng(p, std::move(initial),
+                                               opt.seed);
+      std::cout << "t=0.0: " << summarize_configuration(p, eng.agents())
+                << '\n';
+      bool done = p.leader_count(eng.agents()) == 1;
+      if (!done) {
+        done = eng.run(
+            static_cast<std::uint64_t>(opt.max_time *
+                                       static_cast<double>(opt.n)),
+            [](const agent_pair&) {},
+            [&](const agent_pair&, bool changed) {
+              return changed && p.leader_count(eng.agents()) == 1;
+            });
+      }
+      std::cout << "t=" << eng.parallel_time() << ": "
+                << summarize_configuration(p, eng.agents()) << '\n';
+      return done ? 0 : 1;
+    }
     graph_simulation<loose_stabilizing_le> sim(p, graph, std::move(initial),
                                                opt.seed);
     std::cout << "t=0.0: " << summarize_configuration(p, sim.agents())
