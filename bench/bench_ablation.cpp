@@ -65,7 +65,9 @@ optimal_run optimal_run_with(std::uint32_t n,
 int main(int argc, char** argv) {
   banner("E8: bench_ablation", "design-choice ablations (DESIGN.md §2)",
          "constants hidden in the paper's Theta() terms, made explicit");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E8", "Design-choice ablations");
 
   const std::uint32_t n = 64;
 
@@ -77,12 +79,20 @@ int main(int argc, char** argv) {
     for (const std::uint32_t factor : {2u, 5u, 20u, 60u}) {
       auto params = optimal_silent_ssr::tuning::defaults(n);
       params.e_max = factor * n;
+      const std::size_t ab_trials = args.trials_or(30);
       const auto clean = optimal_run_with(
-          n, params, optimal_silent_scenario::valid_ranking, 30, 100 + factor,
-          engine);
+          n, params, optimal_silent_scenario::valid_ranking, ab_trials,
+          args.seed_or(100 + factor), engine);
       const auto noleader = optimal_run_with(
-          n, params, optimal_silent_scenario::no_leader, 30, 200 + factor,
-          engine);
+          n, params, optimal_silent_scenario::no_leader, ab_trials,
+          args.seed_or(200 + factor), engine);
+      const std::string ab_params = "e_max=" + std::to_string(factor) + "n";
+      rep.add_value("ablation_e_max", "clean_start_time", "optimal_silent", n,
+                    ab_params, clean.time, "parallel_time",
+                    /*higher_is_better=*/false);
+      rep.add_value("ablation_e_max", "no_leader_time", "optimal_silent", n,
+                    ab_params, noleader.time, "parallel_time",
+                    /*higher_is_better=*/false);
       t.add_row({std::to_string(factor) + "n",
                  format_fixed(clean.time, 1),
                  format_fixed(clean.losses, 2),
@@ -107,8 +117,11 @@ int main(int argc, char** argv) {
       auto params = optimal_silent_ssr::tuning::defaults(n);
       params.d_max = factor * n;
       const auto run = optimal_run_with(
-          n, params, optimal_silent_scenario::all_unsettled_expired, 30,
-          300 + factor, engine);
+          n, params, optimal_silent_scenario::all_unsettled_expired,
+          args.trials_or(30), args.seed_or(300 + factor), engine);
+      rep.add_value("ablation_d_max", "expired_start_time", "optimal_silent",
+                    n, "d_max=" + std::to_string(factor) + "n", run.time,
+                    "parallel_time", /*higher_is_better=*/false);
       t.add_row({std::to_string(factor) + "n", format_fixed(run.time, 1),
                  format_fixed(static_cast<double>(n - 1) * (n - 1) / n, 1)});
     }
@@ -174,6 +187,11 @@ int main(int argc, char** argv) {
       t.add_row({retention < 0 ? "never (paper)" : std::to_string(retention),
                  std::to_string(false_positives) + "/" + std::to_string(trials),
                  std::to_string(max_nodes)});
+      rep.add_value("ablation_retention", "false_positive_fraction",
+                    "sublinear", sn,
+                    "retention=" + std::to_string(retention),
+                    static_cast<double>(false_positives) / trials, "fraction",
+                    /*higher_is_better=*/false);
     }
     t.print(std::cout);
     std::cout << "  (A sharp cliff: retention <= T_H loses the responder-"
@@ -207,11 +225,15 @@ int main(int argc, char** argv) {
       t.add_row({std::to_string(params.r_max) + " (" +
                      format_fixed(factor * 60, 0) + " ln n)",
                  format_fixed(summarize(times).mean, 1)});
+      rep.add_samples("ablation_r_max", "sublinear", 16,
+                      "r_max=" + std::to_string(params.r_max), times.size(),
+                      500, "parallel_time", times);
     }
     t.print(std::cout);
     std::cout << "  (End-to-end time tracks R_max almost linearly: the "
                  "paper's 60 ln n is proof headroom, not a performance "
                  "choice.)" << std::endl;
   }
+  rep.finish();
   return 0;
 }

@@ -19,15 +19,23 @@ int main(int argc, char** argv) {
   banner("E5: bench_baseline_n2", "Section 2 (baseline time analysis)",
          "Theta(n^2) from the lower-bound configuration and from random "
          "configurations");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E5", "Section 2: baseline Theta(n^2) analysis");
 
   std::vector<double> ns, lb_means, rnd_means;
   text_table t({"n", "trials", "lower-bound start: mean ± ci", "t/n^2",
                 "random start: mean ± ci", "t/n^2"});
   for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    const std::size_t trials = n <= 1024 ? 100 : 40;
-    const auto lb = baseline_lower_bound_times(n, trials, 5 + n, engine);
-    const auto rnd = baseline_times(n, trials, 17 + n, engine);
+    const std::size_t trials = args.trials_or(n <= 1024 ? 100 : 40);
+    const std::uint64_t lb_seed = args.seed_or(5 + n);
+    const std::uint64_t rnd_seed = args.seed_or(17 + n);
+    const auto lb = baseline_lower_bound_times(n, trials, lb_seed, engine);
+    const auto rnd = baseline_times(n, trials, rnd_seed, engine);
+    rep.add_samples("lower_bound_start", "silent_n_state", n, "", trials,
+                    lb_seed, "parallel_time", lb);
+    rep.add_samples("random_start", "silent_n_state", n, "", trials,
+                    rnd_seed, "parallel_time", rnd);
     const summary ls = summarize(lb);
     const summary rs = summarize(rnd);
     const double n2 = static_cast<double>(n) * n;
@@ -53,5 +61,6 @@ int main(int argc, char** argv) {
             << "  (Both t/n^2 columns flatten to constants: Theta(n^2) upper "
                "and lower bounds meet.)"
             << std::endl;
+  rep.finish();
   return 0;
 }

@@ -70,7 +70,8 @@ double interactions_per_second(MakeEngine make, double budget_seconds) {
 }
 
 template <class P, class MakeConfig>
-void scaling_table(const char* title, MakeConfig make_config,
+void scaling_table(reporter& rep, const char* protocol, const char* scenario,
+                   const char* title, MakeConfig make_config,
                    double budget_seconds) {
   std::cout << "\n" << title << " (time box " << format_fixed(budget_seconds, 1)
             << " s per cell):\n";
@@ -96,6 +97,11 @@ void scaling_table(const char* title, MakeConfig make_config,
     t.add_row({std::to_string(n), format_count(direct_rate),
                format_count(batched_rate),
                format_fixed(batched_rate / direct_rate, 1) + "x"});
+    const std::string params = std::string("scenario=") + scenario;
+    rep.add_value("engine_rate", "direct_interactions_per_second", protocol,
+                  n, params, direct_rate, "interactions/s");
+    rep.add_value("engine_rate", "batched_interactions_per_second", protocol,
+                  n, params, batched_rate, "interactions/s");
   }
   t.print(std::cout);
 }
@@ -107,11 +113,13 @@ int main(int argc, char** argv) {
          "implementation measurement (no paper counterpart)",
          "the batched engine's geometric null-skipping buys orders of "
          "magnitude in simulated interactions/sec as n grows");
-  engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  reporter rep(args, "E15", "Engine scaling: simulated interactions/sec");
   std::cout << "(this bench always measures both engines; the flag selects "
                "nothing here)\n";
 
   scaling_table<silent_n_state_ssr>(
+      rep, "silent_n_state", "uniform_random",
       "Silent-n-state-SSR, uniform random ranks",
       [](const silent_n_state_ssr& p, rng_t& rng) {
         return adversarial_configuration(p, rng);
@@ -119,6 +127,7 @@ int main(int argc, char** argv) {
       0.3);
 
   scaling_table<optimal_silent_ssr>(
+      rep, "optimal_silent", "uniform_random",
       "Optimal-Silent-SSR, uniform random start",
       [](const optimal_silent_ssr& p, rng_t& rng) {
         return adversarial_configuration(
@@ -139,5 +148,6 @@ int main(int argc, char** argv) {
                "engine's\nindexing overhead buys nothing until the "
                "population is largely settled."
             << std::endl;
+  rep.finish();
   return 0;
 }

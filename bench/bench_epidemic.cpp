@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
   banner("E6: bench_epidemic", "Section 2 (probabilistic tools) + Sec. 1.1",
          "epidemic Theta(log n); roll call ~1.5x epidemic; "
          "E[tau_k] = O(k n^{1/k})");
-  const engine_kind engine = engine_from_args(argc, argv);
-  if (engine == engine_kind::batched) {
+  const bench_args args = parse_bench_args(argc, argv);
+  reporter rep(args, "E6", "Section 2: epidemic / roll call / bounded epidemic");
+  if (args.engine == engine_kind::batched) {
     std::cout << "(note: the tool processes have their own specialized "
                  "simulators; the flag\n selects nothing here)\n";
   }
@@ -34,13 +35,19 @@ int main(int argc, char** argv) {
     text_table t({"n", "trials", "epidemic mean ± ci", "t/ln n",
                   "roll call mean ± ci", "ratio"});
     for (const std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
-      const std::size_t trials = n <= 1024 ? 100 : 40;
-      const auto et = run_trials(trials, 3 + n, [n](std::uint64_t s) {
+      const std::size_t trials = args.trials_or(n <= 1024 ? 100 : 40);
+      const std::uint64_t eseed = args.seed_or(3 + n);
+      const std::uint64_t rseed = args.seed_or(7 + n);
+      const auto et = run_trials(trials, eseed, [n](std::uint64_t s) {
         return run_epidemic(n, s).completion_time;
       });
-      const auto rt = run_trials(trials, 7 + n, [n](std::uint64_t s) {
+      const auto rt = run_trials(trials, rseed, [n](std::uint64_t s) {
         return run_roll_call(n, s).completion_time;
       });
+      rep.add_samples("epidemic", "two_way_epidemic", n, "", trials, eseed,
+                      "parallel_time", et);
+      rep.add_samples("roll_call", "roll_call", n, "", trials, rseed,
+                      "parallel_time", rt);
       const summary es = summarize(et);
       const summary rs = summarize(rt);
       t.add_row({std::to_string(n), std::to_string(trials),
@@ -65,10 +72,14 @@ int main(int argc, char** argv) {
     text_table t({"k", "samples", "E[tau_k] mean ± ci", "k*n^(1/k)",
                   "tau_k/pred"});
     for (std::uint32_t k = 1; k <= max_k; ++k) {
-      const std::size_t trials = k == 1 ? 40 : 60;
-      const auto samples = run_trials(trials, 33 + k, [&](std::uint64_t s) {
+      const std::size_t trials = args.trials_or(k == 1 ? 40 : 60);
+      const std::uint64_t kseed = args.seed_or(33 + k);
+      const auto samples = run_trials(trials, kseed, [&](std::uint64_t s) {
         return run_bounded_epidemic(n, k, s).hit_time[k];
       });
+      rep.add_samples("bounded_epidemic", "bounded_epidemic", n,
+                      "k=" + std::to_string(k), trials, kseed,
+                      "parallel_time", samples);
       const summary s = summarize(samples);
       const double pred =
           k * std::pow(static_cast<double>(n), 1.0 / static_cast<double>(k));
@@ -83,5 +94,6 @@ int main(int argc, char** argv) {
                  "large k.)"
               << std::endl;
   }
+  rep.finish();
   return 0;
 }

@@ -78,7 +78,9 @@ int main(int argc, char** argv) {
          "loose stabilization (Sections 1 and 6; Sudo et al. [56])",
          "Theta(log n) states buy fast convergence but only a finite "
          "holding time, exponential in the timeout constant");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E11", "Loose stabilization: states vs holding time");
 
   const std::uint32_t n = 64;
   const double log2n = std::log2(static_cast<double>(n));
@@ -88,11 +90,12 @@ int main(int argc, char** argv) {
                 "runs at cap"});
   for (const double c : {1.0, 2.0, 4.0, 6.0, 8.0}) {
     const auto t_max = static_cast<std::uint32_t>(std::ceil(c * log2n));
-    const std::size_t trials = 12;
+    const std::size_t trials = args.trials_or(12);
+    const std::uint64_t seed = args.seed_or(42 + t_max);
     std::vector<double> conv(trials), hold(trials);
     int capped = 0;
     for (std::size_t i = 0; i < trials; ++i) {
-      const auto out = run_once(n, t_max, derive_seed(42 + t_max, i),
+      const auto out = run_once(n, t_max, derive_seed(seed, i),
                                 holding_cap, engine);
       conv[i] = out.convergence;
       hold[i] = out.holding;
@@ -104,6 +107,12 @@ int main(int argc, char** argv) {
                format_fixed(summarize(conv).mean, 1),
                format_fixed(summarize(hold).mean, 1),
                std::to_string(capped) + "/" + std::to_string(trials)});
+    const std::string params = "t_max=" + std::to_string(t_max);
+    rep.add_samples("convergence", "loose_stabilizing", n, params, trials,
+                    seed, "parallel_time", conv);
+    rep.add_samples("holding", "loose_stabilizing", n, params, trials, seed,
+                    "parallel_time", hold)
+        .lower_is_better = false;
   }
   t.print(std::cout);
 
@@ -118,5 +127,6 @@ int main(int argc, char** argv) {
                ">= " << format_fixed(holding_cap, 0)
             << " time units), while the paper's protocols hold forever."
             << std::endl;
+  rep.finish();
   return 0;
 }

@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
   banner("E13: bench_phases", "Section 4 (proof-stage decomposition)",
          "detect O(n) + drain O(log n) + dormant O(n) + rank O(n), with a "
          "constant expected number of reset rounds");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E13", "Section 4 proof-stage decomposition");
 
   for (const auto scenario : {optimal_silent_scenario::duplicated_ranks,
                               optimal_silent_scenario::no_leader,
@@ -153,11 +155,12 @@ int main(int argc, char** argv) {
     text_table t({"n", "trials", "detect", "drain", "dormant", "rank",
                   "total", "reset rounds"});
     for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
-      const std::size_t trials = 30;
+      const std::size_t trials = args.trials_or(30);
+      const std::uint64_t seed = args.seed_or(5 + n);
       std::vector<double> detect(trials), drain(trials), dormantv(trials),
           rank(trials), total(trials), rounds(trials);
       parallel_for_index(trials, [&](std::size_t i) {
-        const auto r = run_phases(n, scenario, derive_seed(5 + n, i), engine);
+        const auto r = run_phases(n, scenario, derive_seed(seed, i), engine);
         detect[i] = r.detect;
         drain[i] = r.drain;
         dormantv[i] = r.dormant;
@@ -172,6 +175,14 @@ int main(int argc, char** argv) {
                  format_fixed(summarize(rank).mean, 1),
                  format_fixed(summarize(total).mean, 1),
                  format_fixed(summarize(rounds).mean, 2)});
+      const std::string params =
+          std::string("scenario=") + std::string(to_string(scenario));
+      rep.add_samples("phase_total", "optimal_silent", n, params, trials,
+                      seed, "parallel_time", total);
+      rep.add_samples("phase_detect", "optimal_silent", n, params, trials,
+                      seed, "parallel_time", detect);
+      rep.add_samples("phase_dormant", "optimal_silent", n, params, trials,
+                      seed, "parallel_time", dormantv);
     }
     t.print(std::cout);
   }
@@ -186,5 +197,6 @@ int main(int argc, char** argv) {
                "slow election almost always yields a unique\nleader on the "
                "first try -- the 'constant expected repeats' of Section 4."
             << std::endl;
+  rep.finish();
   return 0;
 }

@@ -65,16 +65,25 @@ int main(int argc, char** argv) {
   banner("E12: bench_price_of_ss", "Conclusion (initialized ranking)",
          "the same Theta(n) tree ranking, with and without the "
          "self-stabilization machinery");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E12", "Price of self-stabilization");
 
   text_table t({"n", "initialized (3n+1 states)", "t/n",
                 "optimal-silent, clean start", "t/n",
                 "optimal-silent, adversarial", "t/n"});
   for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
-    const std::size_t trials = n <= 256 ? 40 : 20;
-    const double init = initialized_mean(n, trials, 3 + n);
-    const double clean = optimal_clean_mean(n, trials, 17 + n);
-    const double adv = optimal_adversarial_mean(n, trials, 31 + n, engine);
+    const std::size_t trials = args.trials_or(n <= 256 ? 40 : 20);
+    const double init = initialized_mean(n, trials, args.seed_or(3 + n));
+    const double clean = optimal_clean_mean(n, trials, args.seed_or(17 + n));
+    const double adv = optimal_adversarial_mean(n, trials,
+                                                args.seed_or(31 + n), engine);
+    rep.add_value("price", "initialized_mean_time", "initialized_ranking", n,
+                  "", init, "parallel_time", /*higher_is_better=*/false);
+    rep.add_value("price", "clean_start_mean_time", "optimal_silent", n, "",
+                  clean, "parallel_time", /*higher_is_better=*/false);
+    rep.add_value("price", "adversarial_mean_time", "optimal_silent", n, "",
+                  adv, "parallel_time", /*higher_is_better=*/false);
     t.add_row({std::to_string(n), format_fixed(init, 1),
                format_fixed(init / n, 3), format_fixed(clean, 1),
                format_fixed(clean / n, 3), format_fixed(adv, 1),
@@ -101,5 +110,6 @@ int main(int argc, char** argv) {
                "only the D_max = 8n dormant election (~4n) plus ranking.\n"
                "The expensive frontier is sublinear *time* (Table 1), not "
                "fault tolerance." << std::endl;
+  rep.finish();
   return 0;
 }

@@ -123,17 +123,20 @@ reset_run run_reset(std::uint32_t n, std::uint64_t seed, engine_kind kind) {
 int main(int argc, char** argv) {
   banner("E7: bench_reset", "Section 3 (Propagate-Reset)",
          "completes in O(log n) time; every agent resets exactly once");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E7", "Section 3: Propagate-Reset completion");
 
   text_table t({"n", "trials", "completion mean ± ci", "t/ln n",
                 "fully-dormant by", "clean resets"});
   std::vector<double> ns, means;
   for (const std::uint32_t n : {32u, 128u, 512u, 2048u, 8192u}) {
-    const std::size_t trials = n <= 2048 ? 60 : 20;
+    const std::size_t trials = args.trials_or(n <= 2048 ? 60 : 20);
+    const std::uint64_t seed = args.seed_or(77 + n);
     std::vector<double> completion(trials), dormant(trials);
     std::size_t clean = 0;
     for (std::size_t i = 0; i < trials; ++i) {
-      const reset_run r = run_reset(n, derive_seed(77 + n, i), engine);
+      const reset_run r = run_reset(n, derive_seed(seed, i), engine);
       completion[i] = r.completion_time;
       dormant[i] = r.dormant_time;
       clean += r.clean ? 1 : 0;
@@ -147,6 +150,12 @@ int main(int argc, char** argv) {
                std::to_string(clean) + "/" + std::to_string(trials)});
     ns.push_back(n);
     means.push_back(cs.mean);
+    rep.add_samples("completion", "propagate_reset", n, "", trials, seed,
+                    "parallel_time", completion);
+    rep.add_samples("fully_dormant", "propagate_reset", n, "", trials, seed,
+                    "parallel_time", dormant);
+    rep.add_value("clean", "clean_reset_fraction", "propagate_reset", n, "",
+                  static_cast<double>(clean) / trials, "fraction");
   }
   t.print(std::cout);
 
@@ -156,5 +165,6 @@ int main(int argc, char** argv) {
             << "  (Clean resets at 100%: the dormant delay prevents double "
                "awakenings, as Section 3 argues.)"
             << std::endl;
+  rep.finish();
   return 0;
 }

@@ -49,15 +49,20 @@ int main(int argc, char** argv) {
   banner("E4: bench_silent_lower_bound", "Observation 2.2",
          "silent SSLE: expected >= ~n/3 time; P[time >= alpha n ln n] >= "
          "0.5 n^(-3 alpha)");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E4", "Observation 2.2: silent SSLE lower bound");
 
   {
     std::cout << "\nPlanted duplicate leader in the baseline's silent "
                  "configuration:\n";
     text_table t({"n", "trials", "mean time ± ci", "(n-1)/2 pred", "t/pred"});
     for (const std::uint32_t n : {16u, 32u, 64u, 128u, 256u}) {
-      const std::size_t trials = 200;
-      const auto times = planted_duplicate_times(n, trials, 11 + n, engine);
+      const std::size_t trials = args.trials_or(200);
+      const std::uint64_t seed = args.seed_or(11 + n);
+      const auto times = planted_duplicate_times(n, trials, seed, engine);
+      rep.add_samples("planted_duplicate", "silent_n_state", n, "", trials,
+                      seed, "parallel_time", times);
       const summary s = summarize(times);
       const double pred = direct_meeting_time(n);
       t.add_row({std::to_string(n), std::to_string(trials),
@@ -76,12 +81,15 @@ int main(int argc, char** argv) {
     text_table t({"n", "trials", "P[time >= a n ln n] measured",
                   "0.5 n^(-3a) bound"});
     for (const std::uint32_t n : {16u, 32u, 64u}) {
-      const std::size_t trials = 3000;
-      const auto times = planted_duplicate_times(n, trials, 900 + n, engine);
+      const std::size_t trials = args.trials_or(3000);
+      const std::uint64_t seed = args.seed_or(900 + n);
+      const auto times = planted_duplicate_times(n, trials, seed, engine);
       const double threshold =
           static_cast<double>(n) * std::log(static_cast<double>(n)) / 3.0;
       std::size_t over = 0;
       for (const double x : times) over += x >= threshold ? 1 : 0;
+      rep.add_value("tail", "tail_mass_alpha_third", "silent_n_state", n, "",
+                    static_cast<double>(over) / trials, "probability");
       t.add_row({std::to_string(n), std::to_string(trials),
                  format_fixed(static_cast<double>(over) / trials, 4),
                  format_fixed(silent_tail_lower_bound(n, 1.0 / 3.0), 4)});
@@ -90,5 +98,6 @@ int main(int argc, char** argv) {
     std::cout << "  (Measured tail mass dominates the analytic lower bound, "
                  "as Observation 2.2 requires.)" << std::endl;
   }
+  rep.finish();
   return 0;
 }

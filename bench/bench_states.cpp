@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
   banner("E3: bench_states", "Table 1 (states column) + Theorem 2.1",
          "baseline n states (optimal); Optimal-Silent O(n); "
          "Sublinear exp(O(n^H) log n)");
-  const engine_kind engine = engine_from_args(argc, argv);
-  if (engine == engine_kind::batched) {
+  const bench_args args = parse_bench_args(argc, argv);
+  reporter rep(args, "E3", "Table 1, states column");
+  if (args.engine == engine_kind::batched) {
     std::cout << "(note: state counting is arithmetic, no simulation runs; "
                  "the flag selects nothing here)\n";
   }
@@ -34,6 +35,12 @@ int main(int argc, char** argv) {
       t.add_row({std::to_string(n), std::to_string(baseline),
                  std::to_string(optimal),
                  format_fixed(static_cast<double>(optimal) / n, 2)});
+      rep.add_value("states", "state_count", "silent_n_state", n, "",
+                    static_cast<double>(baseline), "states",
+                    /*higher_is_better=*/false);
+      rep.add_value("states", "state_count", "optimal_silent", n, "",
+                    static_cast<double>(optimal), "states",
+                    /*higher_is_better=*/false);
     }
     t.print(std::cout);
     std::cout << "  (Theorem 2.1: >= n states are necessary; the baseline "
@@ -49,8 +56,12 @@ int main(int argc, char** argv) {
           std::ceil(std::log2(static_cast<double>(n))));
       std::vector<std::string> row{std::to_string(n)};
       for (const std::uint32_t h : {0u, 1u, 2u, 3u, log2n}) {
-        row.push_back(format_count(sublinear_state_bits(
-            n, sublinear_time_ssr::tuning::defaults(n, h))));
+        const double bits = sublinear_state_bits(
+            n, sublinear_time_ssr::tuning::defaults(n, h));
+        row.push_back(format_count(bits));
+        rep.add_value("state_bits", "per_agent_bits", "sublinear", n,
+                      "h=" + std::to_string(h), bits, "bits",
+                      /*higher_is_better=*/false);
       }
       t.add_row(std::move(row));
     }
@@ -60,5 +71,6 @@ int main(int argc, char** argv) {
                  "multiplies the tree term by n, matching exp(O(n^H) log n).)"
               << std::endl;
   }
+  rep.finish();
   return 0;
 }

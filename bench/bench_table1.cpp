@@ -34,7 +34,9 @@ void fit_row(const char* protocol, const std::vector<double>& ns,
 int main(int argc, char** argv) {
   banner("E1: bench_table1", "Table 1, rows 1-3 (time columns)",
          "Theta(n^2) vs Theta(n) [Theta(n log n) WHP] vs Theta(log n)");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E1", "Table 1, rows 1-3 (time columns)");
 
   // -- Silent-n-state-SSR (accelerated exact simulation) -------------------
   {
@@ -42,8 +44,11 @@ int main(int argc, char** argv) {
     text_table t({"n", "trials", "mean time ± ci", "p90", "p99", "t/n^2"});
     std::vector<double> ns, means;
     for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-      const std::size_t trials = 100;
-      const auto times = baseline_times(n, trials, 42 + n, engine);
+      const std::size_t trials = args.trials_or(100);
+      const std::uint64_t seed = args.seed_or(42 + n);
+      const auto times = baseline_times(n, trials, seed, engine);
+      rep.add_samples("baseline_uniform", "silent_n_state", n, "", trials,
+                      seed, "parallel_time", times);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       t.add_row({std::to_string(n), std::to_string(trials), cells[0], cells[1],
@@ -63,10 +68,12 @@ int main(int argc, char** argv) {
         {"n", "trials", "mean time ± ci", "p90", "p99", "t/n", "p99/(n ln n)"});
     std::vector<double> ns, means;
     for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
-      const std::size_t trials = n <= 512 ? 60 : 24;
+      const std::size_t trials = args.trials_or(n <= 512 ? 60 : 24);
+      const std::uint64_t seed = args.seed_or(1000 + n);
       const auto times = optimal_silent_times(
-          n, trials, 1000 + n, optimal_silent_scenario::uniform_random,
-          engine);
+          n, trials, seed, optimal_silent_scenario::uniform_random, engine);
+      rep.add_samples("optimal_uniform", "optimal_silent", n, "", trials,
+                      seed, "parallel_time", times);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       const double ln_n = std::log(static_cast<double>(n));
@@ -99,11 +106,15 @@ int main(int argc, char** argv) {
     for (const std::uint32_t n : {8u, 16u, 32u}) {
       const auto h = static_cast<std::uint32_t>(std::ceil(
                          std::log2(static_cast<double>(n)))) - 1;
-      const std::size_t trials = n >= 32 ? 4 : 20;
-      const auto times = sublinear_times(n, h, trials, 3000 + n,
+      const std::size_t trials = args.trials_or(n >= 32 ? 4 : 20);
+      const std::uint64_t seed = args.seed_or(3000 + n);
+      const auto times = sublinear_times(n, h, trials, seed,
                                          sublinear_scenario::single_collision,
                                          /*confirm=*/50.0,
                                          /*parallel=*/n < 32, engine);
+      rep.add_samples("sublinear_collision", "sublinear", n,
+                      "h=" + std::to_string(h), trials, seed,
+                      "parallel_time", times);
       const summary s = summarize(times);
       auto cells = time_cells(s);
       const double ln_n = std::log(static_cast<double>(n));
@@ -122,5 +133,6 @@ int main(int argc, char** argv) {
                "\nbaseline is quadratic, Optimal-Silent linear, and the"
                "\nH=log2(n) family grows only logarithmically (flat t/ln n)."
             << std::endl;
+  rep.finish();
   return 0;
 }

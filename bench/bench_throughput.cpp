@@ -7,6 +7,10 @@
 // the experiments above.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "pp/convergence.hpp"
 #include "pp/engine.hpp"
 #include "pp/simulation.hpp"
@@ -152,6 +156,62 @@ void BM_RankTrackerUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_RankTrackerUpdate);
 
+/// Console output as usual, plus every per-iteration run recorded as a
+/// value row in BENCH_E10.json (items/sec where the benchmark reports
+/// throughput, seconds per iteration otherwise).
+class recording_reporter : public benchmark::ConsoleReporter {
+ public:
+  explicit recording_reporter(ssr::bench::reporter& rep) : rep_(&rep) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        rep_->add_value("throughput", "items_per_second",
+                        run.benchmark_name(), 0, "", items->second.value,
+                        "items/s", /*higher_is_better=*/true);
+      } else if (run.iterations > 0) {
+        rep_->add_value("throughput", "seconds_per_iteration",
+                        run.benchmark_name(), 0, "",
+                        run.real_accumulated_time /
+                            static_cast<double>(run.iterations),
+                        "s", /*higher_is_better=*/false);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  ssr::bench::reporter* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark owns --benchmark_* flags; everything else goes through
+  // the shared bench parser so --out-dir/--no-json (and flag typo
+  // suggestions) work here like in every other bench.
+  std::vector<char*> gbench_argv{argv[0]};
+  std::vector<char*> ours_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    (arg.rfind("--benchmark_", 0) == 0 ? gbench_argv : ours_argv)
+        .push_back(argv[i]);
+  }
+  const ssr::bench::bench_args args = ssr::bench::parse_bench_args(
+      static_cast<int>(ours_argv.size()), ours_argv.data());
+  ssr::bench::reporter rep(args, "E10",
+                           "Engine microbenchmarks (google-benchmark)");
+
+  int gbench_argc = static_cast<int>(gbench_argv.size());
+  benchmark::Initialize(&gbench_argc, gbench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_argv.data()))
+    return 1;
+  recording_reporter reporter(rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  rep.finish();
+  return 0;
+}

@@ -75,8 +75,9 @@ int main(int argc, char** argv) {
          "the complete-graph model assumption (Sections 1-2)",
          "off the complete graph, self-stabilization fails: colliding "
          "agents that are not adjacent can never be detected");
-  const engine_kind engine = engine_from_args(argc, argv);
-  if (engine == engine_kind::batched) {
+  const bench_args args = parse_bench_args(argc, argv);
+  reporter rep(args, "E9", "Complete-graph assumption, quantified");
+  if (args.engine == engine_kind::batched) {
     std::cout << "(note: this bench samples interactions from non-complete "
                  "graphs, which only the\n graph simulator supports -- the "
                  "engines assume the uniform complete-graph\n scheduler, so "
@@ -108,10 +109,15 @@ int main(int argc, char** argv) {
         {"star", interaction_graph::star(n)},
     };
     for (const auto& [name, g] : graphs) {
-      const auto out =
-          run_on_graph(baseline, g, random_ranks, 40, 11, 50'000.0);
+      const auto out = run_on_graph(baseline, g, random_ranks,
+                                    args.trials_or(40), args.seed_or(11),
+                                    50'000.0);
       t.add_row({name, std::to_string(g.edge_count()), rate(out),
                  mean_time(out)});
+      rep.add_value("topology_fixed", "convergence_fraction",
+                    "silent_n_state", n, std::string("graph=") + name,
+                    static_cast<double>(out.converged) / out.total,
+                    "fraction");
     }
     t.print(std::cout);
   }
@@ -122,9 +128,14 @@ int main(int argc, char** argv) {
     text_table t({"edge prob p", "converged", "mean time (conv. runs)"});
     for (const double p : {1.0, 0.95, 0.9, 0.8, 0.6}) {
       const auto out = run_on_graph(baseline, interaction_graph::complete(n),
-                                    random_ranks, 40, 23, 50'000.0,
+                                    random_ranks, args.trials_or(40),
+                                    args.seed_or(23), 50'000.0,
                                     /*regenerate_graph=*/true, p);
       t.add_row({format_fixed(p, 2), rate(out), mean_time(out)});
+      rep.add_value("topology_gnp", "convergence_fraction", "silent_n_state",
+                    n, "p=" + format_fixed(p, 2),
+                    static_cast<double>(out.converged) / out.total,
+                    "fraction");
     }
     t.print(std::cout);
     std::cout << "  (Every non-converged run ends in a silent incorrect "
@@ -144,9 +155,14 @@ int main(int argc, char** argv) {
     text_table t({"edge prob p", "converged", "mean time (conv. runs)"});
     for (const double p : {1.0, 0.95, 0.9, 0.8}) {
       const auto out = run_on_graph(optimal, interaction_graph::complete(on),
-                                    adversarial, 25, 37, 50'000.0,
+                                    adversarial, args.trials_or(25),
+                                    args.seed_or(37), 50'000.0,
                                     /*regenerate_graph=*/true, p);
       t.add_row({format_fixed(p, 2), rate(out), mean_time(out)});
+      rep.add_value("topology_gnp", "convergence_fraction", "optimal_silent",
+                    on, "p=" + format_fixed(p, 2),
+                    static_cast<double>(out.converged) / out.total,
+                    "fraction");
     }
     t.print(std::cout);
     std::cout << "  (A contrast the paper does not explore: Optimal-Silent-"
@@ -159,5 +175,6 @@ int main(int argc, char** argv) {
                  "(tests/topology_test.cpp); [57] shows what a real "
                  "generalization takes.)" << std::endl;
   }
+  rep.finish();
   return 0;
 }

@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   banner("E2: bench_tradeoff_h", "Table 1, row 4 (+ Theorem 5.1)",
          "detection Theta(H n^{1/(H+1)}) for constant H, Theta(log n) at "
          "H=Theta(log n); states exp(O(n^H) log n)");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E2", "Table 1, row 4: H time/space tradeoff");
 
   struct point {
     std::uint32_t n, h;
@@ -59,14 +61,21 @@ int main(int argc, char** argv) {
           "det/pred", "end-to-end mean", "log2(states) est"});
       table = &tables.back();
     }
-    const auto detect =
-        detection_latencies(pt.n, pt.h, pt.trials, 900 + 31 * pt.n + pt.h,
-                            pt.parallel, engine);
-    const auto total = sublinear_times(pt.n, pt.h, std::max<std::size_t>(
-                                           pt.trials / 2, 3),
-                                       500 + 17 * pt.n + pt.h,
+    const std::size_t detect_trials = args.trials_or(pt.trials);
+    const std::uint64_t detect_seed = args.seed_or(900 + 31 * pt.n + pt.h);
+    const auto detect = detection_latencies(pt.n, pt.h, detect_trials,
+                                            detect_seed, pt.parallel, engine);
+    const std::size_t total_trials =
+        args.trials_or(std::max<std::size_t>(pt.trials / 2, 3));
+    const std::uint64_t total_seed = args.seed_or(500 + 17 * pt.n + pt.h);
+    const auto total = sublinear_times(pt.n, pt.h, total_trials, total_seed,
                                        sublinear_scenario::single_collision,
                                        /*confirm=*/30.0, pt.parallel, engine);
+    const std::string params = "h=" + std::to_string(pt.h);
+    rep.add_samples("detection", "sublinear", pt.n, params, detect_trials,
+                    detect_seed, "parallel_time", detect);
+    rep.add_samples("end_to_end", "sublinear", pt.n, params, total_trials,
+                    total_seed, "parallel_time", total);
     const summary ds = summarize(detect);
     const summary ts = summarize(total);
     const double pred =
@@ -93,5 +102,6 @@ int main(int argc, char** argv) {
                "\nwhile the state estimate explodes -- the Table 1 tradeoff."
                "\nEnd-to-end time adds the Theta(log n) reset/rerank phases"
                "\n(paper constant R_max = 60 ln n)." << std::endl;
+  rep.finish();
   return 0;
 }

@@ -24,7 +24,9 @@ int main(int argc, char** argv) {
   banner("E14: bench_whp", "Table 1 WHP columns + Corollary 4.2",
          "tail quantiles: baseline collapses under n^2 scaling; "
          "optimal-silent's extreme quantiles stay O(n log n)");
-  const engine_kind engine = engine_from_args(argc, argv);
+  const bench_args args = parse_bench_args(argc, argv);
+  const engine_kind engine = args.engine;
+  reporter rep(args, "E14", "Table 1 WHP columns + Corollary 4.2");
 
   {
     std::cout << "\nSilent-n-state-SSR, 1000 runs per n, times divided by "
@@ -32,7 +34,11 @@ int main(int argc, char** argv) {
     text_table t({"n", "p50/n^2", "p90/n^2", "p99/n^2", "p99.9/n^2",
                   "p99.9/p50"});
     for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
-      const auto times = baseline_times(n, 1000, 7 + n, engine);
+      const std::size_t trials = args.trials_or(1000);
+      const std::uint64_t seed = args.seed_or(7 + n);
+      const auto times = baseline_times(n, trials, seed, engine);
+      rep.add_samples("whp_baseline", "silent_n_state", n, "", trials, seed,
+                      "parallel_time", times);
       const double n2 = static_cast<double>(n) * n;
       const double p50 = quantile(times, 0.50);
       const double p999 = quantile(times, 0.999);
@@ -52,8 +58,13 @@ int main(int argc, char** argv) {
     text_table t({"n", "p50/n", "p99/n", "p99.9/n", "p99.9/(n ln n)",
                   "p99.9/p50"});
     for (const std::uint32_t n : {64u, 128u, 256u, 512u}) {
+      const std::size_t trials = args.trials_or(1000);
+      const std::uint64_t seed = args.seed_or(11 + n);
       const auto times = optimal_silent_times(
-          n, 1000, 11 + n, optimal_silent_scenario::uniform_random, engine);
+          n, trials, seed, optimal_silent_scenario::uniform_random, engine);
+      rep.add_samples("whp_optimal", "optimal_silent", n,
+                      "scenario=uniform_random", trials, seed,
+                      "parallel_time", times);
       const double p50 = quantile(times, 0.50);
       const double p999 = quantile(times, 0.999);
       const double ln_n = std::log(static_cast<double>(n));
@@ -70,5 +81,6 @@ int main(int argc, char** argv) {
                  "are rare and cost one extra\n   Theta(n) round, not a "
                  "heavy tail.)" << std::endl;
   }
+  rep.finish();
   return 0;
 }

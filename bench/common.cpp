@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <stdexcept>
 
@@ -8,8 +9,43 @@
 #include "pp/convergence.hpp"
 #include "pp/trial.hpp"
 #include "protocols/silent_n_state.hpp"
+#include "util/edit_distance.hpp"
 
 namespace ssr::bench {
+namespace {
+
+constexpr std::string_view bench_flags[] = {
+    "--engine", "--trials", "--seed", "--out-dir", "--no-json",
+};
+
+[[noreturn]] void reject_flag(std::string_view arg) {
+  const std::string_view name = arg.substr(0, arg.find('='));
+  std::cerr << "error: unknown argument '" << name << "'";
+  const std::string_view suggestion = nearest_candidate(name, bench_flags);
+  if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion << "?)";
+  std::cerr << "\nbenches accept --engine=direct|batched --trials=N --seed=S"
+               " --out-dir=DIR --no-json\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64_value(std::string_view flag, std::string_view text) {
+  std::uint64_t value = 0;
+  if (text.empty()) {
+    std::cerr << "error: " << flag << " needs a value\n";
+    std::exit(2);
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      std::cerr << "error: " << flag << " expects an unsigned integer, got '"
+                << text << "'\n";
+      std::exit(2);
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
 
 void banner(const std::string& experiment, const std::string& artifact,
             const std::string& claim) {
@@ -19,27 +55,96 @@ void banner(const std::string& experiment, const std::string& artifact,
             << "==================================================\n";
 }
 
-engine_kind engine_from_args(int argc, char** argv) {
-  engine_kind engine = engine_kind::direct;
+bench_args parse_bench_args(int argc, char** argv) {
+  bench_args args;
+  if (argc > 0) {
+    const std::string_view program = argv[0];
+    args.binary = program.substr(program.find_last_of('/') + 1);
+  }
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::string prefix = "--engine=";
-    if (arg.rfind(prefix, 0) == 0) {
-      const auto parsed = parse_engine(arg.substr(prefix.size()));
+    const std::string_view arg = argv[i];
+    args.argv.emplace_back(arg);
+    const auto value_of = [&](std::string_view prefix)
+        -> std::optional<std::string_view> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--engine=")) {
+      const auto parsed = parse_engine(*v);
       if (!parsed) {
-        std::cerr << "error: unknown engine '" << arg.substr(prefix.size())
+        std::cerr << "error: unknown engine '" << *v
                   << "' (use --engine=direct|batched)\n";
         std::exit(2);
       }
-      engine = *parsed;
+      args.engine = *parsed;
+    } else if (const auto v = value_of("--trials=")) {
+      args.trials = parse_u64_value("--trials", *v);
+      if (*args.trials == 0) {
+        std::cerr << "error: --trials must be positive\n";
+        std::exit(2);
+      }
+    } else if (const auto v = value_of("--seed=")) {
+      args.seed = parse_u64_value("--seed", *v);
+    } else if (const auto v = value_of("--out-dir=")) {
+      args.out_dir = *v;
+    } else if (arg == "--no-json") {
+      args.write_json = false;
     } else {
-      std::cerr << "error: unknown argument '" << arg
-                << "' (benches accept --engine=direct|batched)\n";
-      std::exit(2);
+      reject_flag(arg);
     }
   }
-  std::cout << "engine: " << to_string(engine) << "\n";
-  return engine;
+  std::cout << "engine: " << to_string(args.engine) << "\n";
+  return args;
+}
+
+reporter::reporter(const bench_args& args, std::string experiment,
+                   std::string title)
+    : args_(args), start_(std::chrono::steady_clock::now()) {
+  report_.experiment = std::move(experiment);
+  report_.title = std::move(title);
+  report_.binary = args_.binary.empty() ? "bench" : args_.binary;
+  report_.engine = std::string(to_string(args_.engine));
+  report_.argv = args_.argv;
+}
+
+obs::report_row& reporter::add_samples(std::string section,
+                                       std::string protocol, std::uint64_t n,
+                                       std::string params,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed, std::string unit,
+                                       std::vector<double> samples) {
+  return report_.add_samples(std::move(section), std::move(protocol), n,
+                             std::move(params), trials, seed, std::move(unit),
+                             std::move(samples));
+}
+
+obs::report_row& reporter::add_value(std::string section, std::string metric,
+                                     std::string protocol, std::uint64_t n,
+                                     std::string params, double value,
+                                     std::string unit,
+                                     bool higher_is_better) {
+  return report_.add_value(std::move(section), std::move(metric),
+                           std::move(protocol), n, std::move(params), value,
+                           std::move(unit), higher_is_better);
+}
+
+std::string reporter::finish() {
+  if (!args_.write_json) return {};
+  report_.git_rev = obs::git_revision();
+  report_.generated_unix = static_cast<std::int64_t>(std::time(nullptr));
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  report_.wall_time_seconds = elapsed.count();
+  report_.metrics = metrics_.snapshot();
+  const std::string path = obs::write_report(report_, args_.out_dir);
+  if (path.empty()) {
+    std::cerr << "warning: could not write "
+              << obs::report_filename(report_.experiment) << " under '"
+              << args_.out_dir << "'\n";
+  } else {
+    std::cout << "report: " << path << "\n";
+  }
+  return path;
 }
 
 std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,

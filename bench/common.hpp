@@ -17,11 +17,15 @@
 // regime; bench_engine_scaling quantifies the gap.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/statistics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "pp/engine.hpp"
 #include "protocols/adversary.hpp"
 
@@ -31,11 +35,76 @@ namespace ssr::bench {
 void banner(const std::string& experiment, const std::string& artifact,
             const std::string& claim);
 
-/// Parses --engine=direct|batched from a bench binary's argv (default
-/// direct), prints the choice, and rejects unknown arguments.  Every bench
-/// main routes its argv through this so the sweep driver can flip engines
-/// uniformly.
-engine_kind engine_from_args(int argc, char** argv);
+/// The uniform bench command line (parse_bench_args):
+///
+///   --engine=direct|batched   engine selection (default direct)
+///   --trials=N                override every row's trial count
+///   --seed=S                  override every row's base seed
+///   --out-dir=DIR             where BENCH_<id>.json is written (default .)
+///   --no-json                 skip the JSON artifact
+///
+/// Trial counts and seeds are per-row constants chosen by each bench, so
+/// the overrides are optional: row code asks args.trials_or(default) /
+/// args.seed_or(default).
+struct bench_args {
+  engine_kind engine = engine_kind::direct;
+  std::optional<std::uint64_t> trials;
+  std::optional<std::uint64_t> seed;
+  std::string out_dir;
+  bool write_json = true;
+  std::string binary;             // argv[0] basename, for the report
+  std::vector<std::string> argv;  // original arguments, for the report
+
+  std::size_t trials_or(std::size_t default_trials) const {
+    return trials ? static_cast<std::size_t>(*trials) : default_trials;
+  }
+  std::uint64_t seed_or(std::uint64_t default_seed) const {
+    return seed ? *seed : default_seed;
+  }
+};
+
+/// Parses the uniform flags above, prints the engine choice, and rejects
+/// unknown arguments with the offending flag named and the nearest valid
+/// flag suggested.  Every bench main routes its argv through this so the
+/// sweep driver can flip engines / trial counts / output uniformly.
+bench_args parse_bench_args(int argc, char** argv);
+
+/// Collects rows and metrics during a bench run and emits the machine-
+/// readable artifact next to the human tables: finish() stamps git rev,
+/// wall time and the metrics snapshot into a versioned bench_report
+/// (obs/report.hpp) and writes <out_dir>/BENCH_<experiment>.json unless
+/// --no-json was given.
+class reporter {
+ public:
+  reporter(const bench_args& args, std::string experiment,
+           std::string title);
+
+  /// Adds a per-trial sample row (stabilization times etc.).
+  obs::report_row& add_samples(std::string section, std::string protocol,
+                               std::uint64_t n, std::string params,
+                               std::uint64_t trials, std::uint64_t seed,
+                               std::string unit, std::vector<double> samples);
+  /// Adds a single derived value row (rates etc.).
+  obs::report_row& add_value(std::string section, std::string metric,
+                             std::string protocol, std::uint64_t n,
+                             std::string params, double value,
+                             std::string unit, bool higher_is_better = true);
+
+  /// Registry for this run; pass &metrics() through trial_options (or
+  /// absorb engine counters into it) to land them in the report.
+  obs::metrics_registry& metrics() { return metrics_; }
+
+  /// Writes the artifact (prints the path) and returns the path, or ""
+  /// when JSON output is disabled or the write failed (failure also prints
+  /// a warning).  Idempotent: later calls rewrite the same file.
+  std::string finish();
+
+ private:
+  bench_args args_;
+  obs::bench_report report_;
+  obs::metrics_registry metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Stabilization times (parallel) of the baseline from uniform random
 /// configurations.

@@ -1,0 +1,473 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ssr::obs {
+
+json_value& json_value::operator[](std::string_view key) {
+  kind_ = kind::object;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(std::string(key), json_value{});
+  return members_.back().second;
+}
+
+const json_value* json_value::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool operator==(const json_value& a, const json_value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case json_value::kind::null:
+      return true;
+    case json_value::kind::boolean:
+      return a.bool_ == b.bool_;
+    case json_value::kind::number:
+      return a.num_ == b.num_;
+    case json_value::kind::string:
+      return a.str_ == b.str_;
+    case json_value::kind::array:
+      if (a.items_.size() != b.items_.size()) return false;
+      for (std::size_t i = 0; i < a.items_.size(); ++i) {
+        if (!(a.items_[i] == b.items_[i])) return false;
+      }
+      return true;
+    case json_value::kind::object: {
+      if (a.members_.size() != b.members_.size()) return false;
+      for (const auto& [k, v] : a.members_) {
+        const json_value* other = b.find(k);
+        if (other == nullptr || !(v == *other)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  const double rounded = std::nearbyint(v);
+  if (rounded == v && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void json_value::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case kind::null:
+      out += "null";
+      return;
+    case kind::boolean:
+      out += bool_ ? "true" : "false";
+      return;
+    case kind::number:
+      append_number(out, num_);
+      return;
+    case kind::string:
+      append_json_string(out, str_);
+      return;
+    case kind::array: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_newline_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case kind::object: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) append_newline_indent(out, indent, depth + 1);
+        append_json_string(out, k);
+        out += indent >= 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string json_value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser; positions are byte offsets for error messages.
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  std::optional<json_value> run(std::string* error) {
+    auto v = parse_value();
+    if (v) {
+      skip_whitespace();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after JSON document");
+        v = std::nullopt;
+      }
+    }
+    if (!v && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expect) {
+    if (pos_ < text_.size() && text_[pos_] == expect) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<json_value> parse_value() {
+    if (++depth_ > 256) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    std::optional<json_value> out;
+    switch (text_[pos_]) {
+      case 'n':
+        if (consume_literal("null")) out = json_value{};
+        else fail("invalid literal");
+        break;
+      case 't':
+        if (consume_literal("true")) out = json_value{true};
+        else fail("invalid literal");
+        break;
+      case 'f':
+        if (consume_literal("false")) out = json_value{false};
+        else fail("invalid literal");
+        break;
+      case '"':
+        out = parse_string_value();
+        break;
+      case '[':
+        out = parse_array();
+        break;
+      case '{':
+        out = parse_object();
+        break;
+      default:
+        out = parse_number();
+        break;
+    }
+    --depth_;
+    return out;
+  }
+
+  std::optional<json_value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    const char first_digit = peek();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    // RFC 8259: the integer part is a single 0 or starts with 1-9.
+    if (first_digit == '0' &&
+        pos_ - start > (text_[start] == '-' ? 2u : 1u)) {
+      fail("invalid number: leading zero");
+      return std::nullopt;
+    }
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number: digit required after decimal point");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number: digit required in exponent");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return json_value{std::strtod(token.c_str(), nullptr)};
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::optional<std::uint32_t> parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        fail("invalid hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("truncated escape");
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto hi = parse_hex4();
+          if (!hi) return std::nullopt;
+          std::uint32_t cp = *hi;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume('\\') || !consume('u')) {
+              fail("high surrogate not followed by \\u low surrogate");
+              return std::nullopt;
+            }
+            auto lo = parse_hex4();
+            if (!lo) return std::nullopt;
+            if (*lo < 0xdc00 || *lo > 0xdfff) {
+              fail("invalid low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (*lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired low surrogate");
+            return std::nullopt;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<json_value> parse_string_value() {
+    auto s = parse_string();
+    if (!s) return std::nullopt;
+    return json_value{std::move(*s)};
+  }
+
+  std::optional<json_value> parse_array() {
+    consume('[');
+    json_value out = json_value::array();
+    skip_whitespace();
+    if (consume(']')) return out;
+    while (true) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      out.push_back(std::move(*item));
+      skip_whitespace();
+      if (consume(']')) return out;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<json_value> parse_object() {
+    consume('{');
+    json_value out = json_value::object();
+    skip_whitespace();
+    if (consume('}')) return out;
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      out[*key] = std::move(*value);
+      skip_whitespace();
+      if (consume('}')) return out;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<json_value> json_value::parse(std::string_view text,
+                                            std::string* error) {
+  return parser(text).run(error);
+}
+
+}  // namespace ssr::obs

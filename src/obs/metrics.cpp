@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace ssr::obs {
+
+json_value to_json(const engine_counters& c) {
+  json_value out = json_value::object();
+  out["interactions_executed"] = json_value{c.interactions_executed};
+  out["certain_nulls_skipped"] = json_value{c.certain_nulls_skipped};
+  out["transitions_changed"] = json_value{c.transitions_changed};
+  out["fenwick_updates"] = json_value{c.fenwick_updates};
+  out["geometric_draws"] = json_value{c.geometric_draws};
+  out["quiescent_jumps"] = json_value{c.quiescent_jumps};
+  out["batches_drawn"] = json_value{c.batches_drawn};
+  return out;
+}
+
+void histogram::record(double sample) {
+  if constexpr (!metrics_compiled_in) return;
+  const std::scoped_lock lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = data_.max = sample;
+  } else {
+    data_.min = std::min(data_.min, sample);
+    data_.max = std::max(data_.max, sample);
+  }
+  ++data_.count;
+  data_.sum += sample;
+  if (sample > 0.0 && std::isfinite(sample)) {
+    ++buckets_[static_cast<int>(std::floor(std::log2(sample)))];
+  }
+}
+
+histogram::snapshot_data histogram::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return data_;
+}
+
+json_value histogram::to_json() const {
+  const std::scoped_lock lock(mutex_);
+  json_value out = json_value::object();
+  out["count"] = json_value{data_.count};
+  out["sum"] = json_value{data_.sum};
+  out["min"] = json_value{data_.min};
+  out["max"] = json_value{data_.max};
+  out["mean"] =
+      json_value{data_.count > 0 ? data_.sum / data_.count : 0.0};
+  json_value buckets = json_value::object();
+  for (const auto& [log2_floor, count] : buckets_) {
+    buckets[std::to_string(log2_floor)] = json_value{count};
+  }
+  out["log2_buckets"] = std::move(buckets);
+  return out;
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<gauge>()).first;
+  }
+  return *it->second;
+}
+
+histogram& metrics_registry::get_histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void metrics_registry::absorb(const engine_counters& c) {
+  get_counter("engine.interactions_executed").add(c.interactions_executed);
+  get_counter("engine.certain_nulls_skipped").add(c.certain_nulls_skipped);
+  get_counter("engine.transitions_changed").add(c.transitions_changed);
+  get_counter("engine.fenwick_updates").add(c.fenwick_updates);
+  get_counter("engine.geometric_draws").add(c.geometric_draws);
+  get_counter("engine.quiescent_jumps").add(c.quiescent_jumps);
+  get_counter("engine.batches_drawn").add(c.batches_drawn);
+}
+
+json_value metrics_registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  json_value out = json_value::object();
+  // std::map iteration is already name-sorted within each metric family.
+  for (const auto& [name, c] : counters_) {
+    out[name] = json_value{c->value()};
+  }
+  for (const auto& [name, g] : gauges_) {
+    out[name] = json_value{g->value()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    out[name] = h->to_json();
+  }
+  return out;
+}
+
+void metrics_registry::clear() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+metrics_registry& metrics_registry::global() {
+  static metrics_registry instance;
+  return instance;
+}
+
+}  // namespace ssr::obs

@@ -1,0 +1,132 @@
+// Engine metrics: cheap counters for the hot simulation paths plus a
+// thread-safe registry of named counters/gauges/histograms for everything
+// above them (trial runners, benches, the CLI).
+//
+// Two layers with two cost models:
+//
+//   engine_counters  -- a plain struct of uint64 cells an engine increments
+//                       directly.  Engines hold a nullable pointer to one;
+//                       the disabled path (the default) is a single
+//                       predictable `if (counters_)` branch per executed
+//                       interaction, measured to be within noise of the
+//                       uninstrumented loop (tests/obs_overhead_test.cpp).
+//                       Not thread-safe by design: one engine, one struct.
+//
+//   metrics_registry -- named metrics with atomic counters and mutex-guarded
+//                       histograms, safe to share across run_trials worker
+//                       threads.  snapshot() returns a JSON object for the
+//                       bench reports.
+//
+// Compile-time kill switch: building with -DSSR_OBS_DISABLED compiles every
+// registry mutation to a no-op (engines are already free when no counters
+// are attached).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/engine_counters.hpp"
+#include "obs/json.hpp"
+
+namespace ssr::obs {
+
+/// JSON object with one member per engine_counters field (metric-catalog
+/// names, see docs/observability.md).
+json_value to_json(const engine_counters& c);
+
+#ifdef SSR_OBS_DISABLED
+inline constexpr bool metrics_compiled_in = false;
+#else
+inline constexpr bool metrics_compiled_in = true;
+#endif
+
+/// Monotone counter.  add() is lock-free; reads are approximate under
+/// concurrent writers (exact once writers quiesce), which is all snapshots
+/// need.
+class counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if constexpr (metrics_compiled_in)
+      value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point cell (e.g. a configuration parameter or a
+/// final occupancy).
+class gauge {
+ public:
+  void set(double v) {
+    if constexpr (metrics_compiled_in)
+      value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Aggregating histogram: count/sum/min/max plus power-of-two magnitude
+/// buckets for positive samples.  record() takes a mutex -- intended for
+/// per-trial-granularity samples (durations), not per-interaction ones
+/// (those belong in engine_counters).
+class histogram {
+ public:
+  void record(double sample);
+
+  struct snapshot_data {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  snapshot_data snapshot() const;
+  json_value to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  snapshot_data data_;
+  std::map<int, std::uint64_t> buckets_;  // floor(log2(sample)) -> count
+};
+
+/// Owns named metrics; get_* creates on first use and returns a stable
+/// reference (the registry must outlive all users).  All operations are
+/// thread-safe.
+class metrics_registry {
+ public:
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name);
+
+  /// Folds an engine's counters into registry counters under
+  /// "engine.<field>" names.
+  void absorb(const engine_counters& c);
+
+  /// One JSON object member per metric, sorted by name for stable output.
+  json_value snapshot() const;
+
+  /// Drops every metric (tests).
+  void clear();
+
+  /// Process-wide default registry used when callers do not supply one.
+  static metrics_registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ssr::obs

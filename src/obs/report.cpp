@@ -1,0 +1,346 @@
+#include "obs/report.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/statistics.hpp"
+
+namespace ssr::obs {
+namespace {
+
+constexpr std::string_view direction_name(bool lower_is_better) {
+  return lower_is_better ? "lower_is_better" : "higher_is_better";
+}
+
+json_value stats_to_json(const summary& s) {
+  json_value out = json_value::object();
+  out["mean"] = json_value{s.mean};
+  out["median"] = json_value{s.median};
+  out["stddev"] = json_value{s.stddev};
+  out["ci95"] = json_value{ci95_halfwidth(s)};
+  out["p90"] = json_value{s.p90};
+  out["p99"] = json_value{s.p99};
+  out["min"] = json_value{s.min};
+  out["max"] = json_value{s.max};
+  return out;
+}
+
+bool read_string(const json_value& obj, std::string_view key,
+                 std::string* out) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->as_string();
+  return true;
+}
+
+bool read_number(const json_value& obj, std::string_view key, double* out) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+}  // namespace
+
+std::string report_row::key() const {
+  std::string k = section;
+  k += '|';
+  k += protocol;
+  k += '|';
+  k += std::to_string(n);
+  k += '|';
+  k += params;
+  if (kind == kind_t::value) {
+    k += '|';
+    k += metric;
+  }
+  return k;
+}
+
+report_row& bench_report::add_samples(std::string section,
+                                      std::string protocol, std::uint64_t n,
+                                      std::string params,
+                                      std::uint64_t trials,
+                                      std::uint64_t seed, std::string unit,
+                                      std::vector<double> samples) {
+  report_row row;
+  row.kind = report_row::kind_t::samples;
+  row.section = std::move(section);
+  row.protocol = std::move(protocol);
+  row.n = n;
+  row.params = std::move(params);
+  row.trials = trials;
+  row.seed = seed;
+  row.unit = std::move(unit);
+  row.samples = std::move(samples);
+  rows.push_back(std::move(row));
+  return rows.back();
+}
+
+report_row& bench_report::add_value(std::string section, std::string metric,
+                                    std::string protocol, std::uint64_t n,
+                                    std::string params, double value,
+                                    std::string unit, bool higher_is_better) {
+  report_row row;
+  row.kind = report_row::kind_t::value;
+  row.section = std::move(section);
+  row.metric = std::move(metric);
+  row.protocol = std::move(protocol);
+  row.n = n;
+  row.params = std::move(params);
+  row.value = value;
+  row.unit = std::move(unit);
+  row.lower_is_better = !higher_is_better;
+  rows.push_back(std::move(row));
+  return rows.back();
+}
+
+json_value bench_report::to_json() const {
+  json_value out = json_value::object();
+  out["schema_version"] = json_value{report_schema_version};
+  out["experiment"] = json_value{experiment};
+  out["title"] = json_value{title};
+  out["binary"] = json_value{binary};
+  out["engine"] = json_value{engine};
+  out["git_rev"] = json_value{git_rev};
+  out["generated_unix"] = json_value{generated_unix};
+  json_value args = json_value::array();
+  for (const std::string& a : argv) args.push_back(json_value{a});
+  out["argv"] = std::move(args);
+  out["wall_time_seconds"] = json_value{wall_time_seconds};
+
+  json_value rows_json = json_value::array();
+  for (const report_row& row : rows) {
+    json_value r = json_value::object();
+    r["kind"] = json_value{row.kind == report_row::kind_t::samples
+                               ? "samples"
+                               : "value"};
+    r["section"] = json_value{row.section};
+    r["protocol"] = json_value{row.protocol};
+    r["n"] = json_value{row.n};
+    r["params"] = json_value{row.params};
+    r["unit"] = json_value{row.unit};
+    r["direction"] = json_value{direction_name(row.lower_is_better)};
+    if (row.kind == report_row::kind_t::samples) {
+      r["trials"] = json_value{row.trials};
+      r["seed"] = json_value{row.seed};
+      json_value samples = json_value::array();
+      for (const double s : row.samples) samples.push_back(json_value{s});
+      r["samples"] = std::move(samples);
+      if (!row.samples.empty()) {
+        r["stats"] = stats_to_json(summarize(row.samples));
+      }
+    } else {
+      r["metric"] = json_value{row.metric};
+      r["value"] = json_value{row.value};
+    }
+    rows_json.push_back(std::move(r));
+  }
+  out["rows"] = std::move(rows_json);
+  out["metrics"] = metrics;
+  return out;
+}
+
+std::optional<bench_report> bench_report::from_json(const json_value& v,
+                                                    std::string* error) {
+  const std::vector<std::string> problems = validate_report_json(v);
+  if (!problems.empty()) {
+    if (error != nullptr) *error = problems.front();
+    return std::nullopt;
+  }
+  bench_report report;
+  read_string(v, "experiment", &report.experiment);
+  read_string(v, "title", &report.title);
+  read_string(v, "binary", &report.binary);
+  read_string(v, "engine", &report.engine);
+  read_string(v, "git_rev", &report.git_rev);
+  if (const json_value* g = v.find("generated_unix");
+      g != nullptr && g->is_number()) {
+    report.generated_unix = g->as_int64();
+  }
+  if (const json_value* args = v.find("argv");
+      args != nullptr && args->is_array()) {
+    for (const json_value& a : args->items()) {
+      if (a.is_string()) report.argv.push_back(a.as_string());
+    }
+  }
+  read_number(v, "wall_time_seconds", &report.wall_time_seconds);
+
+  for (const json_value& r : v.find("rows")->items()) {
+    report_row row;
+    std::string kind_name;
+    read_string(r, "kind", &kind_name);
+    row.kind = kind_name == "value" ? report_row::kind_t::value
+                                    : report_row::kind_t::samples;
+    read_string(r, "section", &row.section);
+    read_string(r, "protocol", &row.protocol);
+    if (const json_value* n = r.find("n"); n != nullptr && n->is_number()) {
+      row.n = n->as_uint64();
+    }
+    read_string(r, "params", &row.params);
+    read_string(r, "unit", &row.unit);
+    std::string direction;
+    read_string(r, "direction", &direction);
+    row.lower_is_better = direction != "higher_is_better";
+    if (row.kind == report_row::kind_t::samples) {
+      if (const json_value* t = r.find("trials");
+          t != nullptr && t->is_number()) {
+        row.trials = t->as_uint64();
+      }
+      if (const json_value* s = r.find("seed");
+          s != nullptr && s->is_number()) {
+        row.seed = s->as_uint64();
+      }
+      for (const json_value& s : r.find("samples")->items()) {
+        if (s.is_number()) row.samples.push_back(s.as_double());
+      }
+    } else {
+      read_string(r, "metric", &row.metric);
+      read_number(r, "value", &row.value);
+    }
+    report.rows.push_back(std::move(row));
+  }
+  if (const json_value* m = v.find("metrics");
+      m != nullptr && m->is_object()) {
+    report.metrics = *m;
+  }
+  return report;
+}
+
+std::vector<std::string> validate_report_json(const json_value& v) {
+  std::vector<std::string> problems;
+  if (!v.is_object()) {
+    problems.push_back("report root is not a JSON object");
+    return problems;
+  }
+  const json_value* version = v.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    problems.push_back("missing numeric \"schema_version\"");
+  } else if (version->as_int64() != report_schema_version) {
+    problems.push_back("unsupported schema_version " +
+                       std::to_string(version->as_int64()) + " (expected " +
+                       std::to_string(report_schema_version) + ")");
+  }
+  for (const std::string_view key :
+       {"experiment", "binary", "engine", "git_rev"}) {
+    const json_value* field = v.find(key);
+    if (field == nullptr || !field->is_string() ||
+        field->as_string().empty()) {
+      problems.push_back("missing non-empty string \"" + std::string(key) +
+                         "\"");
+    }
+  }
+  const json_value* rows = v.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    problems.push_back("missing array \"rows\"");
+    return problems;
+  }
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    const json_value& r = rows->at(i);
+    const std::string where = "rows[" + std::to_string(i) + "]";
+    if (!r.is_object()) {
+      problems.push_back(where + " is not an object");
+      continue;
+    }
+    const json_value* kind = r.find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        (kind->as_string() != "samples" && kind->as_string() != "value")) {
+      problems.push_back(where +
+                         ".kind must be \"samples\" or \"value\"");
+      continue;
+    }
+    const json_value* section = r.find("section");
+    if (section == nullptr || !section->is_string()) {
+      problems.push_back(where + " is missing string \"section\"");
+    }
+    const json_value* direction = r.find("direction");
+    if (direction == nullptr || !direction->is_string() ||
+        (direction->as_string() != "lower_is_better" &&
+         direction->as_string() != "higher_is_better")) {
+      problems.push_back(where + ".direction must be \"lower_is_better\" or "
+                                 "\"higher_is_better\"");
+    }
+    if (kind->as_string() == "samples") {
+      const json_value* samples = r.find("samples");
+      if (samples == nullptr || !samples->is_array()) {
+        problems.push_back(where + " is missing array \"samples\"");
+      } else {
+        for (const json_value& s : samples->items()) {
+          if (!s.is_number()) {
+            problems.push_back(where + ".samples has a non-number entry");
+            break;
+          }
+        }
+        const json_value* trials = r.find("trials");
+        if (trials != nullptr && trials->is_number() &&
+            trials->as_uint64() != samples->size()) {
+          problems.push_back(where + ".trials does not match samples size");
+        }
+      }
+    } else {
+      const json_value* value = r.find("value");
+      if (value == nullptr || !value->is_number()) {
+        problems.push_back(where + " is missing number \"value\"");
+      }
+      const json_value* metric = r.find("metric");
+      if (metric == nullptr || !metric->is_string() ||
+          metric->as_string().empty()) {
+        problems.push_back(where + " is missing non-empty string \"metric\"");
+      }
+    }
+  }
+  const json_value* metrics = v.find("metrics");
+  if (metrics != nullptr && !metrics->is_object()) {
+    problems.push_back("\"metrics\" must be an object when present");
+  }
+  return problems;
+}
+
+std::string report_filename(std::string_view experiment) {
+  std::string name = "BENCH_";
+  name += experiment;
+  name += ".json";
+  return name;
+}
+
+std::string write_report(const bench_report& report,
+                         std::string_view out_dir) {
+  std::string path;
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(std::filesystem::path(out_dir), ec);
+    path = out_dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += report_filename(report.experiment);
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return {};
+  os << report.to_json().dump(2) << '\n';
+  os.flush();
+  return os ? path : std::string{};
+}
+
+std::string git_revision() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 128> buffer{};
+  std::string rev;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    rev += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  if (status != 0 || rev.empty()) return "unknown";
+  return rev;
+#endif
+}
+
+}  // namespace ssr::obs

@@ -1,0 +1,120 @@
+// Versioned, machine-readable benchmark reports.
+//
+// Every bench binary (and the CLI with --json) writes one BENCH_<id>.json
+// artifact per run through this layer.  The schema (version 1, validated by
+// validate_report_json and documented in docs/observability.md) is:
+//
+//   {
+//     "schema_version": 1,
+//     "experiment":  "E3",              // experiment id from ROADMAP.md
+//     "title":       "...",             // human-readable banner
+//     "binary":      "bench_states",
+//     "engine":      "batched",         // engine the run selected
+//     "git_rev":     "abc123...",       // or "unknown"
+//     "generated_unix": 1754349000,     // seconds since epoch, 0 if unknown
+//     "argv":        ["--engine=batched", ...],
+//     "wall_time_seconds": 12.5,
+//     "rows": [ <sample row> | <value row>, ... ],
+//     "metrics":     { "<name>": <number|histogram object>, ... }
+//   }
+//
+// A *sample row* carries the raw per-trial measurements plus derived stats
+// (so report_diff can re-test distributions, not just compare means):
+//
+//   { "kind": "samples", "section": "stabilization", "protocol":
+//     "optimal_silent", "n": 1024, "params": "scenario=uniform_random",
+//     "trials": 60, "seed": 1042, "unit": "parallel_time",
+//     "direction": "lower_is_better",
+//     "samples": [ ... ],
+//     "stats": { "mean":..., "median":..., "stddev":..., "ci95":...,
+//                "p90":..., "p99":..., "min":..., "max":... } }
+//
+// A *value row* carries a single derived number (throughput rates etc.):
+//
+//   { "kind": "value", "section": "throughput", "metric":
+//     "interactions_per_second", "protocol": "...", "n": 1048576,
+//     "params": "", "value": 1.2e9, "unit": "1/s",
+//     "direction": "higher_is_better" }
+//
+// Rows are identified across reports by (section, protocol, n, params) --
+// report_diff joins on that tuple.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ssr::obs {
+
+inline constexpr int report_schema_version = 1;
+
+struct report_row {
+  enum class kind_t : std::uint8_t { samples, value };
+
+  kind_t kind = kind_t::samples;
+  std::string section;
+  std::string protocol;
+  std::uint64_t n = 0;
+  std::string params;  // "key=value key=value", "" when none
+  std::string unit;
+  bool lower_is_better = true;
+
+  // kind_t::samples
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+  std::vector<double> samples;
+
+  // kind_t::value
+  std::string metric;
+  double value = 0.0;
+
+  /// Join key used by report_diff to match rows across reports.
+  std::string key() const;
+};
+
+struct bench_report {
+  std::string experiment;
+  std::string title;
+  std::string binary;
+  std::string engine;
+  std::string git_rev;
+  std::int64_t generated_unix = 0;
+  std::vector<std::string> argv;
+  double wall_time_seconds = 0.0;
+  std::vector<report_row> rows;
+  json_value metrics = json_value::object();
+
+  report_row& add_samples(std::string section, std::string protocol,
+                          std::uint64_t n, std::string params,
+                          std::uint64_t trials, std::uint64_t seed,
+                          std::string unit, std::vector<double> samples);
+  report_row& add_value(std::string section, std::string metric,
+                        std::string protocol, std::uint64_t n,
+                        std::string params, double value, std::string unit,
+                        bool higher_is_better = true);
+
+  json_value to_json() const;
+  static std::optional<bench_report> from_json(const json_value& v,
+                                               std::string* error = nullptr);
+};
+
+/// Schema check; returns the empty vector when `v` is a valid version-1
+/// report, else one human-readable message per violation.
+std::vector<std::string> validate_report_json(const json_value& v);
+
+/// "BENCH_<experiment>.json".
+std::string report_filename(std::string_view experiment);
+
+/// Writes `report.to_json().dump(2)` to `<out_dir>/BENCH_<experiment>.json`
+/// (out_dir "" means the current directory; the directory must exist).
+/// Returns the path written, or "" on I/O failure.
+std::string write_report(const bench_report& report, std::string_view out_dir);
+
+/// `git rev-parse HEAD` of the working tree, "unknown" when unavailable.
+std::string git_revision();
+
+}  // namespace ssr::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace ssr::obs {
+
+std::string_view to_string(trace_event_kind kind) {
+  switch (kind) {
+    case trace_event_kind::run_start:
+      return "run_start";
+    case trace_event_kind::run_end:
+      return "run_end";
+    case trace_event_kind::phase_transition:
+      return "phase_transition";
+    case trace_event_kind::reset_wave_start:
+      return "reset_wave_start";
+    case trace_event_kind::reset_wave_end:
+      return "reset_wave_end";
+    case trace_event_kind::rank_collision:
+      return "rank_collision";
+    case trace_event_kind::convergence:
+      return "convergence";
+    case trace_event_kind::correctness_lost:
+      return "correctness_lost";
+  }
+  return "unknown";
+}
+
+trace_sink::trace_sink(trace_options options) : options_(options) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+void trace_sink::emit(const trace_event& event) {
+  ++offered_;
+  if (event.kind == trace_event_kind::phase_transition &&
+      options_.sample_every > 1) {
+    // Sample on the offered-event index so the kept subset is deterministic
+    // for a given executed trajectory.
+    if (offered_ % options_.sample_every != 0) {
+      ++sampled_out_;
+      return;
+    }
+  }
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+json_value trace_sink::event_to_json(
+    const trace_event& event,
+    std::span<const std::string_view> phase_names) const {
+  json_value out = json_value::object();
+  out["event"] = json_value{to_string(event.kind)};
+  out["time"] = json_value{event.time};
+  out["interaction"] = json_value{event.interaction};
+  if (event.agent != trace_no_agent) {
+    out["agent"] = json_value{static_cast<std::uint64_t>(event.agent)};
+  }
+  if (event.kind == trace_event_kind::phase_transition) {
+    out["from_phase"] = json_value{static_cast<std::int64_t>(event.from_phase)};
+    out["to_phase"] = json_value{static_cast<std::int64_t>(event.to_phase)};
+    if (event.from_phase >= 0 &&
+        static_cast<std::size_t>(event.from_phase) < phase_names.size()) {
+      out["from"] = json_value{phase_names[event.from_phase]};
+    }
+    if (event.to_phase >= 0 &&
+        static_cast<std::size_t>(event.to_phase) < phase_names.size()) {
+      out["to"] = json_value{phase_names[event.to_phase]};
+    }
+  }
+  return out;
+}
+
+void trace_sink::write_jsonl(
+    std::ostream& os, std::span<const std::string_view> phase_names) const {
+  {
+    json_value header = json_value::object();
+    header["event"] = json_value{"trace_header"};
+    header["schema_version"] = json_value{1};
+    header["offered"] = json_value{offered_};
+    header["sampled_out"] = json_value{sampled_out_};
+    header["dropped"] = json_value{dropped_};
+    if (!phase_names.empty()) {
+      json_value names = json_value::array();
+      for (const std::string_view name : phase_names) {
+        names.push_back(json_value{name});
+      }
+      header["phases"] = std::move(names);
+    }
+    os << header.dump() << '\n';
+  }
+  for (const trace_event& event : events_) {
+    os << event_to_json(event, phase_names).dump() << '\n';
+  }
+}
+
+}  // namespace ssr::obs

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/engine_counters.hpp"
 #include "pp/assert.hpp"
 #include "pp/batch_scheduler.hpp"
 #include "pp/protocol.hpp"
@@ -117,9 +118,19 @@ class direct_engine {
       const bool changed = protocol_.interact(agents_[pair.initiator],
                                               agents_[pair.responder], rng_);
       ++interactions_;
+      if (counters_) {
+        ++counters_->interactions_executed;
+        counters_->transitions_changed += changed;
+      }
       if (post(pair, changed)) return true;
     }
     return false;
+  }
+
+  /// Attaches (or with nullptr detaches) an event-counter sink; see
+  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
+  void attach_counters(obs::engine_counters* counters) {
+    counters_ = counters;
   }
 
   std::uint32_t population_size() const {
@@ -141,6 +152,7 @@ class direct_engine {
   std::vector<agent_state> agents_;
   rng_t rng_;
   std::uint64_t interactions_ = 0;
+  obs::engine_counters* counters_ = nullptr;
 };
 
 namespace detail {
@@ -255,6 +267,10 @@ class batched_engine<P, true> {
       if (active == 0) {
         // Every pair is certainly null: the configuration can never change
         // again.  Charge the rest of the budget in one jump.
+        if (counters_) {
+          counters_->certain_nulls_skipped += max_interactions - interactions_;
+          ++counters_->quiescent_jumps;
+        }
         interactions_ = max_interactions;
         return false;
       }
@@ -264,12 +280,18 @@ class batched_engine<P, true> {
       } else {
         const std::uint64_t skip = geometric_failures(
             rng_, static_cast<double>(active) / static_cast<double>(total));
+        if (counters_) ++counters_->geometric_draws;
         if (skip >= max_interactions - interactions_) {
           // The next maybe-active interaction falls beyond the budget; by
           // memorylessness, stopping here and redrawing later is exact.
+          if (counters_) {
+            counters_->certain_nulls_skipped +=
+                max_interactions - interactions_;
+          }
           interactions_ = max_interactions;
           return false;
         }
+        if (counters_) counters_->certain_nulls_skipped += skip;
         interactions_ += skip;
         pair = sample_active_pair(active);
       }
@@ -277,6 +299,10 @@ class batched_engine<P, true> {
       const bool changed = protocol_.interact(agents_[pair.initiator],
                                               agents_[pair.responder], rng_);
       ++interactions_;
+      if (counters_) {
+        ++counters_->interactions_executed;
+        counters_->transitions_changed += changed;
+      }
       if (changed) {
         reindex(pair.initiator);
         reindex(pair.responder);
@@ -284,6 +310,12 @@ class batched_engine<P, true> {
       if (post(pair, changed)) return true;
     }
     return false;
+  }
+
+  /// Attaches (or with nullptr detaches) an event-counter sink; see
+  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
+  void attach_counters(obs::engine_counters* counters) {
+    counters_ = counters;
   }
 
   std::uint32_t population_size() const { return n_; }
@@ -360,6 +392,7 @@ class batched_engine<P, true> {
     if (from != inert_keys_ && old_size >= 2) {
       // w = s(s-1) drops by 2(s-1) when s -> s-1.
       weight_.add(from, 0 - 2 * (old_size - 1));
+      if (counters_) ++counters_->fenwick_updates;
     }
     auto& new_bucket = buckets_[to];
     bucket_of_[agent] = to;
@@ -367,6 +400,7 @@ class batched_engine<P, true> {
     new_bucket.push_back(agent);
     if (to != inert_keys_ && new_bucket.size() >= 2) {
       weight_.add(to, 2 * (new_bucket.size() - 1));
+      if (counters_) ++counters_->fenwick_updates;
     }
   }
 
@@ -381,6 +415,7 @@ class batched_engine<P, true> {
   std::vector<std::uint32_t> bucket_of_;             // agent -> bucket
   std::vector<std::uint32_t> pos_;                   // agent -> slot
   detail::pair_weight_tree weight_;                  // same-key pair weights
+  obs::engine_counters* counters_ = nullptr;
 };
 
 /// Generic batched engine: collision-aware block sampling, applied in
@@ -407,15 +442,26 @@ class batched_engine<P, false> {
     while (interactions_ < max_interactions) {
       const auto batch =
           scheduler_.next_batch(rng_, max_interactions - interactions_);
+      if (counters_) ++counters_->batches_drawn;
       for (const agent_pair& pair : batch) {
         pre(pair);
         const bool changed = protocol_.interact(
             agents_[pair.initiator], agents_[pair.responder], rng_);
         ++interactions_;
+        if (counters_) {
+          ++counters_->interactions_executed;
+          counters_->transitions_changed += changed;
+        }
         if (post(pair, changed)) return true;
       }
     }
     return false;
+  }
+
+  /// Attaches (or with nullptr detaches) an event-counter sink; see
+  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
+  void attach_counters(obs::engine_counters* counters) {
+    counters_ = counters;
   }
 
   std::uint32_t population_size() const {
@@ -437,6 +483,7 @@ class batched_engine<P, false> {
   rng_t rng_;
   batch_scheduler scheduler_;
   std::uint64_t interactions_ = 0;
+  obs::engine_counters* counters_ = nullptr;
 };
 
 }  // namespace ssr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -68,7 +69,17 @@ std::vector<double> run_trials(
   parallel_for_index(
       count,
       [&](std::size_t i) {
+        if (options.metrics == nullptr) {
+          results[i] = trial(derive_seed(base_seed, i), options.engine);
+          return;
+        }
+        const auto start = std::chrono::steady_clock::now();
         results[i] = trial(derive_seed(base_seed, i), options.engine);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        options.metrics->get_histogram("trial.seconds")
+            .record(elapsed.count());
+        options.metrics->get_counter("trials.completed").add(1);
       },
       options.parallel);
   return results;

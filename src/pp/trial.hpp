@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pp/engine.hpp"
 
 namespace ssr {
@@ -32,6 +33,10 @@ std::vector<double> run_trials(
 struct trial_options {
   bool parallel = true;
   engine_kind engine = engine_kind::direct;
+  /// When set, run_trials records "trials.completed" (counter) and
+  /// "trial.seconds" (histogram of per-trial wall time) into the registry.
+  /// The registry is thread-safe, so this works under parallel execution.
+  obs::metrics_registry* metrics = nullptr;
 };
 
 /// Engine-aware overload: `trial(seed, engine)` runs one measurement on the

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "pp/protocol.hpp"
@@ -91,6 +92,32 @@ class optimal_silent_ssr {
   std::uint32_t batch_key(const agent_state& s) const {
     if (s.role != role_t::settled) return batch_volatile_key;
     return s.rank >= 1 && s.rank <= n_ ? s.rank - 1 : batch_volatile_key;
+  }
+
+  /// Phase instrumentation (obs/trace.hpp): the protocol's observable
+  /// phases, splitting Resetting into its propagating (resetcount > 0) and
+  /// dormant (resetcount == 0, leader election running) stages so traces
+  /// show the reset pipeline the paper's Section 4 analysis is about.
+  std::uint32_t obs_phase_count() const { return 4; }
+  std::uint32_t obs_phase(const agent_state& s) const {
+    switch (s.role) {
+      case role_t::settled:
+        return 0;
+      case role_t::unsettled:
+        return 1;
+      case role_t::resetting:
+        return s.reset.resetcount > 0 ? 2 : 3;
+    }
+    return 1;
+  }
+  static std::string_view obs_phase_name(std::uint32_t phase) {
+    constexpr std::string_view names[] = {"settled", "unsettled",
+                                          "resetting_propagating",
+                                          "resetting_dormant"};
+    return phase < 4 ? names[phase] : "unknown";
+  }
+  static bool obs_phase_is_reset(std::uint32_t phase) {
+    return phase == 2 || phase == 3;
   }
 
   /// Clean start: every agent Unsettled with full patience.  The protocol is

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "pp/protocol.hpp"
@@ -84,6 +85,27 @@ class sublinear_time_ssr {
 
   std::uint32_t rank_of(const agent_state& s) const {
     return s.role == role_t::collecting ? s.rank : 0;
+  }
+
+  /// Phase instrumentation (obs/trace.hpp).  Collecting splits on whether
+  /// the roster is complete (the agent outputs a rank) -- the epidemic's
+  /// progress measure -- and Resetting on propagating vs dormant
+  /// (name-regeneration) stages.
+  std::uint32_t obs_phase_count() const { return 4; }
+  std::uint32_t obs_phase(const agent_state& s) const {
+    if (s.role == role_t::collecting) {
+      return s.roster.size() >= n_ ? 1 : 0;
+    }
+    return s.reset.resetcount > 0 ? 2 : 3;
+  }
+  static std::string_view obs_phase_name(std::uint32_t phase) {
+    constexpr std::string_view names[] = {"collecting", "roster_complete",
+                                          "resetting_propagating",
+                                          "resetting_dormant"};
+    return phase < 4 ? names[phase] : "unknown";
+  }
+  static bool obs_phase_is_reset(std::uint32_t phase) {
+    return phase == 2 || phase == 3;
   }
 
   /// A clean post-reset start: every agent Collecting with a fresh random

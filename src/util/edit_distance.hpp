@@ -1,0 +1,47 @@
+// Tiny edit-distance helper for "unknown flag" diagnostics: command-line
+// front ends (bench binaries, ssr_cli) suggest the nearest valid flag
+// instead of just rejecting a typo.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ssr {
+
+/// Levenshtein distance (unit costs).  O(|a| * |b|) time, O(|b|) space --
+/// flags are short, so this is never hot.
+inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t replace = diagonal + (a[i - 1] != b[j - 1] ? 1 : 0);
+      diagonal = row[j];
+      row[j] = std::min(replace, std::min(row[j] + 1, row[j - 1] + 1));
+    }
+  }
+  return row[b.size()];
+}
+
+/// The candidate closest to `given`, or "" when nothing is within
+/// `max_distance` edits (far-off suggestions confuse more than they help).
+inline std::string_view nearest_candidate(
+    std::string_view given, std::span<const std::string_view> candidates,
+    std::size_t max_distance = 5) {
+  std::string_view best;
+  std::size_t best_distance = max_distance + 1;
+  for (const std::string_view candidate : candidates) {
+    const std::size_t d = edit_distance(given, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace ssr

@@ -1,0 +1,138 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace ssr::obs {
+namespace {
+
+TEST(ObsJson, ScalarsRoundTrip) {
+  for (const char* text :
+       {"null", "true", "false", "0", "-1", "3.5", "1e100", "\"hi\"",
+        "\"\"", "[]", "{}", "[1,2,3]", "{\"a\":1,\"b\":[true,null]}"}) {
+    std::string error;
+    const auto v = json_value::parse(text, &error);
+    ASSERT_TRUE(v.has_value()) << text << ": " << error;
+    const auto again = json_value::parse(v->dump(), &error);
+    ASSERT_TRUE(again.has_value()) << v->dump() << ": " << error;
+    EXPECT_TRUE(*v == *again) << text;
+  }
+}
+
+TEST(ObsJson, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(json_value(std::uint64_t{42}).dump(), "42");
+  EXPECT_EQ(json_value(-7).dump(), "-7");
+  EXPECT_EQ(json_value(0.0).dump(), "0");
+  // 2^53 is the last exactly-representable integer; beyond it doubles print
+  // in scientific/extended form but still round-trip.
+  const double big = std::ldexp(1.0, 53);
+  const auto v = json_value::parse(json_value(big).dump());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->as_double(), big);
+}
+
+TEST(ObsJson, DoubleRoundTripsAtFullPrecision) {
+  for (const double d : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                         std::numeric_limits<double>::max()}) {
+    const auto v = json_value::parse(json_value(d).dump());
+    ASSERT_TRUE(v.has_value()) << d;
+    EXPECT_EQ(v->as_double(), d);
+  }
+}
+
+TEST(ObsJson, StringEscaping) {
+  const std::string raw = "quote\" backslash\\ newline\n tab\t bell\x07 nul";
+  const std::string dumped = json_value(raw).dump();
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\\\"), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0007"), std::string::npos);
+  const auto v = json_value::parse(dumped);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), raw);
+}
+
+TEST(ObsJson, UnicodeEscapesAndSurrogatePairs) {
+  // \u00e9 = é (2-byte UTF-8), \ud83d\ude00 = U+1F600 (4-byte UTF-8).
+  const auto v = json_value::parse("\"caf\\u00e9 \\ud83d\\ude00\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "caf\xc3\xa9 \xf0\x9f\x98\x80");
+  // Re-dumping emits valid JSON that parses back to the same bytes.
+  const auto again = json_value::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->as_string(), v->as_string());
+}
+
+TEST(ObsJson, LoneSurrogateRejected) {
+  std::string error;
+  EXPECT_FALSE(json_value::parse("\"\\ud83d\"", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsJson, MalformedDocumentsRejected) {
+  for (const char* text :
+       {"", "{", "[1,", "tru", "01", "1.", "+1", "\"unterminated", "[1 2]",
+        "{\"a\" 1}", "{\"a\":1,}", "[],[]", "nan", "infinity", "'single'"}) {
+    std::string error;
+    EXPECT_FALSE(json_value::parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ObsJson, TrailingContentRejected) {
+  EXPECT_FALSE(json_value::parse("{} garbage").has_value());
+  EXPECT_TRUE(json_value::parse("  {}  ").has_value());
+}
+
+TEST(ObsJson, ObjectsPreserveInsertionOrder) {
+  json_value obj = json_value::object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["zebra"] = 3;  // overwrite keeps the original slot
+  EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"apple\":2}");
+  EXPECT_EQ(obj.members().size(), 2u);
+}
+
+TEST(ObsJson, EqualityIgnoresObjectOrder) {
+  const auto a = json_value::parse("{\"x\":1,\"y\":[2,3]}");
+  const auto b = json_value::parse("{\"y\":[2,3],\"x\":1}");
+  const auto c = json_value::parse("{\"x\":1,\"y\":[3,2]}");
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(ObsJson, FindAndAccessors) {
+  const auto v = json_value::parse("{\"n\":64,\"ok\":true,\"s\":\"x\"}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_NE(v->find("n"), nullptr);
+  EXPECT_EQ(v->find("n")->as_uint64(), 64u);
+  EXPECT_TRUE(v->find("ok")->as_bool());
+  EXPECT_EQ(v->find("s")->as_string(), "x");
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(ObsJson, PrettyPrintParsesBack) {
+  const auto v =
+      json_value::parse("{\"rows\":[{\"a\":1},{\"b\":[1,2]}],\"m\":{}}");
+  ASSERT_TRUE(v.has_value());
+  const std::string pretty = v->dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto again = json_value::parse(pretty);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(*v == *again);
+}
+
+TEST(ObsJson, DeepNestingRejectedNotCrashing) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  std::string error;
+  EXPECT_FALSE(json_value::parse(deep, &error).has_value());
+}
+
+}  // namespace
+}  // namespace ssr::obs

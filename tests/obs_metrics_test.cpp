@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pp/engine.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/silent_n_state.hpp"
+
+namespace ssr::obs {
+namespace {
+
+TEST(ObsMetrics, CounterGaugeHistogram) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("c");
+  c.add(3);
+  c.add(1);
+  EXPECT_EQ(c.value(), 4u);
+  reg.get_gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.get_gauge("g").value(), 2.5);
+  histogram& h = reg.get_histogram("h");
+  for (const double x : {1.0, 2.0, 4.0, 4.0}) h.record(x);
+  const histogram::snapshot_data snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 11.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableReferences) {
+  metrics_registry reg;
+  counter& a = reg.get_counter("same");
+  counter& b = reg.get_counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(ObsMetrics, SnapshotIsJson) {
+  metrics_registry reg;
+  reg.get_counter("runs").add(7);
+  reg.get_histogram("secs").record(0.5);
+  const json_value snap = reg.snapshot();
+  ASSERT_TRUE(snap.is_object());
+  ASSERT_NE(snap.find("runs"), nullptr);
+  EXPECT_EQ(snap.find("runs")->as_uint64(), 7u);
+  ASSERT_NE(snap.find("secs"), nullptr);
+  EXPECT_TRUE(snap.find("secs")->is_object());
+}
+
+TEST(ObsMetrics, AbsorbEngineCounters) {
+  engine_counters c;
+  c.interactions_executed = 10;
+  c.certain_nulls_skipped = 90;
+  metrics_registry reg;
+  reg.absorb(c);
+  EXPECT_EQ(reg.get_counter("engine.interactions_executed").value(), 10u);
+  EXPECT_EQ(reg.get_counter("engine.certain_nulls_skipped").value(), 90u);
+}
+
+TEST(ObsMetrics, EngineCountersToJsonHasEveryField) {
+  engine_counters c;
+  c.interactions_executed = 1;
+  const json_value v = to_json(c);
+  for (const char* field :
+       {"interactions_executed", "certain_nulls_skipped",
+        "transitions_changed", "fenwick_updates", "geometric_draws",
+        "quiescent_jumps", "batches_drawn"}) {
+    EXPECT_NE(v.find(field), nullptr) << field;
+  }
+}
+
+// The central accounting contract (obs/engine_counters.hpp): hooks see
+// exactly the executed interactions, skipped certain-nulls are charged to
+// the budget, and the two always sum to engine.interactions().  The
+// count-based batched engine exercises the geometric-skip, over-budget and
+// quiescent-jump paths; silent_n_state from a random start goes quiescent
+// well inside the budget, so all three fire.
+TEST(ObsMetrics, BatchedEngineCounterInvariant) {
+  const std::uint32_t n = 64;
+  silent_n_state_ssr p(n);
+  rng_t rng(41);
+  auto init = adversarial_configuration(p, rng);
+  batched_engine<silent_n_state_ssr> eng(p, std::move(init), 42);
+  engine_counters c;
+  eng.attach_counters(&c);
+
+  std::uint64_t pre_calls = 0, post_calls = 0, changed_calls = 0;
+  const std::uint64_t budget = std::uint64_t{200} * n * n;
+  eng.run(budget, [&](const agent_pair&) { ++pre_calls; },
+          [&](const agent_pair&, bool changed) {
+            ++post_calls;
+            changed_calls += changed;
+            return false;
+          });
+
+  EXPECT_EQ(eng.interactions(), budget);
+  EXPECT_EQ(c.interactions_executed, pre_calls);
+  EXPECT_EQ(c.interactions_executed, post_calls);
+  EXPECT_EQ(c.transitions_changed, changed_calls);
+  EXPECT_EQ(c.interactions_executed + c.certain_nulls_skipped,
+            eng.interactions());
+  // A random start on n=64 has duplicate ranks, so skipping really happened
+  // and quiescence was reached (the budget is ~200n parallel time units,
+  // stabilization takes Theta(n)).
+  EXPECT_GT(c.certain_nulls_skipped, 0u);
+  EXPECT_GT(c.geometric_draws, 0u);
+  EXPECT_GE(c.quiescent_jumps, 1u);
+  EXPECT_TRUE(eng.quiescent());
+}
+
+TEST(ObsMetrics, DirectEngineCounterInvariant) {
+  const std::uint32_t n = 32;
+  optimal_silent_ssr p(n);
+  rng_t rng(7);
+  auto init =
+      adversarial_configuration(p, optimal_silent_scenario::no_leader, rng);
+  direct_engine<optimal_silent_ssr> eng(p, std::move(init), 8);
+  engine_counters c;
+  eng.attach_counters(&c);
+
+  std::uint64_t post_calls = 0;
+  const std::uint64_t budget = 5000;
+  eng.run(budget, [](const agent_pair&) {},
+          [&](const agent_pair&, bool) {
+            ++post_calls;
+            return false;
+          });
+  // The direct engine executes every interaction: nothing is ever skipped.
+  EXPECT_EQ(c.interactions_executed, budget);
+  EXPECT_EQ(post_calls, budget);
+  EXPECT_EQ(c.certain_nulls_skipped, 0u);
+  EXPECT_EQ(c.interactions_executed + c.certain_nulls_skipped,
+            eng.interactions());
+}
+
+TEST(ObsMetrics, CountersAccumulateAcrossRuns) {
+  const std::uint32_t n = 16;
+  silent_n_state_ssr p(n);
+  rng_t rng(3);
+  auto init = adversarial_configuration(p, rng);
+  batched_engine<silent_n_state_ssr> eng(p, std::move(init), 4);
+  engine_counters c;
+  eng.attach_counters(&c);
+  eng.run(1000, [](const agent_pair&) {},
+          [](const agent_pair&, bool) { return false; });
+  eng.run(2000, [](const agent_pair&) {},
+          [](const agent_pair&, bool) { return false; });
+  EXPECT_EQ(c.interactions_executed + c.certain_nulls_skipped, 2000u);
+}
+
+}  // namespace
+}  // namespace ssr::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "pp/engine.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+#include "protocols/sublinear.hpp"
+
+namespace ssr::obs {
+namespace {
+
+static_assert(phase_instrumented_protocol<optimal_silent_ssr>);
+static_assert(phase_instrumented_protocol<sublinear_time_ssr>);
+
+TEST(ObsTrace, SamplingKeepsStructuralEvents) {
+  trace_sink sink({.sample_every = 10, .max_events = 1000});
+  for (int i = 0; i < 100; ++i)
+    sink.emit({trace_event_kind::phase_transition, 0.0, 0, 1, 0, 1});
+  sink.emit({trace_event_kind::reset_wave_start, 1.0, 5});
+  sink.emit({trace_event_kind::convergence, 2.0, 9});
+  EXPECT_EQ(sink.offered(), 102u);
+  EXPECT_EQ(sink.sampled_out(), 90u);
+  // 10 sampled transitions + both structural events survive.
+  EXPECT_EQ(sink.events().size(), 12u);
+}
+
+TEST(ObsTrace, BufferCapCountsDrops) {
+  trace_sink sink({.sample_every = 1, .max_events = 4});
+  for (int i = 0; i < 10; ++i)
+    sink.emit({trace_event_kind::phase_transition, 0.0, 0, 1, 0, 1});
+  EXPECT_EQ(sink.events().size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(ObsTrace, JsonlHasHeaderAndOneObjectPerEvent) {
+  trace_sink sink;
+  sink.emit({trace_event_kind::run_start, 0.0, 0});
+  sink.emit({trace_event_kind::phase_transition, 1.5, 96, 3, 0, 1});
+  sink.emit({trace_event_kind::run_end, 2.0, 128});
+  const std::vector<std::string_view> names{"settled", "unsettled"};
+  std::ostringstream os;
+  sink.write_jsonl(os, names);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<json_value> lines;
+  while (std::getline(is, line)) {
+    auto v = json_value::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    lines.push_back(std::move(*v));
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("event")->as_string(), "trace_header");
+  EXPECT_EQ(lines[0].find("schema_version")->as_int64(), 1);
+  EXPECT_EQ(lines[1].find("event")->as_string(), "run_start");
+  EXPECT_EQ(lines[2].find("event")->as_string(), "phase_transition");
+  EXPECT_EQ(lines[2].find("from")->as_string(), "settled");
+  EXPECT_EQ(lines[2].find("to")->as_string(), "unsettled");
+  EXPECT_EQ(lines[2].find("agent")->as_uint64(), 3u);
+  EXPECT_EQ(lines[3].find("event")->as_string(), "run_end");
+}
+
+/// Drives Optimal-Silent-SSR from the duplicated_ranks start through an engine
+/// with a phase observer attached and checks the stream invariants: the
+/// occupancy always sums to n, reset waves come in start/end pairs, and the
+/// final occupancy matches a direct scan of the final configuration.
+template <class Engine>
+void run_observed(std::uint32_t n, std::uint64_t seed, trace_sink& sink) {
+  optimal_silent_ssr p(n);
+  rng_t rng(seed);
+  // duplicated_ranks: the collision is detected within O(n) time (the two
+  // duplicates meet), so a 400n-interaction budget reliably produces phase
+  // transitions and a reset wave.
+  auto init = adversarial_configuration(
+      p, optimal_silent_scenario::duplicated_ranks, rng);
+  Engine eng(p, std::move(init), seed ^ 0x1234);
+  phase_observer<optimal_silent_ssr> observer(p, eng.agents(), &sink);
+
+  std::uint64_t total0 = 0;
+  for (const std::uint64_t c : observer.occupancy()) total0 += c;
+  ASSERT_EQ(total0, n);
+
+  observer.begin(eng.parallel_time(), eng.interactions());
+  eng.run(std::uint64_t{400} * n,
+          [&](const agent_pair& pair) { observer.before(pair); },
+          [&](const agent_pair& pair, bool changed) {
+            observer.after(pair, changed, eng.parallel_time(),
+                           eng.interactions());
+            return false;
+          });
+  observer.end(eng.parallel_time(), eng.interactions());
+
+  // Incremental occupancy == full recount of the final configuration.
+  std::vector<std::uint64_t> recount(p.obs_phase_count(), 0);
+  for (const auto& s : eng.agents()) ++recount[p.obs_phase(s)];
+  for (std::uint32_t ph = 0; ph < recount.size(); ++ph)
+    EXPECT_EQ(observer.occupancy()[ph], recount[ph]) << "phase " << ph;
+}
+
+TEST(ObsTrace, PhaseObserverTracksOccupancyIncrementally) {
+  trace_sink sink;
+  run_observed<direct_engine<optimal_silent_ssr>>(48, 21, sink);
+
+  int wave_depth = 0;
+  std::uint64_t last_interaction = 0;
+  bool saw_transition = false;
+  for (const trace_event& e : sink.events()) {
+    EXPECT_GE(e.interaction, last_interaction);
+    last_interaction = e.interaction;
+    switch (e.kind) {
+      case trace_event_kind::reset_wave_start:
+        EXPECT_EQ(wave_depth, 0);
+        ++wave_depth;
+        break;
+      case trace_event_kind::reset_wave_end:
+        EXPECT_EQ(wave_depth, 1);
+        --wave_depth;
+        break;
+      case trace_event_kind::phase_transition:
+        saw_transition = true;
+        EXPECT_NE(e.from_phase, e.to_phase);
+        EXPECT_NE(e.agent, trace_no_agent);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_transition);
+  EXPECT_EQ(sink.events().front().kind, trace_event_kind::run_start);
+  EXPECT_EQ(sink.events().back().kind, trace_event_kind::run_end);
+}
+
+// Both engines surface exactly the executed interactions to the hooks, so
+// they emit the same event vocabulary with the same invariants; with
+// identical executed trajectories the streams coincide, but equal seeds do
+// not promise that across engine kinds -- only validity does.
+TEST(ObsTrace, BatchedEngineEmitsSameStreamShape) {
+  trace_sink sink;
+  run_observed<batched_engine<optimal_silent_ssr>>(48, 21, sink);
+  ASSERT_GE(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events().front().kind, trace_event_kind::run_start);
+  EXPECT_EQ(sink.events().back().kind, trace_event_kind::run_end);
+  bool saw_transition = false;
+  for (const trace_event& e : sink.events())
+    saw_transition |= e.kind == trace_event_kind::phase_transition;
+  EXPECT_TRUE(saw_transition);
+}
+
+TEST(ObsTrace, PhaseNamesMatchProtocolHooks) {
+  const optimal_silent_ssr p(8);
+  trace_sink sink;
+  phase_observer<optimal_silent_ssr> observer(
+      p, std::span<const optimal_silent_ssr::agent_state>{}, &sink);
+  const auto names = observer.phase_names();
+  ASSERT_EQ(names.size(), p.obs_phase_count());
+  for (std::uint32_t ph = 0; ph < names.size(); ++ph)
+    EXPECT_EQ(names[ph], optimal_silent_ssr::obs_phase_name(ph));
+}
+
+}  // namespace
+}  // namespace ssr::obs

@@ -1,0 +1,211 @@
+// report_diff: validate and compare BENCH_<id>.json artifacts.
+//
+//   report_diff --validate FILE...
+//       Checks each file against the version-1 report schema
+//       (obs/report.hpp).  Exit 0 when all are valid, 2 otherwise.
+//
+//   report_diff BASE NEW
+//       Joins rows of the two reports on (section, protocol, n, params)
+//       and flags statistically significant regressions:
+//
+//       * sample rows -- regression iff a two-sample KS test rejects
+//         distribution equality (p < 0.01) AND the mean moved in the bad
+//         direction by more than 10%.  Requiring both keeps identical-seed
+//         reruns (identical samples, KS p = 1) and pure distribution-shape
+//         drift with equal means from firing.
+//       * value rows -- regression iff the value moved in the bad
+//         direction by more than 33% (single numbers carry no spread, so
+//         the threshold is generous; rates routinely wobble 10-20% on
+//         shared hardware).
+//
+//       Exit 0 = no regressions, 1 = at least one regression, 2 = usage /
+//       unreadable / invalid input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ks_test.hpp"
+#include "analysis/statistics.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using ssr::obs::bench_report;
+using ssr::obs::json_value;
+using ssr::obs::report_row;
+
+constexpr double ks_alpha = 0.01;
+constexpr double sample_mean_tolerance = 0.10;
+constexpr double value_tolerance = 1.0 / 3.0;
+
+int usage() {
+  std::cerr << "usage: report_diff --validate FILE...\n"
+               "       report_diff BASE NEW\n";
+  return 2;
+}
+
+std::optional<json_value> load_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "error: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  auto parsed = json_value::parse(buffer.str(), &error);
+  if (!parsed) {
+    std::cerr << "error: " << path << ": " << error << "\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<bench_report> load_report(const std::string& path) {
+  const auto json = load_json(path);
+  if (!json) return std::nullopt;
+  std::string error;
+  auto report = bench_report::from_json(*json, &error);
+  if (!report) {
+    std::cerr << "error: " << path << ": " << error << "\n";
+    return std::nullopt;
+  }
+  return report;
+}
+
+int validate(const std::vector<std::string>& paths) {
+  bool all_valid = true;
+  for (const std::string& path : paths) {
+    const auto json = load_json(path);
+    if (!json) {
+      all_valid = false;
+      continue;
+    }
+    const std::vector<std::string> problems =
+        ssr::obs::validate_report_json(*json);
+    if (problems.empty()) {
+      std::cout << path << ": valid (schema_version "
+                << ssr::obs::report_schema_version << ")\n";
+    } else {
+      all_valid = false;
+      std::cout << path << ": INVALID\n";
+      for (const std::string& p : problems) std::cout << "  - " << p << "\n";
+    }
+  }
+  return all_valid ? 0 : 2;
+}
+
+/// Positive = NEW is worse than BASE, as a fraction of BASE.
+double worsening(const report_row& row, double base, double now) {
+  if (base == 0.0) return now == 0.0 ? 0.0 : (row.lower_is_better ? 1.0 : -1.0);
+  const double ratio = now / base;
+  return row.lower_is_better ? ratio - 1.0 : 1.0 - ratio;
+}
+
+struct row_verdict {
+  bool regression = false;
+  std::string detail;
+};
+
+row_verdict compare_samples(const report_row& base, const report_row& now) {
+  row_verdict verdict;
+  if (base.samples.empty() || now.samples.empty()) {
+    verdict.detail = "no samples to compare";
+    return verdict;
+  }
+  const ssr::summary base_stats = ssr::summarize(base.samples);
+  const ssr::summary now_stats = ssr::summarize(now.samples);
+  const ssr::ks_result ks = ssr::ks_two_sample(base.samples, now.samples);
+  const double worse = worsening(base, base_stats.mean, now_stats.mean);
+  verdict.regression = ks.p_value < ks_alpha && worse > sample_mean_tolerance;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "mean %.4g -> %.4g (%+.1f%%), KS D=%.3f p=%.3g",
+                base_stats.mean, now_stats.mean, 100.0 * (now_stats.mean -
+                base_stats.mean) / (base_stats.mean == 0.0
+                                        ? 1.0
+                                        : base_stats.mean),
+                ks.statistic, ks.p_value);
+  verdict.detail = buffer;
+  return verdict;
+}
+
+row_verdict compare_values(const report_row& base, const report_row& now) {
+  row_verdict verdict;
+  const double worse = worsening(base, base.value, now.value);
+  verdict.regression = worse > value_tolerance;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%.4g -> %.4g %s (%+.1f%% %s)",
+                base.value, now.value, now.unit.c_str(), 100.0 * worse,
+                "worse");
+  verdict.detail = buffer;
+  return verdict;
+}
+
+int diff(const std::string& base_path, const std::string& new_path) {
+  const auto base = load_report(base_path);
+  const auto now = load_report(new_path);
+  if (!base || !now) return 2;
+  if (base->experiment != now->experiment) {
+    std::cerr << "warning: comparing different experiments ('"
+              << base->experiment << "' vs '" << now->experiment << "')\n";
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const report_row& base_row : base->rows) {
+    const report_row* new_row = nullptr;
+    for (const report_row& candidate : now->rows) {
+      if (candidate.key() == base_row.key() &&
+          candidate.kind == base_row.kind) {
+        new_row = &candidate;
+        break;
+      }
+    }
+    if (new_row == nullptr) {
+      std::cout << "  missing in NEW: " << base_row.key() << "\n";
+      continue;
+    }
+    ++compared;
+    const row_verdict verdict =
+        base_row.kind == report_row::kind_t::samples
+            ? compare_samples(base_row, *new_row)
+            : compare_values(base_row, *new_row);
+    const char* marker = verdict.regression ? "REGRESSION" : "ok";
+    std::cout << "  [" << marker << "] " << base_row.key() << ": "
+              << verdict.detail << "\n";
+    if (verdict.regression) ++regressions;
+  }
+  for (const report_row& new_row : now->rows) {
+    bool matched = false;
+    for (const report_row& base_row : base->rows) {
+      if (base_row.key() == new_row.key()) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) std::cout << "  new in NEW: " << new_row.key() << "\n";
+  }
+
+  std::cout << compared << " rows compared, " << regressions
+            << " regression(s)\n";
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  if (args.front() == "--validate") {
+    args.erase(args.begin());
+    if (args.empty()) return usage();
+    return validate(args);
+  }
+  if (args.size() != 2) return usage();
+  return diff(args[0], args[1]);
+}

@@ -1,4 +1,3 @@
-#include <cmath>
 // ssr_cli -- command-line driver for the library.
 //
 // Runs any protocol from any adversarial scenario on any topology, printing
@@ -9,20 +8,33 @@
 //   ssr_cli --protocol=sublinear --n=16 --h=3 --scenario=single_collision
 //           (add --trace-every=50 for periodic summaries)
 //   ssr_cli --protocol=loose --n=64 --t-max=40
+//   ssr_cli --protocol=optimal --n=64 --json=run.json --trace-out=run.jsonl
+//
+// --json writes a machine-readable run summary (verdict, parallel time,
+// engine counters); --trace-out writes the structured event stream
+// (obs/trace.hpp) as JSONL.  Tracing observes interactions through the
+// engine hook API, so it requires the complete graph and routes the run
+// through direct_engine/batched_engine per --engine.
 //
 // Exit code 0 iff the run reached a correct configuration.
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 
-#include "protocols/describe.hpp"
+#include "obs/engine_counters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pp/graph_simulation.hpp"
 #include "protocols/adversary.hpp"
+#include "protocols/describe.hpp"
 #include "ssr.hpp"
+#include "util/edit_distance.hpp"
 
 namespace {
 
@@ -40,9 +52,47 @@ struct options {
   double max_time = 1e7;
   double trace_every = 0.0;  // 0 = only start/end
   bool show_agents = false;
-  std::string dump_path;  // write the starting configuration here
-  std::string load_path;  // read the starting configuration instead
+  std::string dump_path;   // write the starting configuration here
+  std::string load_path;   // read the starting configuration instead
+  std::string json_path;   // write a machine-readable run summary here
+  std::string trace_path;  // write the structured event stream (JSONL) here
   engine_kind engine = engine_kind::direct;
+};
+
+constexpr std::string_view cli_flags[] = {
+    "--protocol",       "--n",           "--h",
+    "--t-max",          "--scenario",    "--graph",
+    "--graph-p",        "--engine",      "--seed",
+    "--max-time",       "--trace-every", "--show-agents",
+    "--dump",           "--load",        "--json",
+    "--trace-out",      "--list-protocols",
+    "--list-scenarios", "--help",
+};
+
+constexpr std::pair<std::string_view, optimal_silent_scenario>
+    optimal_scenarios[] = {
+        {"uniform_random", optimal_silent_scenario::uniform_random},
+        {"all_settled_rank_one",
+         optimal_silent_scenario::all_settled_rank_one},
+        {"no_leader", optimal_silent_scenario::no_leader},
+        {"all_unsettled_expired",
+         optimal_silent_scenario::all_unsettled_expired},
+        {"all_dormant_followers",
+         optimal_silent_scenario::all_dormant_followers},
+        {"duplicated_ranks", optimal_silent_scenario::duplicated_ranks},
+        {"valid_ranking", optimal_silent_scenario::valid_ranking},
+};
+
+constexpr std::pair<std::string_view, sublinear_scenario>
+    sublinear_scenarios[] = {
+        {"uniform_random", sublinear_scenario::uniform_random},
+        {"all_same_name", sublinear_scenario::all_same_name},
+        {"single_collision", sublinear_scenario::single_collision},
+        {"ghost_names", sublinear_scenario::ghost_names},
+        {"missing_own_name", sublinear_scenario::missing_own_name},
+        {"planted_histories", sublinear_scenario::planted_histories},
+        {"mid_reset", sublinear_scenario::mid_reset},
+        {"valid_ranking", sublinear_scenario::valid_ranking},
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -53,15 +103,8 @@ struct options {
       "  --n=<int>              population size (default 32)\n"
       "  --h=<int>              sublinear history depth (default 1)\n"
       "  --t-max=<int>          loose timeout (default 4 log2 n)\n"
-      "  --scenario=<name>      adversarial start (default uniform_random);\n"
-      "                         optimal: uniform_random all_settled_rank_one\n"
-      "                           no_leader all_unsettled_expired\n"
-      "                           all_dormant_followers duplicated_ranks\n"
-      "                           valid_ranking\n"
-      "                         sublinear: uniform_random all_same_name\n"
-      "                           single_collision ghost_names\n"
-      "                           missing_own_name planted_histories\n"
-      "                           mid_reset valid_ranking\n"
+      "  --scenario=<name>      adversarial start (default uniform_random;\n"
+      "                         see --list-scenarios)\n"
       "  --graph=complete|ring|star|path|gnp   (baseline/optimal only)\n"
       "  --graph-p=<float>      edge probability for gnp (default 0.9)\n"
       "  --engine=direct|batched  simulation engine (default direct; the\n"
@@ -73,8 +116,40 @@ struct options {
       "  --show-agents          dump every agent state at start/end\n"
       "  --dump=<file>          write the starting configuration (see\n"
       "                         protocols/serialize.hpp for the format)\n"
-      "  --load=<file>          start from a saved configuration\n";
+      "  --load=<file>          start from a saved configuration\n"
+      "  --json=<file>          write a machine-readable run summary\n"
+      "  --trace-out=<file>     write the structured event stream as JSONL\n"
+      "                         (requires --graph=complete; runs through the\n"
+      "                         selected engine)\n"
+      "  --list-protocols       print the protocol names and exit\n"
+      "  --list-scenarios       print the per-protocol scenario names and "
+      "exit\n";
   std::exit(2);
+}
+
+[[noreturn]] void list_protocols() {
+  std::cout
+      << "baseline   Silent-n-state-SSR (Theta(n^2) time, n states; Table 1 "
+         "row 1)\n"
+      << "optimal    Optimal-Silent-SSR (O(n) time, O(n) states; Theorem "
+         "4.1)\n"
+      << "sublinear  Sublinear-Time-SSR (O(n/2^h polylog n) time; Theorem "
+         "5.1)\n"
+      << "loose      loose-stabilizing LE (Theta(log n)-state comparison "
+         "point)\n";
+  std::exit(0);
+}
+
+[[noreturn]] void list_scenarios() {
+  std::cout << "baseline: uniform_random (ranks drawn uniformly; the only "
+               "scenario)\n";
+  std::cout << "optimal:";
+  for (const auto& [name, _] : optimal_scenarios) std::cout << ' ' << name;
+  std::cout << "\nsublinear:";
+  for (const auto& [name, _] : sublinear_scenarios) std::cout << ' ' << name;
+  std::cout << "\nloose: dead_configuration (all agents dead; the only "
+               "scenario)\n";
+  std::exit(0);
 }
 
 options parse(int argc, char** argv) {
@@ -87,6 +162,8 @@ options parse(int argc, char** argv) {
       return std::nullopt;
     };
     if (arg == "--help" || arg == "-h") usage();
+    if (arg == "--list-protocols") list_protocols();
+    if (arg == "--list-scenarios") list_scenarios();
     if (arg == "--show-agents") {
       opt.show_agents = true;
     } else if (auto v = value_of("--protocol")) {
@@ -117,12 +194,24 @@ options parse(int argc, char** argv) {
       opt.dump_path = *v;
     } else if (auto v = value_of("--load")) {
       opt.load_path = *v;
+    } else if (auto v = value_of("--json")) {
+      opt.json_path = *v;
+    } else if (auto v = value_of("--trace-out")) {
+      opt.trace_path = *v;
     } else {
-      usage("unknown argument: " + arg);
+      const std::string name = arg.substr(0, arg.find('='));
+      std::string message = "unknown argument '" + name + "'";
+      const std::string_view suggestion = nearest_candidate(name, cli_flags);
+      if (!suggestion.empty())
+        message += " (did you mean " + std::string(suggestion) + "?)";
+      usage(message);
     }
   }
   if (opt.engine == engine_kind::batched && opt.graph != "complete")
     usage("--engine=batched requires --graph=complete");
+  if (!opt.trace_path.empty() && opt.graph != "complete")
+    usage("--trace-out requires --graph=complete (tracing attaches to the "
+          "engine hook API)");
   return opt;
 }
 
@@ -137,36 +226,37 @@ interaction_graph make_graph(const options& opt) {
 }
 
 optimal_silent_scenario parse_optimal_scenario(const std::string& s) {
-  static const std::map<std::string, optimal_silent_scenario> table{
-      {"uniform_random", optimal_silent_scenario::uniform_random},
-      {"all_settled_rank_one", optimal_silent_scenario::all_settled_rank_one},
-      {"no_leader", optimal_silent_scenario::no_leader},
-      {"all_unsettled_expired",
-       optimal_silent_scenario::all_unsettled_expired},
-      {"all_dormant_followers",
-       optimal_silent_scenario::all_dormant_followers},
-      {"duplicated_ranks", optimal_silent_scenario::duplicated_ranks},
-      {"valid_ranking", optimal_silent_scenario::valid_ranking},
-  };
-  const auto it = table.find(s);
-  if (it == table.end()) usage("unknown optimal scenario: " + s);
-  return it->second;
+  for (const auto& [name, value] : optimal_scenarios)
+    if (name == s) return value;
+  const std::string_view suggestion = nearest_candidate(
+      s, [] {
+        static std::vector<std::string_view> names;
+        if (names.empty())
+          for (const auto& [name, _] : optimal_scenarios)
+            names.push_back(name);
+        return std::span<const std::string_view>(names);
+      }());
+  std::string message = "unknown optimal scenario: " + s;
+  if (!suggestion.empty())
+    message += " (did you mean " + std::string(suggestion) + "?)";
+  usage(message);
 }
 
 sublinear_scenario parse_sublinear_scenario(const std::string& s) {
-  static const std::map<std::string, sublinear_scenario> table{
-      {"uniform_random", sublinear_scenario::uniform_random},
-      {"all_same_name", sublinear_scenario::all_same_name},
-      {"single_collision", sublinear_scenario::single_collision},
-      {"ghost_names", sublinear_scenario::ghost_names},
-      {"missing_own_name", sublinear_scenario::missing_own_name},
-      {"planted_histories", sublinear_scenario::planted_histories},
-      {"mid_reset", sublinear_scenario::mid_reset},
-      {"valid_ranking", sublinear_scenario::valid_ranking},
-  };
-  const auto it = table.find(s);
-  if (it == table.end()) usage("unknown sublinear scenario: " + s);
-  return it->second;
+  for (const auto& [name, value] : sublinear_scenarios)
+    if (name == s) return value;
+  const std::string_view suggestion = nearest_candidate(
+      s, [] {
+        static std::vector<std::string_view> names;
+        if (names.empty())
+          for (const auto& [name, _] : sublinear_scenarios)
+            names.push_back(name);
+        return std::span<const std::string_view>(names);
+      }());
+  std::string message = "unknown sublinear scenario: " + s;
+  if (!suggestion.empty())
+    message += " (did you mean " + std::string(suggestion) + "?)";
+  usage(message);
 }
 
 std::string slurp(const std::string& path) {
@@ -175,6 +265,50 @@ std::string slurp(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
+}
+
+/// Writes the --json run summary: the verdict plus everything a script
+/// needs to re-run or classify the run.  Engine counters and trace stats
+/// appear when the run went through an engine / had a trace attached.
+void write_summary(const options& opt, bool stabilized, double time,
+                   std::uint64_t interactions,
+                   const obs::engine_counters* counters,
+                   const obs::trace_sink* sink) {
+  if (opt.json_path.empty()) return;
+  obs::json_value doc = obs::json_value::object();
+  doc["schema_version"] = 1;
+  doc["tool"] = "ssr_cli";
+  doc["protocol"] = opt.protocol;
+  doc["n"] = static_cast<std::uint64_t>(opt.n);
+  doc["scenario"] = opt.scenario;
+  doc["graph"] = opt.graph;
+  doc["engine"] = std::string(to_string(opt.engine));
+  doc["seed"] = opt.seed;
+  doc["stabilized"] = stabilized;
+  doc["parallel_time"] = time;
+  doc["interactions"] = interactions;
+  if (counters != nullptr) doc["engine_counters"] = obs::to_json(*counters);
+  if (sink != nullptr) {
+    obs::json_value trace = obs::json_value::object();
+    trace["events"] = static_cast<std::uint64_t>(sink->events().size());
+    trace["offered"] = sink->offered();
+    trace["sampled_out"] = sink->sampled_out();
+    trace["dropped"] = sink->dropped();
+    doc["trace"] = std::move(trace);
+  }
+  std::ofstream out(opt.json_path);
+  if (!out) usage("cannot write " + opt.json_path);
+  out << doc.dump(2) << '\n';
+  std::cout << "summary: " << opt.json_path << '\n';
+}
+
+void write_trace(const obs::trace_sink& sink, const std::string& path,
+                 std::span<const std::string_view> phase_names) {
+  std::ofstream out(path);
+  if (!out) usage("cannot write " + path);
+  sink.write_jsonl(out, phase_names);
+  std::cout << "trace: " << path << " (" << sink.events().size()
+            << " events, " << sink.offered() << " offered)\n";
 }
 
 /// Applies --dump/--load: optionally replaces `initial` with a saved
@@ -194,16 +328,23 @@ std::vector<typename P::agent_state> resolve_initial(
   return initial;
 }
 
-/// Engine-based counterpart of drive() for --engine=batched on the complete
-/// graph: same summaries and verdict, but the trajectory advances through a
-/// pp/engine.hpp engine and correctness is tracked incrementally (the
-/// engine may skip certainly-null interactions, so a per-step full-scan
-/// check would defeat the point).
-template <class P>
+/// Engine-based counterpart of drive() for --engine=batched (or whenever a
+/// trace is requested) on the complete graph: same summaries and verdict,
+/// but the trajectory advances through a pp/engine.hpp engine, correctness
+/// is tracked incrementally (the engine may skip certainly-null
+/// interactions, so a per-step full-scan check would defeat the point), and
+/// a phase observer emits the structured event stream for instrumented
+/// protocols.
+template <class Engine, class P>
 int drive_engine(const options& opt, const P& protocol,
                  std::vector<typename P::agent_state> initial) {
   initial = resolve_initial(opt, protocol, std::move(initial));
-  batched_engine<P> eng(protocol, std::move(initial), opt.seed);
+  Engine eng(protocol, std::move(initial), opt.seed);
+  obs::engine_counters counters;
+  eng.attach_counters(&counters);
+  obs::trace_sink sink;
+  obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
+
   std::cout << "t=0.0: " << summarize_configuration(protocol, eng.agents())
             << '\n';
   if (opt.show_agents) {
@@ -215,30 +356,77 @@ int drive_engine(const options& opt, const P& protocol,
   rank_tracker tracker(protocol.population_size());
   for (const auto& s : eng.agents()) tracker.add(protocol.rank_of(s));
   std::uint32_t ra = 0, rb = 0;
-  const auto pre = [&](const agent_pair& pair) {
-    ra = protocol.rank_of(eng.agents()[pair.initiator]);
-    rb = protocol.rank_of(eng.agents()[pair.responder]);
-  };
-  const auto post = [&](const agent_pair& pair, bool changed) {
-    if (changed) {
-      tracker.update(ra, protocol.rank_of(eng.agents()[pair.initiator]));
-      tracker.update(rb, protocol.rank_of(eng.agents()[pair.responder]));
+
+  const auto run_to_verdict = [&](auto&& pre_extra, auto&& post_extra) {
+    const auto pre = [&](const agent_pair& pair) {
+      ra = protocol.rank_of(eng.agents()[pair.initiator]);
+      rb = protocol.rank_of(eng.agents()[pair.responder]);
+      pre_extra(pair);
+    };
+    const auto post = [&](const agent_pair& pair, bool changed) {
+      if (changed) {
+        tracker.update(ra, protocol.rank_of(eng.agents()[pair.initiator]));
+        tracker.update(rb, protocol.rank_of(eng.agents()[pair.responder]));
+      }
+      post_extra(pair, changed);
+      return tracker.correct();
+    };
+    const double step_window =
+        opt.trace_every > 0 ? opt.trace_every : opt.max_time;
+    bool done = tracker.correct();
+    while (!done && eng.parallel_time() < opt.max_time) {
+      const double next_checkpoint =
+          std::min(eng.parallel_time() + step_window, opt.max_time);
+      done = eng.run(static_cast<std::uint64_t>(
+                         next_checkpoint * static_cast<double>(opt.n)),
+                     pre, post);
+      if (opt.trace_every > 0 || done) {
+        std::cout << "t=" << eng.parallel_time() << ": "
+                  << summarize_configuration(protocol, eng.agents()) << '\n';
+      }
     }
-    return tracker.correct();
+    return done;
   };
 
-  const double step_window =
-      opt.trace_every > 0 ? opt.trace_every : opt.max_time;
-  bool done = tracker.correct();
-  while (!done && eng.parallel_time() < opt.max_time) {
-    const double next_checkpoint =
-        std::min(eng.parallel_time() + step_window, opt.max_time);
-    done = eng.run(static_cast<std::uint64_t>(
-                       next_checkpoint * static_cast<double>(opt.n)),
-                   pre, post);
-    if (opt.trace_every > 0 || done) {
-      std::cout << "t=" << eng.parallel_time() << ": "
-                << summarize_configuration(protocol, eng.agents()) << '\n';
+  bool done = false;
+  if constexpr (obs::phase_instrumented_protocol<P>) {
+    obs::phase_observer<P> observer(protocol, eng.agents(), sink_ptr);
+    observer.begin(eng.parallel_time(), eng.interactions());
+    bool was_correct = tracker.correct();
+    done = run_to_verdict(
+        [&](const agent_pair& pair) { observer.before(pair); },
+        [&](const agent_pair& pair, bool changed) {
+          observer.after(pair, changed, eng.parallel_time(),
+                         eng.interactions());
+          if (changed && ra == rb && ra != 0)
+            observer.rank_collision(pair, eng.parallel_time(),
+                                    eng.interactions());
+          const bool correct = tracker.correct();
+          if (correct && !was_correct)
+            observer.convergence(eng.parallel_time(), eng.interactions());
+          else if (!correct && was_correct)
+            observer.correctness_lost(eng.parallel_time(),
+                                      eng.interactions());
+          was_correct = correct;
+        });
+    observer.end(eng.parallel_time(), eng.interactions());
+    if (sink_ptr != nullptr) {
+      const auto names = observer.phase_names();
+      write_trace(sink, opt.trace_path, names);
+    }
+  } else {
+    if (sink_ptr != nullptr)
+      sink.emit({obs::trace_event_kind::run_start, eng.parallel_time(),
+                 eng.interactions()});
+    done = run_to_verdict([](const agent_pair&) {},
+                          [](const agent_pair&, bool) {});
+    if (sink_ptr != nullptr) {
+      if (done)
+        sink.emit({obs::trace_event_kind::convergence, eng.parallel_time(),
+                   eng.interactions()});
+      sink.emit({obs::trace_event_kind::run_end, eng.parallel_time(),
+                 eng.interactions()});
+      write_trace(sink, opt.trace_path, {});
     }
   }
 
@@ -247,6 +435,8 @@ int drive_engine(const options& opt, const P& protocol,
       std::cout << "  agent " << i << ": "
                 << describe(protocol, eng.agents()[i]) << '\n';
   }
+  write_summary(opt, done, eng.parallel_time(), eng.interactions(),
+                &counters, sink_ptr);
   if (done) {
     std::cout << "stabilized at t=" << eng.parallel_time() << " ("
               << eng.interactions() << " interactions); leader is the rank-1 "
@@ -297,6 +487,8 @@ int drive(const options& opt, const P& protocol,
       std::cout << "  agent " << i << ": "
                 << describe(protocol, sim.agents()[i]) << '\n';
   }
+  write_summary(opt, done, sim.parallel_time(), sim.interactions(), nullptr,
+                nullptr);
   if (done) {
     std::cout << "stabilized at t=" << sim.parallel_time() << " ("
               << sim.interactions() << " interactions); leader is the rank-1 "
@@ -307,6 +499,46 @@ int drive(const options& opt, const P& protocol,
   return 1;
 }
 
+/// Loose LE has no ranking notion; run until a unique leader, report.
+template <class Engine>
+int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
+                       std::vector<loose_stabilizing_le::agent_state>
+                           initial) {
+  Engine eng(p, std::move(initial), opt.seed);
+  obs::engine_counters counters;
+  eng.attach_counters(&counters);
+  obs::trace_sink sink;
+  obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
+
+  std::cout << "t=0.0: " << summarize_configuration(p, eng.agents()) << '\n';
+  if (sink_ptr != nullptr)
+    sink.emit({obs::trace_event_kind::run_start, eng.parallel_time(),
+               eng.interactions()});
+  bool done = p.leader_count(eng.agents()) == 1;
+  if (!done) {
+    done = eng.run(
+        static_cast<std::uint64_t>(opt.max_time *
+                                   static_cast<double>(opt.n)),
+        [](const agent_pair&) {},
+        [&](const agent_pair&, bool changed) {
+          return changed && p.leader_count(eng.agents()) == 1;
+        });
+  }
+  std::cout << "t=" << eng.parallel_time() << ": "
+            << summarize_configuration(p, eng.agents()) << '\n';
+  if (sink_ptr != nullptr) {
+    if (done)
+      sink.emit({obs::trace_event_kind::convergence, eng.parallel_time(),
+                 eng.interactions()});
+    sink.emit({obs::trace_event_kind::run_end, eng.parallel_time(),
+               eng.interactions()});
+    write_trace(sink, opt.trace_path, {});
+  }
+  write_summary(opt, done, eng.parallel_time(), eng.interactions(),
+                &counters, sink_ptr);
+  return done ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,18 +547,31 @@ int main(int argc, char** argv) {
   const interaction_graph graph = make_graph(opt);
 
   const bool batched = opt.engine == engine_kind::batched;
+  // Tracing attaches to the engine hook API, so a trace request routes even
+  // --engine=direct runs through direct_engine instead of graph_simulation
+  // (parse() already pinned --graph=complete for this case).
+  const bool engine_path = batched || !opt.trace_path.empty();
   if (opt.protocol == "baseline") {
     silent_n_state_ssr p(opt.n);
     auto init = adversarial_configuration(p, scenario_rng);
-    return batched ? drive_engine(opt, p, std::move(init))
-                   : drive(opt, p, std::move(init), graph);
+    if (engine_path)
+      return batched
+                 ? drive_engine<batched_engine<silent_n_state_ssr>>(
+                       opt, p, std::move(init))
+                 : drive_engine<direct_engine<silent_n_state_ssr>>(
+                       opt, p, std::move(init));
+    return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "optimal") {
     optimal_silent_ssr p(opt.n);
     auto init = adversarial_configuration(
         p, parse_optimal_scenario(opt.scenario), scenario_rng);
-    return batched ? drive_engine(opt, p, std::move(init))
-                   : drive(opt, p, std::move(init), graph);
+    if (engine_path)
+      return batched ? drive_engine<batched_engine<optimal_silent_ssr>>(
+                           opt, p, std::move(init))
+                     : drive_engine<direct_engine<optimal_silent_ssr>>(
+                           opt, p, std::move(init));
+    return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "sublinear") {
     if (opt.graph != "complete")
@@ -334,8 +579,12 @@ int main(int argc, char** argv) {
     sublinear_time_ssr p(opt.n, opt.h);
     auto init = adversarial_configuration(
         p, parse_sublinear_scenario(opt.scenario), scenario_rng);
-    return batched ? drive_engine(opt, p, std::move(init))
-                   : drive(opt, p, std::move(init), graph);
+    if (engine_path)
+      return batched ? drive_engine<batched_engine<sublinear_time_ssr>>(
+                           opt, p, std::move(init))
+                     : drive_engine<direct_engine<sublinear_time_ssr>>(
+                           opt, p, std::move(init));
+    return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "loose") {
     const auto t_max =
@@ -344,28 +593,13 @@ int main(int argc, char** argv) {
             : static_cast<std::uint32_t>(
                   4 * std::ceil(std::log2(static_cast<double>(opt.n))));
     loose_stabilizing_le p(opt.n, t_max);
-    // Loose LE has no ranking notion; run until a unique leader, report.
     auto initial =
         resolve_initial(opt, p, p.dead_configuration());  // --dump/--load
-    if (batched) {
-      batched_engine<loose_stabilizing_le> eng(p, std::move(initial),
-                                               opt.seed);
-      std::cout << "t=0.0: " << summarize_configuration(p, eng.agents())
-                << '\n';
-      bool done = p.leader_count(eng.agents()) == 1;
-      if (!done) {
-        done = eng.run(
-            static_cast<std::uint64_t>(opt.max_time *
-                                       static_cast<double>(opt.n)),
-            [](const agent_pair&) {},
-            [&](const agent_pair&, bool changed) {
-              return changed && p.leader_count(eng.agents()) == 1;
-            });
-      }
-      std::cout << "t=" << eng.parallel_time() << ": "
-                << summarize_configuration(p, eng.agents()) << '\n';
-      return done ? 0 : 1;
-    }
+    if (engine_path)
+      return batched ? drive_loose_engine<batched_engine<loose_stabilizing_le>>(
+                           opt, p, std::move(initial))
+                     : drive_loose_engine<direct_engine<loose_stabilizing_le>>(
+                           opt, p, std::move(initial));
     graph_simulation<loose_stabilizing_le> sim(p, graph, std::move(initial),
                                                opt.seed);
     std::cout << "t=0.0: " << summarize_configuration(p, sim.agents())
@@ -378,6 +612,8 @@ int main(int argc, char** argv) {
                                    static_cast<double>(opt.n)));
     std::cout << "t=" << sim.parallel_time() << ": "
               << summarize_configuration(p, sim.agents()) << '\n';
+    write_summary(opt, done, sim.parallel_time(), sim.interactions(),
+                  nullptr, nullptr);
     return done ? 0 : 1;
   }
   usage("unknown protocol: " + opt.protocol);
