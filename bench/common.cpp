@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "analysis/table.hpp"
+#include "obs/progress.hpp"
 #include "pp/convergence.hpp"
 #include "pp/trial.hpp"
 #include "protocols/silent_n_state.hpp"
@@ -15,7 +16,8 @@ namespace ssr::bench {
 namespace {
 
 constexpr std::string_view bench_flags[] = {
-    "--engine", "--trials", "--seed", "--out-dir", "--no-json",
+    "--engine",   "--trials",      "--seed",     "--out-dir",
+    "--no-json",  "--history-dir", "--progress",
 };
 
 [[noreturn]] void reject_flag(std::string_view arg) {
@@ -24,7 +26,7 @@ constexpr std::string_view bench_flags[] = {
   const std::string_view suggestion = nearest_candidate(name, bench_flags);
   if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion << "?)";
   std::cerr << "\nbenches accept --engine=direct|batched --trials=N --seed=S"
-               " --out-dir=DIR --no-json\n";
+               " --out-dir=DIR --no-json --history-dir=DIR --progress\n";
   std::exit(2);
 }
 
@@ -87,8 +89,12 @@ bench_args parse_bench_args(int argc, char** argv) {
       args.seed = parse_u64_value("--seed", *v);
     } else if (const auto v = value_of("--out-dir=")) {
       args.out_dir = *v;
+    } else if (const auto v = value_of("--history-dir=")) {
+      args.history_dir = *v;
     } else if (arg == "--no-json") {
       args.write_json = false;
+    } else if (arg == "--progress") {
+      obs::set_progress_default(true);
     } else {
       reject_flag(arg);
     }
@@ -143,6 +149,20 @@ std::string reporter::finish() {
               << args_.out_dir << "'\n";
   } else {
     std::cout << "report: " << path << "\n";
+  }
+  if (!args_.history_dir.empty()) {
+    // One directory per revision; report_trend walks these in commit
+    // order to build cross-revision trend tables.
+    std::string rev_dir = args_.history_dir;
+    if (rev_dir.back() != '/') rev_dir += '/';
+    rev_dir += report_.git_rev;
+    const std::string history_path = obs::write_report(report_, rev_dir);
+    if (history_path.empty()) {
+      std::cerr << "warning: could not write history copy under '" << rev_dir
+                << "'\n";
+    } else {
+      std::cout << "history: " << history_path << "\n";
+    }
   }
   return path;
 }

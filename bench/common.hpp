@@ -42,6 +42,10 @@ void banner(const std::string& experiment, const std::string& artifact,
 ///   --seed=S                  override every row's base seed
 ///   --out-dir=DIR             where BENCH_<id>.json is written (default .)
 ///   --no-json                 skip the JSON artifact
+///   --history-dir=DIR         also append the report under
+///                             DIR/<git_rev>/ for report_trend
+///   --progress                periodic heartbeat (trials done, rate, ETA)
+///                             on stderr during every sweep
 ///
 /// Trial counts and seeds are per-row constants chosen by each bench, so
 /// the overrides are optional: row code asks args.trials_or(default) /
@@ -51,6 +55,7 @@ struct bench_args {
   std::optional<std::uint64_t> trials;
   std::optional<std::uint64_t> seed;
   std::string out_dir;
+  std::string history_dir;
   bool write_json = true;
   std::string binary;             // argv[0] basename, for the report
   std::vector<std::string> argv;  // original arguments, for the report
@@ -96,7 +101,9 @@ class reporter {
 
   /// Writes the artifact (prints the path) and returns the path, or ""
   /// when JSON output is disabled or the write failed (failure also prints
-  /// a warning).  Idempotent: later calls rewrite the same file.
+  /// a warning).  With --history-dir the report is additionally written
+  /// under <history_dir>/<git_rev>/, the layout report_trend consumes.
+  /// Idempotent: later calls rewrite the same file(s).
   std::string finish();
 
  private:

@@ -1,0 +1,495 @@
+#include "analysis/trace_stats.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "analysis/table.hpp"
+
+namespace ssr {
+namespace {
+
+using obs::json_value;
+using obs::trace_event;
+using obs::trace_event_kind;
+
+std::uint64_t uint_or(const json_value& obj, std::string_view key,
+                      std::uint64_t fallback) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->as_uint64();
+}
+
+double number_or(const json_value& obj, std::string_view key,
+                 double fallback) {
+  const json_value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->as_double();
+}
+
+json_value dwell_to_json(const dwell_summary& d) {
+  json_value out = json_value::object();
+  out["count"] = json_value{d.count};
+  out["mean"] = json_value{d.mean};
+  out["p50"] = json_value{d.p50};
+  out["p90"] = json_value{d.p90};
+  out["p99"] = json_value{d.p99};
+  out["min"] = json_value{d.min};
+  out["max"] = json_value{d.max};
+  return out;
+}
+
+std::string dwell_cells(const dwell_summary& d) {
+  if (d.count == 0) return "-";
+  return format_fixed(d.mean, 4);
+}
+
+}  // namespace
+
+std::optional<parsed_trace> parse_trace_jsonl(std::istream& is,
+                                              std::string* error) {
+  parsed_trace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  auto fail = [&](std::string message) -> std::optional<parsed_trace> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " +
+               std::move(message);
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto parsed = json_value::parse(line, &parse_error);
+    if (!parsed) return fail(parse_error);
+    if (!parsed->is_object()) return fail("not a JSON object");
+    const json_value* name = parsed->find("event");
+    if (name == nullptr || !name->is_string()) {
+      return fail("missing string \"event\"");
+    }
+    if (name->as_string() == "trace_header") {
+      trace.offered = uint_or(*parsed, "offered", 0);
+      trace.sampled_out = uint_or(*parsed, "sampled_out", 0);
+      trace.dropped = uint_or(*parsed, "dropped", 0);
+      if (const json_value* phases = parsed->find("phases");
+          phases != nullptr && phases->is_array()) {
+        for (const json_value& p : phases->items()) {
+          if (p.is_string()) trace.phase_names.push_back(p.as_string());
+        }
+      }
+      continue;
+    }
+    const auto kind = obs::trace_event_kind_from_string(name->as_string());
+    if (!kind) return fail("unknown event \"" + name->as_string() + "\"");
+    trace_event event;
+    event.kind = *kind;
+    event.time = number_or(*parsed, "time", 0.0);
+    event.interaction = uint_or(*parsed, "interaction", 0);
+    event.agent = static_cast<std::uint32_t>(
+        uint_or(*parsed, "agent", obs::trace_no_agent));
+    event.from_phase = static_cast<std::int32_t>(static_cast<std::int64_t>(
+        number_or(*parsed, "from_phase", -1.0)));
+    event.to_phase = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(number_or(*parsed, "to_phase", -1.0)));
+    trace.events.push_back(event);
+  }
+  return trace;
+}
+
+void trace_stats_accumulator::dist::record(double x) {
+  if (count == 0) {
+    min = x;
+    max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  sum += x;
+  sketch.add(x);
+}
+
+dwell_summary trace_stats_accumulator::dist::summarize() const {
+  dwell_summary d;
+  d.count = count;
+  if (count == 0) return d;
+  d.mean = sum / static_cast<double>(count);
+  d.p50 = sketch.quantile(0.50);
+  d.p90 = sketch.quantile(0.90);
+  d.p99 = sketch.quantile(0.99);
+  d.min = min;
+  d.max = max;
+  return d;
+}
+
+void trace_stats_accumulator::add(const parsed_trace& trace) {
+  ++runs_;
+  events_ += trace.events.size();
+  offered_ += trace.offered;
+  sampled_out_ += trace.sampled_out;
+  dropped_ += trace.dropped;
+
+  // Widen the phase tables to whatever this trace names or references.
+  std::size_t phase_count =
+      std::max(phase_names_.size(), trace.phase_names.size());
+  for (const trace_event& event : trace.events) {
+    if (event.kind != trace_event_kind::phase_transition) continue;
+    phase_count = std::max(
+        {phase_count, static_cast<std::size_t>(event.from_phase + 1),
+         static_cast<std::size_t>(event.to_phase + 1)});
+  }
+  if (phase_names_.size() < trace.phase_names.size()) {
+    phase_names_ = trace.phase_names;
+  }
+  entries_.resize(phase_count, 0);
+  exits_.resize(phase_count, 0);
+  dwell_.resize(phase_count);
+
+  bool has_start = false;
+  double start_time = 0.0;
+  std::uint64_t start_interaction = 0;
+  double last_time = 0.0;
+  std::uint64_t last_interaction = 0;
+  bool saw_end = false;
+  std::optional<double> wave_open_time;
+  std::uint64_t wave_open_interaction = 0;
+  std::optional<double> first_convergence;
+  std::optional<double> last_convergence;
+  // Last known phase-entry time per agent; absent = in its initial phase
+  // since run_start.
+  std::unordered_map<std::uint32_t, double> entered_at;
+
+  auto flush_run = [&] {
+    if (wave_open_time.has_value()) {
+      ++unclosed_waves_;
+      wave_open_time.reset();
+    }
+    if (has_start) {
+      if (first_convergence.has_value()) {
+        first_convergence_.record(*first_convergence - start_time);
+      }
+      if (last_convergence.has_value()) {
+        last_convergence_.record(*last_convergence - start_time);
+      }
+      interactions_ += last_interaction - start_interaction;
+      total_time_ += last_time - start_time;
+    }
+    first_convergence.reset();
+    last_convergence.reset();
+    entered_at.clear();
+    has_start = false;
+    saw_end = false;
+  };
+
+  for (const trace_event& event : trace.events) {
+    last_time = event.time;
+    last_interaction = event.interaction;
+    switch (event.kind) {
+      case trace_event_kind::run_start:
+        if (has_start) flush_run();  // truncated previous run
+        has_start = true;
+        start_time = event.time;
+        start_interaction = event.interaction;
+        break;
+      case trace_event_kind::run_end:
+        saw_end = true;
+        flush_run();
+        break;
+      case trace_event_kind::phase_transition: {
+        if (event.from_phase >= 0) {
+          ++exits_[static_cast<std::size_t>(event.from_phase)];
+          // Dwell = time since the agent entered from_phase; agents seen
+          // for the first time have been there since run_start.
+          double entered = has_start ? start_time : event.time;
+          if (const auto it = entered_at.find(event.agent);
+              it != entered_at.end()) {
+            entered = it->second;
+          }
+          if (event.time >= entered) {
+            dwell_[static_cast<std::size_t>(event.from_phase)].record(
+                event.time - entered);
+          }
+        }
+        if (event.to_phase >= 0) {
+          ++entries_[static_cast<std::size_t>(event.to_phase)];
+        }
+        entered_at[event.agent] = event.time;
+        break;
+      }
+      case trace_event_kind::reset_wave_start:
+        if (wave_open_time.has_value()) ++unclosed_waves_;
+        wave_open_time = event.time;
+        wave_open_interaction = event.interaction;
+        break;
+      case trace_event_kind::reset_wave_end:
+        if (wave_open_time.has_value()) {
+          ++waves_;
+          wave_time_.record(event.time - *wave_open_time);
+          wave_interactions_.record(static_cast<double>(
+              event.interaction - wave_open_interaction));
+          wave_open_time.reset();
+        }
+        break;
+      case trace_event_kind::rank_collision:
+        ++rank_collisions_;
+        break;
+      case trace_event_kind::convergence:
+        if (!first_convergence.has_value()) first_convergence = event.time;
+        last_convergence = event.time;
+        ++convergences_;
+        break;
+      case trace_event_kind::correctness_lost:
+        ++correctness_lost_;
+        break;
+    }
+  }
+  // Truncated trace (no run_end): account for what we saw anyway.
+  if (has_start && !saw_end) flush_run();
+  if (wave_open_time.has_value()) ++unclosed_waves_;
+}
+
+double trace_stats_accumulator::rank_collision_rate() const {
+  if (interactions_ == 0) return 0.0;
+  return static_cast<double>(rank_collisions_) /
+         static_cast<double>(interactions_);
+}
+
+std::vector<phase_stats> trace_stats_accumulator::phases() const {
+  std::vector<phase_stats> out;
+  out.reserve(dwell_.size());
+  for (std::size_t ph = 0; ph < dwell_.size(); ++ph) {
+    phase_stats stats;
+    stats.name = ph < phase_names_.size() ? phase_names_[ph]
+                                          : "phase" + std::to_string(ph);
+    stats.entries = entries_[ph];
+    stats.exits = exits_[ph];
+    stats.dwell = dwell_[ph].summarize();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+reset_wave_stats trace_stats_accumulator::reset_waves() const {
+  reset_wave_stats out;
+  out.waves = waves_;
+  out.unclosed = unclosed_waves_;
+  out.duration_time = wave_time_.summarize();
+  out.duration_interactions = wave_interactions_.summarize();
+  return out;
+}
+
+convergence_stats trace_stats_accumulator::convergence() const {
+  convergence_stats out;
+  out.convergences = convergences_;
+  out.correctness_lost = correctness_lost_;
+  out.time_to_first = first_convergence_.summarize();
+  out.time_to_last = last_convergence_.summarize();
+  return out;
+}
+
+json_value trace_stats_accumulator::to_json() const {
+  json_value out = json_value::object();
+  out["schema_version"] = json_value{trace_stats_schema_version};
+  out["runs"] = json_value{runs_};
+  out["events"] = json_value{events_};
+  out["offered"] = json_value{offered_};
+  out["sampled_out"] = json_value{sampled_out_};
+  out["dropped"] = json_value{dropped_};
+  out["interactions"] = json_value{interactions_};
+  out["total_time"] = json_value{total_time_};
+
+  json_value phases_json = json_value::array();
+  for (const phase_stats& ph : phases()) {
+    json_value p = json_value::object();
+    p["name"] = json_value{ph.name};
+    p["entries"] = json_value{ph.entries};
+    p["exits"] = json_value{ph.exits};
+    p["dwell"] = dwell_to_json(ph.dwell);
+    phases_json.push_back(std::move(p));
+  }
+  out["phases"] = std::move(phases_json);
+
+  const reset_wave_stats waves = reset_waves();
+  json_value waves_json = json_value::object();
+  waves_json["count"] = json_value{waves.waves};
+  waves_json["unclosed"] = json_value{waves.unclosed};
+  waves_json["duration_time"] = dwell_to_json(waves.duration_time);
+  waves_json["duration_interactions"] =
+      dwell_to_json(waves.duration_interactions);
+  out["reset_waves"] = std::move(waves_json);
+
+  json_value collisions = json_value::object();
+  collisions["count"] = json_value{rank_collisions_};
+  collisions["rate_per_interaction"] = json_value{rank_collision_rate()};
+  out["rank_collisions"] = std::move(collisions);
+
+  const convergence_stats conv = convergence();
+  json_value conv_json = json_value::object();
+  conv_json["count"] = json_value{conv.convergences};
+  conv_json["correctness_lost"] = json_value{conv.correctness_lost};
+  conv_json["time_to_first"] = dwell_to_json(conv.time_to_first);
+  conv_json["time_to_last"] = dwell_to_json(conv.time_to_last);
+  out["convergence"] = std::move(conv_json);
+  return out;
+}
+
+void trace_stats_accumulator::print_table(std::ostream& os) const {
+  os << "runs " << runs_ << ", events " << events_ << " (offered "
+     << offered_ << ", sampled out " << sampled_out_ << ", dropped "
+     << dropped_ << ")\n";
+  os << "interactions " << format_count(static_cast<double>(interactions_))
+     << ", parallel time " << format_fixed(total_time_, 4) << "\n\n";
+
+  text_table phase_table({"phase", "entries", "exits", "dwells",
+                          "dwell mean", "dwell p50", "dwell p90",
+                          "dwell p99"});
+  for (const phase_stats& ph : phases()) {
+    if (ph.entries == 0 && ph.exits == 0 && ph.dwell.count == 0) continue;
+    phase_table.add_row(
+        {ph.name, format_count(static_cast<double>(ph.entries)),
+         format_count(static_cast<double>(ph.exits)),
+         format_count(static_cast<double>(ph.dwell.count)),
+         dwell_cells(ph.dwell),
+         ph.dwell.count == 0 ? "-" : format_fixed(ph.dwell.p50, 4),
+         ph.dwell.count == 0 ? "-" : format_fixed(ph.dwell.p90, 4),
+         ph.dwell.count == 0 ? "-" : format_fixed(ph.dwell.p99, 4)});
+  }
+  if (phase_table.rows() > 0) {
+    phase_table.print(os);
+    os << "\n";
+  }
+
+  const reset_wave_stats waves = reset_waves();
+  os << "reset waves: " << waves.waves << " completed, " << waves.unclosed
+     << " unclosed";
+  if (waves.duration_time.count > 0) {
+    os << "; duration mean " << format_fixed(waves.duration_time.mean, 4)
+       << " p99 " << format_fixed(waves.duration_time.p99, 4)
+       << " (parallel time), mean "
+       << format_count(waves.duration_interactions.mean) << " interactions";
+  }
+  os << "\n";
+
+  os << "rank collisions: " << rank_collisions_ << " ("
+     << rank_collision_rate() << " per interaction)\n";
+
+  const convergence_stats conv = convergence();
+  os << "convergence: " << conv.convergences << " event(s), "
+     << conv.correctness_lost << " correctness_lost";
+  if (conv.time_to_first.count > 0) {
+    os << "; time-to-first mean "
+       << format_fixed(conv.time_to_first.mean, 4) << ", time-to-last mean "
+       << format_fixed(conv.time_to_last.mean, 4);
+  }
+  os << "\n";
+}
+
+json_value chrome_trace_json(const parsed_trace& trace, int pid) {
+  constexpr double ts_scale = 1e6;  // 1 parallel-time unit -> 1 "second"
+  json_value events = json_value::array();
+
+  auto base = [&](std::string_view name, std::string_view ph, double time,
+                  int tid) {
+    json_value e = json_value::object();
+    e["name"] = json_value{name};
+    e["cat"] = json_value{"ssr"};
+    e["ph"] = json_value{ph};
+    e["ts"] = json_value{time * ts_scale};
+    e["pid"] = json_value{pid};
+    e["tid"] = json_value{tid};
+    return e;
+  };
+  auto thread_name = [&](int tid, std::string_view name) {
+    json_value e = json_value::object();
+    e["name"] = json_value{"thread_name"};
+    e["ph"] = json_value{"M"};
+    e["pid"] = json_value{pid};
+    e["tid"] = json_value{tid};
+    json_value args = json_value::object();
+    args["name"] = json_value{name};
+    e["args"] = std::move(args);
+    return e;
+  };
+
+  events.push_back(thread_name(0, "run"));
+  events.push_back(thread_name(1, "reset waves"));
+  events.push_back(thread_name(2, "phase transitions"));
+  events.push_back(thread_name(3, "markers"));
+
+  auto phase_name = [&](std::int32_t ph) -> std::string {
+    if (ph >= 0 && static_cast<std::size_t>(ph) < trace.phase_names.size()) {
+      return trace.phase_names[static_cast<std::size_t>(ph)];
+    }
+    return "phase" + std::to_string(ph);
+  };
+
+  bool wave_open = false;
+  double last_time = 0.0;
+  for (const obs::trace_event& event : trace.events) {
+    last_time = std::max(last_time, event.time);
+    switch (event.kind) {
+      case obs::trace_event_kind::run_start:
+      case obs::trace_event_kind::run_end: {
+        json_value e = base(obs::to_string(event.kind), "i", event.time, 0);
+        e["s"] = json_value{"p"};
+        json_value args = json_value::object();
+        args["interaction"] = json_value{event.interaction};
+        e["args"] = std::move(args);
+        events.push_back(std::move(e));
+        break;
+      }
+      case obs::trace_event_kind::reset_wave_start:
+        // Overlapping starts cannot happen (occupancy leaves zero once),
+        // but stay balanced on malformed input.
+        if (!wave_open) {
+          events.push_back(base("reset_wave", "B", event.time, 1));
+          wave_open = true;
+        }
+        break;
+      case obs::trace_event_kind::reset_wave_end:
+        if (wave_open) {
+          events.push_back(base("reset_wave", "E", event.time, 1));
+          wave_open = false;
+        }
+        break;
+      case obs::trace_event_kind::phase_transition: {
+        json_value e = base(
+            phase_name(event.from_phase) + " -> " +
+                phase_name(event.to_phase),
+            "i", event.time, 2);
+        e["s"] = json_value{"t"};
+        json_value args = json_value::object();
+        args["agent"] = json_value{static_cast<std::uint64_t>(event.agent)};
+        args["interaction"] = json_value{event.interaction};
+        e["args"] = std::move(args);
+        events.push_back(std::move(e));
+        break;
+      }
+      case obs::trace_event_kind::rank_collision:
+      case obs::trace_event_kind::convergence:
+      case obs::trace_event_kind::correctness_lost: {
+        json_value e = base(obs::to_string(event.kind), "i", event.time, 3);
+        e["s"] = json_value{"p"};
+        json_value args = json_value::object();
+        args["interaction"] = json_value{event.interaction};
+        e["args"] = std::move(args);
+        events.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+  // A wave still open at the end of the trace would leave an unbalanced
+  // "B"; close it at the last timestamp so viewers render it full-width.
+  if (wave_open) events.push_back(base("reset_wave", "E", last_time, 1));
+
+  json_value out = json_value::object();
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = json_value{"ms"};
+  return out;
+}
+
+}  // namespace ssr

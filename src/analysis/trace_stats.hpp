@@ -1,0 +1,167 @@
+// Offline analytics over JSONL execution traces (obs/trace.hpp).
+//
+// ssr_cli --trace-out writes one trace_header line followed by one event
+// object per line.  This layer parses those files back into trace_event
+// streams and aggregates, across one or many runs:
+//
+//   * per-phase dynamics -- entries/exits per phase plus the distribution
+//     of completed dwell times (enter -> exit observed for the same
+//     agent), percentile-accurate via the same quantile sketch the
+//     metrics histograms use;
+//   * reset waves -- count, plus distributions of wave duration in
+//     parallel time and in interactions (a wave = reset_wave_start paired
+//     with the next reset_wave_end; a wave still open at run_end counts
+//     as unclosed, never as a duration sample);
+//   * rank collisions -- total count and rate per executed interaction;
+//   * convergence breakdown -- time to first convergence, time of the
+//     last convergence (the stabilization point of the run), and
+//     correctness_lost count.
+//
+// Dwell times are exact for unsampled traces.  When the producer sampled
+// phase_transition events (sample_every > 1) the reconstruction only sees
+// the kept transitions, so dwell distributions widen; the header's
+// offered/sampled_out counters are surfaced so consumers can judge
+// coverage.  Structural events are never sampled, so wave / collision /
+// convergence statistics stay exact even in sampled traces.
+//
+// trace_stats_to_json emits schema-versioned JSON; chrome_trace_json
+// converts a run into Chrome trace-event format (catapult JSON, loadable
+// in Perfetto or chrome://tracing): reset waves become B/E duration
+// events, everything else instants, with 1 unit of parallel time mapped
+// to 1 "second" of trace time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/quantile_sketch.hpp"
+#include "obs/trace.hpp"
+
+namespace ssr {
+
+inline constexpr int trace_stats_schema_version = 1;
+
+/// One decoded JSONL trace file: header accounting + event stream.
+struct parsed_trace {
+  std::vector<std::string> phase_names;  // empty when header had none
+  std::uint64_t offered = 0;
+  std::uint64_t sampled_out = 0;
+  std::uint64_t dropped = 0;
+  std::vector<obs::trace_event> events;
+};
+
+/// Parses a JSONL trace stream.  Unknown event names and malformed lines
+/// are errors (the format is versioned and producer-controlled).
+std::optional<parsed_trace> parse_trace_jsonl(std::istream& is,
+                                              std::string* error = nullptr);
+
+/// Distribution summary rendered for one aggregated quantity.
+struct dwell_summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct phase_stats {
+  std::string name;
+  std::uint64_t entries = 0;
+  std::uint64_t exits = 0;
+  dwell_summary dwell;  // completed dwells, parallel-time units
+};
+
+struct reset_wave_stats {
+  std::uint64_t waves = 0;           // completed start/end pairs
+  std::uint64_t unclosed = 0;        // starts with no matching end
+  dwell_summary duration_time;       // parallel-time units
+  dwell_summary duration_interactions;
+};
+
+struct convergence_stats {
+  std::uint64_t convergences = 0;
+  std::uint64_t correctness_lost = 0;
+  /// Per-run first/last convergence times relative to run_start.
+  dwell_summary time_to_first;
+  dwell_summary time_to_last;
+};
+
+/// Aggregates one or many runs.  Feed each parsed trace through add();
+/// the summaries below then cover the union of all runs.
+class trace_stats_accumulator {
+ public:
+  void add(const parsed_trace& trace);
+
+  std::uint64_t runs() const { return runs_; }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t sampled_out() const { return sampled_out_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t interactions() const { return interactions_; }
+  double total_time() const { return total_time_; }
+  std::uint64_t rank_collisions() const { return rank_collisions_; }
+  /// Collisions per executed interaction across all runs; 0 when the
+  /// traces carried no run framing.
+  double rank_collision_rate() const;
+
+  std::vector<phase_stats> phases() const;
+  reset_wave_stats reset_waves() const;
+  convergence_stats convergence() const;
+
+  /// Versioned machine-readable summary (trace_stats_schema_version).
+  obs::json_value to_json() const;
+  /// Human-readable tables (analysis/table.hpp) on `os`.
+  void print_table(std::ostream& os) const;
+
+ private:
+  /// Moments + sketch for one aggregated quantity; cheap to copy, unlike
+  /// the mutex-guarded obs::histogram.
+  struct dist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    obs::quantile_sketch sketch;
+
+    void record(double x);
+    dwell_summary summarize() const;
+  };
+
+  std::uint64_t runs_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t interactions_ = 0;
+  double total_time_ = 0.0;
+  std::uint64_t rank_collisions_ = 0;
+
+  std::vector<std::string> phase_names_;
+  std::vector<std::uint64_t> entries_;
+  std::vector<std::uint64_t> exits_;
+  std::vector<dist> dwell_;  // one per phase
+
+  std::uint64_t waves_ = 0;
+  std::uint64_t unclosed_waves_ = 0;
+  dist wave_time_;
+  dist wave_interactions_;
+
+  std::uint64_t convergences_ = 0;
+  std::uint64_t correctness_lost_ = 0;
+  dist first_convergence_;
+  dist last_convergence_;
+};
+
+/// Chrome trace-event ("catapult") JSON for one run: an object with a
+/// "traceEvents" array, ts/dur in microseconds where 1 parallel-time unit
+/// = 1 second.  `pid` distinguishes runs when several files are merged
+/// into one timeline.
+obs::json_value chrome_trace_json(const parsed_trace& trace, int pid = 1);
+
+}  // namespace ssr

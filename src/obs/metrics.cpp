@@ -27,14 +27,50 @@ void histogram::record(double sample) {
   }
   ++data_.count;
   data_.sum += sample;
+  data_.sum_squares += sample * sample;
+  sketch_.add(sample);
   if (sample > 0.0 && std::isfinite(sample)) {
     ++buckets_[static_cast<int>(std::floor(std::log2(sample)))];
   }
 }
 
+void histogram::merge(const histogram& other) {
+  if constexpr (!metrics_compiled_in) return;
+  if (&other == this) {
+    // Self-merge: locking mutex_ twice is UB, so double in place.
+    const std::scoped_lock lock(mutex_);
+    data_.count *= 2;
+    data_.sum *= 2.0;
+    data_.sum_squares *= 2.0;
+    for (auto& [log2_floor, count] : buckets_) count *= 2;
+    sketch_.merge(sketch_);  // the sketch handles self-merge via a copy
+    return;
+  }
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  if (other.data_.count == 0) return;
+  if (data_.count == 0) {
+    data_.min = other.data_.min;
+    data_.max = other.data_.max;
+  } else {
+    data_.min = std::min(data_.min, other.data_.min);
+    data_.max = std::max(data_.max, other.data_.max);
+  }
+  data_.count += other.data_.count;
+  data_.sum += other.data_.sum;
+  data_.sum_squares += other.data_.sum_squares;
+  for (const auto& [log2_floor, count] : other.buckets_) {
+    buckets_[log2_floor] += count;
+  }
+  sketch_.merge(other.sketch_);
+}
+
 histogram::snapshot_data histogram::snapshot() const {
   const std::scoped_lock lock(mutex_);
-  return data_;
+  snapshot_data snap = data_;
+  snap.p50 = sketch_.quantile(0.50);
+  snap.p90 = sketch_.quantile(0.90);
+  snap.p99 = sketch_.quantile(0.99);
+  return snap;
 }
 
 json_value histogram::to_json() const {
@@ -46,6 +82,9 @@ json_value histogram::to_json() const {
   out["max"] = json_value{data_.max};
   out["mean"] =
       json_value{data_.count > 0 ? data_.sum / data_.count : 0.0};
+  out["p50"] = json_value{sketch_.quantile(0.50)};
+  out["p90"] = json_value{sketch_.quantile(0.90)};
+  out["p99"] = json_value{sketch_.quantile(0.99)};
   json_value buckets = json_value::object();
   for (const auto& [log2_floor, count] : buckets_) {
     buckets[std::to_string(log2_floor)] = json_value{count};
@@ -54,8 +93,7 @@ json_value histogram::to_json() const {
   return out;
 }
 
-counter& metrics_registry::get_counter(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+counter& metrics_registry::counter_locked(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<counter>())
@@ -64,8 +102,7 @@ counter& metrics_registry::get_counter(std::string_view name) {
   return *it->second;
 }
 
-gauge& metrics_registry::get_gauge(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+gauge& metrics_registry::gauge_locked(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<gauge>()).first;
@@ -73,14 +110,28 @@ gauge& metrics_registry::get_gauge(std::string_view name) {
   return *it->second;
 }
 
-histogram& metrics_registry::get_histogram(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+histogram& metrics_registry::histogram_locked(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<histogram>())
              .first;
   }
   return *it->second;
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return counter_locked(name);
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return gauge_locked(name);
+}
+
+histogram& metrics_registry::get_histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return histogram_locked(name);
 }
 
 void metrics_registry::absorb(const engine_counters& c) {
@@ -91,6 +142,26 @@ void metrics_registry::absorb(const engine_counters& c) {
   get_counter("engine.geometric_draws").add(c.geometric_draws);
   get_counter("engine.quiescent_jumps").add(c.quiescent_jumps);
   get_counter("engine.batches_drawn").add(c.batches_drawn);
+}
+
+void metrics_registry::absorb(const metrics_registry& other) {
+  if constexpr (!metrics_compiled_in) return;
+  // Absorbing a registry into itself is a no-op (doubling every metric is
+  // never what a caller wants, and locking mutex_ twice is UB).
+  if (&other == this) return;
+  // scoped_lock's deadlock-avoidance makes concurrent absorb(a -> b) and
+  // absorb(b -> a) safe.  The registry mutexes are always taken before any
+  // histogram mutex, so merge() below cannot invert an order.
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    counter_locked(name).add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge_locked(name).set(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram_locked(name).merge(*h);
+  }
 }
 
 json_value metrics_registry::snapshot() const {

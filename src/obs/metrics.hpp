@@ -33,6 +33,7 @@
 
 #include "obs/engine_counters.hpp"
 #include "obs/json.hpp"
+#include "obs/quantile_sketch.hpp"
 
 namespace ssr::obs {
 
@@ -77,19 +78,29 @@ class gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Aggregating histogram: count/sum/min/max plus power-of-two magnitude
-/// buckets for positive samples.  record() takes a mutex -- intended for
+/// Aggregating histogram: count/sum/sum-of-squares/min/max, power-of-two
+/// magnitude buckets for positive samples, and a streaming quantile sketch
+/// (obs/quantile_sketch.hpp) so snapshots carry accurate p50/p90/p99
+/// without retaining samples.  record() takes a mutex -- intended for
 /// per-trial-granularity samples (durations), not per-interaction ones
 /// (those belong in engine_counters).
 class histogram {
  public:
   void record(double sample);
 
+  /// Additively folds `other` in (count/sum/buckets add, min/max widen,
+  /// sketches merge).  Safe against concurrent record() on either side.
+  void merge(const histogram& other);
+
   struct snapshot_data {
     std::uint64_t count = 0;
     double sum = 0.0;
+    double sum_squares = 0.0;
     double min = 0.0;
     double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
   };
   snapshot_data snapshot() const;
   json_value to_json() const;
@@ -98,6 +109,7 @@ class histogram {
   mutable std::mutex mutex_;
   snapshot_data data_;
   std::map<int, std::uint64_t> buckets_;  // floor(log2(sample)) -> count
+  quantile_sketch sketch_;
 };
 
 /// Owns named metrics; get_* creates on first use and returns a stable
@@ -113,6 +125,13 @@ class metrics_registry {
   /// "engine.<field>" names.
   void absorb(const engine_counters& c);
 
+  /// Folds another registry in: counters add, gauges take the other's
+  /// value (last write wins), histograms merge additively.  Thread-safe on
+  /// both sides and idempotent to call concurrently from many threads --
+  /// absorbing the same source twice adds it twice, by design (the caller
+  /// owns the once-per-source discipline).
+  void absorb(const metrics_registry& other);
+
   /// One JSON object member per metric, sorted by name for stable output.
   json_value snapshot() const;
 
@@ -123,6 +142,12 @@ class metrics_registry {
   static metrics_registry& global();
 
  private:
+  // Find-or-create under an already-held mutex_ (absorb holds both
+  // registries' mutexes, so the public get_* would self-deadlock).
+  counter& counter_locked(std::string_view name);
+  gauge& gauge_locked(std::string_view name);
+  histogram& histogram_locked(std::string_view name);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;

@@ -1,0 +1,91 @@
+// Live progress heartbeat for long measurement runs.
+//
+// A progress_meter owns a background thread that periodically snapshots a
+// metrics_registry and prints one human-readable line per interval to
+// stderr (stdout stays clean for tables and JSON).  Everything it shows is
+// derived from the same named metrics the bench reports embed:
+//
+//   trials.completed              -> "trials 12/60 (20%)" + trials/s + ETA
+//   engine.interactions_executed  -> "3.2e+08 interactions/s" (delta rate)
+//   run.parallel_time /
+//   run.max_parallel_time         -> single-run progress + ETA (ssr_cli)
+//
+// Counts are measured against a baseline snapshot taken at construction,
+// so a registry reused across bench sections reports each section from
+// zero.
+//
+// set_progress_default() is the process-wide switch behind the --progress
+// flags: run_trials consults it so every existing bench gains a heartbeat
+// without signature churn.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace ssr::obs {
+
+/// Process-wide default for "should long runs print a heartbeat?".
+/// Thread-safe; set once by the CLI front ends during argument parsing.
+void set_progress_default(bool enabled);
+bool progress_default();
+
+struct progress_options {
+  double interval_seconds = 2.0;
+  /// Total trials expected; 0 = unknown (no trial ETA line).
+  std::uint64_t total_trials = 0;
+  std::string label = "progress";
+};
+
+/// The registry fields the heartbeat renders, extracted from one
+/// snapshot() document.  Exposed (with the formatter) for tests.
+struct progress_sample {
+  double trials_completed = 0.0;
+  double interactions = 0.0;
+  double parallel_time = 0.0;
+  double max_parallel_time = 0.0;
+};
+
+progress_sample read_progress_sample(const json_value& snapshot);
+
+/// Renders one heartbeat line.  `baseline` anchors displayed totals,
+/// `previous` -> `current` over `interval_seconds` gives instantaneous
+/// rates, `elapsed_seconds` (since the baseline) gives the ETA.  Returns
+/// "" when there is nothing to report yet.
+std::string format_progress_line(const progress_options& options,
+                                 const progress_sample& baseline,
+                                 const progress_sample& previous,
+                                 const progress_sample& current,
+                                 double interval_seconds,
+                                 double elapsed_seconds);
+
+/// RAII heartbeat: starts printing on construction, stops (and joins) on
+/// stop() or destruction.  The registry must outlive the meter.
+class progress_meter {
+ public:
+  explicit progress_meter(const metrics_registry& registry,
+                          progress_options options = {});
+  ~progress_meter();
+
+  progress_meter(const progress_meter&) = delete;
+  progress_meter& operator=(const progress_meter&) = delete;
+
+  /// Idempotent; prints nothing further once it returns.
+  void stop();
+
+ private:
+  void loop();
+
+  const metrics_registry& registry_;
+  progress_options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ssr::obs

@@ -1,0 +1,165 @@
+#include "obs/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssr::obs {
+namespace {
+
+constexpr double two_pi = 6.283185307179586476925286766559;
+
+/// The k1 scale function: k(q) = (delta / 2pi) asin(2q - 1).  Its slope is
+/// flattest at q = 1/2 and steepest at the ends, so clusters are allowed to
+/// be large in the middle of the distribution and forced to stay small in
+/// the tails -- constant *relative* accuracy at extreme quantiles.
+double k_scale(double q, double compression) {
+  const double x = std::clamp(2.0 * q - 1.0, -1.0, 1.0);
+  return compression / two_pi * std::asin(x);
+}
+
+double k_scale_inverse(double k, double compression) {
+  return (std::sin(k * two_pi / compression) + 1.0) / 2.0;
+}
+
+}  // namespace
+
+quantile_sketch::quantile_sketch(std::uint32_t compression)
+    : compression_(std::max<std::uint32_t>(compression, 20)) {
+  buffer_.reserve(static_cast<std::size_t>(compression_) * 5);
+}
+
+void quantile_sketch::add(double x) {
+  if (!std::isfinite(x)) return;
+  if (total_weight_ + buffered_weight_ == 0.0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  buffer_.push_back(x);
+  buffered_weight_ += 1.0;
+  if (buffer_.size() >= buffer_.capacity()) flush();
+}
+
+/// One pass of the merging-digest compaction: `all` is an ascending stream
+/// of centroids summing to `total` weight; adjacent clusters are combined
+/// while the combined cluster's quantile span stays within one unit of the
+/// scale function.
+void quantile_sketch::compact(std::vector<centroid>& all, double total,
+                              double compression,
+                              std::vector<centroid>& out) {
+  out.clear();
+  if (all.empty()) return;
+  out.push_back(all.front());
+  double weight_before = 0.0;  // weight of fully compacted clusters
+  double q_limit =
+      k_scale_inverse(k_scale(0.0, compression) + 1.0, compression);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const centroid& c = all[i];
+    centroid& last = out.back();
+    const double proposed = last.weight + c.weight;
+    if ((weight_before + proposed) / total <= q_limit) {
+      last.mean += (c.mean - last.mean) * c.weight / proposed;
+      last.weight = proposed;
+    } else {
+      weight_before += last.weight;
+      q_limit = k_scale_inverse(
+          k_scale(weight_before / total, compression) + 1.0, compression);
+      out.push_back(c);
+    }
+  }
+}
+
+void quantile_sketch::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  std::vector<centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  std::size_t ci = 0, bi = 0;
+  while (ci < centroids_.size() || bi < buffer_.size()) {
+    if (bi >= buffer_.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi])) {
+      all.push_back(centroids_[ci++]);
+    } else {
+      all.push_back({buffer_[bi++], 1.0});
+    }
+  }
+  buffer_.clear();
+  total_weight_ += buffered_weight_;
+  buffered_weight_ = 0.0;
+  compact(all, total_weight_, compression_, centroids_);
+}
+
+void quantile_sketch::merge(const quantile_sketch& other) {
+  if (&other == this) {
+    // Self-merge doubles every weight; route through a copy so the merge
+    // below never reads a list it is rewriting.
+    const quantile_sketch copy = other;
+    merge(copy);
+    return;
+  }
+  other.flush();
+  if (other.centroids_.empty()) return;
+  if (total_weight_ + buffered_weight_ == 0.0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Splice the two centroid lists (adding the other's through add() would
+  // lose their weights) and recompact against the combined total.
+  flush();
+  std::vector<centroid> all;
+  all.reserve(centroids_.size() + other.centroids_.size());
+  std::merge(
+      centroids_.begin(), centroids_.end(), other.centroids_.begin(),
+      other.centroids_.end(), std::back_inserter(all),
+      [](const centroid& a, const centroid& b) { return a.mean < b.mean; });
+  total_weight_ += other.total_weight_;
+  compact(all, total_weight_, compression_, centroids_);
+}
+
+double quantile_sketch::quantile(double q) const {
+  flush();
+  if (centroids_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (centroids_.size() == 1) return centroids_.front().mean;
+
+  const double target = q * total_weight_;
+  // Each centroid is treated as centered on its cumulative-weight midpoint;
+  // quantiles interpolate linearly between midpoints, with the true min and
+  // max anchoring the extremes.
+  double cumulative = 0.0;
+  double previous_center = 0.0;
+  double previous_mean = min_;
+  for (const centroid& c : centroids_) {
+    const double center = cumulative + c.weight / 2.0;
+    if (target <= center) {
+      const double span = center - previous_center;
+      if (span <= 0.0) return c.mean;
+      const double fraction = (target - previous_center) / span;
+      return previous_mean + fraction * (c.mean - previous_mean);
+    }
+    previous_center = center;
+    previous_mean = c.mean;
+    cumulative += c.weight;
+  }
+  // Beyond the last midpoint: interpolate toward the exact maximum.
+  const double span = total_weight_ - previous_center;
+  if (span <= 0.0) return max_;
+  const double fraction = (target - previous_center) / span;
+  return previous_mean + fraction * (max_ - previous_mean);
+}
+
+std::uint64_t quantile_sketch::count() const {
+  return static_cast<std::uint64_t>(total_weight_ + buffered_weight_ + 0.5);
+}
+
+std::size_t quantile_sketch::centroid_count() const {
+  flush();
+  return centroids_.size();
+}
+
+}  // namespace ssr::obs

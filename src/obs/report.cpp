@@ -1,10 +1,13 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "analysis/statistics.hpp"
 
@@ -17,6 +20,7 @@ constexpr std::string_view direction_name(bool lower_is_better) {
 
 json_value stats_to_json(const summary& s) {
   json_value out = json_value::object();
+  out["count"] = json_value{static_cast<std::uint64_t>(s.count)};
   out["mean"] = json_value{s.mean};
   out["median"] = json_value{s.median};
   out["stddev"] = json_value{s.stddev};
@@ -43,7 +47,50 @@ bool read_number(const json_value& obj, std::string_view key, double* out) {
   return true;
 }
 
+std::optional<summary> stats_from_json(const json_value& row) {
+  const json_value* s = row.find("stats");
+  if (s == nullptr || !s->is_object()) return std::nullopt;
+  summary out;
+  double count = 0.0;
+  read_number(*s, "count", &count);
+  out.count = static_cast<std::size_t>(count);
+  read_number(*s, "mean", &out.mean);
+  read_number(*s, "stddev", &out.stddev);
+  read_number(*s, "median", &out.median);
+  read_number(*s, "p90", &out.p90);
+  read_number(*s, "p99", &out.p99);
+  read_number(*s, "min", &out.min);
+  read_number(*s, "max", &out.max);
+  if (out.count > 0) {
+    out.stderr_mean = out.stddev / std::sqrt(static_cast<double>(out.count));
+  }
+  return out;
+}
+
 }  // namespace
+
+summary summary_from_histogram(const histogram::snapshot_data& data) {
+  summary s;
+  s.count = data.count;
+  if (data.count == 0) return s;
+  const double count = static_cast<double>(data.count);
+  s.mean = data.sum / count;
+  if (data.count > 1) {
+    // Sample variance from the moment sums; clamp against the small
+    // negative values catastrophic cancellation can produce.
+    const double variance =
+        std::max(0.0, (data.sum_squares - count * s.mean * s.mean) /
+                          (count - 1.0));
+    s.stddev = std::sqrt(variance);
+    s.stderr_mean = s.stddev / std::sqrt(count);
+  }
+  s.min = data.min;
+  s.max = data.max;
+  s.median = data.p50;
+  s.p90 = data.p90;
+  s.p99 = data.p99;
+  return s;
+}
 
 std::string report_row::key() const {
   std::string k = section;
@@ -58,6 +105,13 @@ std::string report_row::key() const {
     k += metric;
   }
   return k;
+}
+
+double report_row::mean_estimate() const {
+  if (kind == kind_t::value) return value;
+  if (stats.has_value()) return stats->mean;
+  if (!samples.empty()) return summarize(samples).mean;
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 report_row& bench_report::add_samples(std::string section,
@@ -76,6 +130,25 @@ report_row& bench_report::add_samples(std::string section,
   row.seed = seed;
   row.unit = std::move(unit);
   row.samples = std::move(samples);
+  rows.push_back(std::move(row));
+  return rows.back();
+}
+
+report_row& bench_report::add_summary(std::string section,
+                                      std::string protocol, std::uint64_t n,
+                                      std::string params, std::uint64_t seed,
+                                      std::string unit,
+                                      const summary& stats) {
+  report_row row;
+  row.kind = report_row::kind_t::samples;
+  row.section = std::move(section);
+  row.protocol = std::move(protocol);
+  row.n = n;
+  row.params = std::move(params);
+  row.trials = stats.count;
+  row.seed = seed;
+  row.unit = std::move(unit);
+  row.stats = stats;
   rows.push_back(std::move(row));
   return rows.back();
 }
@@ -127,11 +200,15 @@ json_value bench_report::to_json() const {
     if (row.kind == report_row::kind_t::samples) {
       r["trials"] = json_value{row.trials};
       r["seed"] = json_value{row.seed};
-      json_value samples = json_value::array();
-      for (const double s : row.samples) samples.push_back(json_value{s});
-      r["samples"] = std::move(samples);
+      if (!row.samples.empty() || !row.stats.has_value()) {
+        json_value samples = json_value::array();
+        for (const double s : row.samples) samples.push_back(json_value{s});
+        r["samples"] = std::move(samples);
+      }
       if (!row.samples.empty()) {
         r["stats"] = stats_to_json(summarize(row.samples));
+      } else if (row.stats.has_value()) {
+        r["stats"] = stats_to_json(*row.stats);
       }
     } else {
       r["metric"] = json_value{row.metric};
@@ -194,9 +271,13 @@ std::optional<bench_report> bench_report::from_json(const json_value& v,
           s != nullptr && s->is_number()) {
         row.seed = s->as_uint64();
       }
-      for (const json_value& s : r.find("samples")->items()) {
-        if (s.is_number()) row.samples.push_back(s.as_double());
+      if (const json_value* samples = r.find("samples");
+          samples != nullptr && samples->is_array()) {
+        for (const json_value& s : samples->items()) {
+          if (s.is_number()) row.samples.push_back(s.as_double());
+        }
       }
+      row.stats = stats_from_json(r);
     } else {
       read_string(r, "metric", &row.metric);
       read_number(r, "value", &row.value);
@@ -217,12 +298,17 @@ std::vector<std::string> validate_report_json(const json_value& v) {
     return problems;
   }
   const json_value* version = v.find("schema_version");
+  std::int64_t schema = report_schema_version;
   if (version == nullptr || !version->is_number()) {
     problems.push_back("missing numeric \"schema_version\"");
-  } else if (version->as_int64() != report_schema_version) {
+  } else if (version->as_int64() < min_report_schema_version ||
+             version->as_int64() > report_schema_version) {
     problems.push_back("unsupported schema_version " +
-                       std::to_string(version->as_int64()) + " (expected " +
+                       std::to_string(version->as_int64()) + " (supported " +
+                       std::to_string(min_report_schema_version) + ".." +
                        std::to_string(report_schema_version) + ")");
+  } else {
+    schema = version->as_int64();
   }
   for (const std::string_view key :
        {"experiment", "binary", "engine", "git_rev"}) {
@@ -265,7 +351,24 @@ std::vector<std::string> validate_report_json(const json_value& v) {
     }
     if (kind->as_string() == "samples") {
       const json_value* samples = r.find("samples");
-      if (samples == nullptr || !samples->is_array()) {
+      const json_value* stats = r.find("stats");
+      const bool stats_only = samples == nullptr && schema >= 2;
+      if (stats_only) {
+        // v2 sketch-backed row: stats stand in for the sample array.
+        if (stats == nullptr || !stats->is_object() ||
+            stats->find("mean") == nullptr ||
+            !stats->find("mean")->is_number()) {
+          problems.push_back(where +
+                             " has neither \"samples\" nor a \"stats\" "
+                             "object with a numeric \"mean\"");
+        }
+        const json_value* trials = r.find("trials");
+        if (trials == nullptr || !trials->is_number()) {
+          problems.push_back(where +
+                             " without \"samples\" must carry numeric "
+                             "\"trials\"");
+        }
+      } else if (samples == nullptr || !samples->is_array()) {
         problems.push_back(where + " is missing array \"samples\"");
       } else {
         for (const json_value& s : samples->items()) {

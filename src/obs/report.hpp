@@ -1,11 +1,11 @@
 // Versioned, machine-readable benchmark reports.
 //
 // Every bench binary (and the CLI with --json) writes one BENCH_<id>.json
-// artifact per run through this layer.  The schema (version 1, validated by
+// artifact per run through this layer.  The schema (version 2, validated by
 // validate_report_json and documented in docs/observability.md) is:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "experiment":  "E3",              // experiment id from ROADMAP.md
 //     "title":       "...",             // human-readable banner
 //     "binary":      "bench_states",
@@ -26,8 +26,17 @@
 //     "trials": 60, "seed": 1042, "unit": "parallel_time",
 //     "direction": "lower_is_better",
 //     "samples": [ ... ],
-//     "stats": { "mean":..., "median":..., "stddev":..., "ci95":...,
-//                "p90":..., "p99":..., "min":..., "max":... } }
+//     "stats": { "count":..., "mean":..., "median":..., "stddev":...,
+//                "ci95":..., "p90":..., "p99":..., "min":..., "max":... } }
+//
+// Version 2 additionally allows a sample row to omit "samples" when it
+// carries a "stats" block -- the percentiles then come from a streaming
+// quantile sketch (obs/quantile_sketch.hpp) instead of retained samples,
+// so unbounded-trial runs stay bounded-size.  Version-1 documents (no
+// "count" in stats, "samples" always present) remain readable: from_json
+// and validate_report_json accept both, and report_diff falls back from
+// the KS gate to a confidence-interval gate when either side is
+// stats-only.
 //
 // A *value row* carries a single derived number (throughput rates etc.):
 //
@@ -46,11 +55,15 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/statistics.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace ssr::obs {
 
-inline constexpr int report_schema_version = 1;
+inline constexpr int report_schema_version = 2;
+/// Oldest schema from_json / validate_report_json still accept.
+inline constexpr int min_report_schema_version = 1;
 
 struct report_row {
   enum class kind_t : std::uint8_t { samples, value };
@@ -67,6 +80,9 @@ struct report_row {
   std::uint64_t trials = 0;
   std::uint64_t seed = 0;
   std::vector<double> samples;
+  /// Summary statistics.  Computed from `samples` on serialization when
+  /// absent; a row with stats but no samples is a v2 sketch-backed row.
+  std::optional<summary> stats;
 
   // kind_t::value
   std::string metric;
@@ -74,7 +90,16 @@ struct report_row {
 
   /// Join key used by report_diff to match rows across reports.
   std::string key() const;
+
+  /// Best available central estimate: stats->mean, else mean of samples,
+  /// else `value` for value rows.  NaN when the row is empty.
+  double mean_estimate() const;
 };
+
+/// Summary derived from a histogram snapshot: mean and (sample) stddev
+/// from the moment sums, percentiles from the quantile sketch.  This is
+/// what sketch-backed v2 rows embed.
+summary summary_from_histogram(const histogram::snapshot_data& data);
 
 struct bench_report {
   std::string experiment;
@@ -92,6 +117,12 @@ struct bench_report {
                           std::uint64_t n, std::string params,
                           std::uint64_t trials, std::uint64_t seed,
                           std::string unit, std::vector<double> samples);
+  /// Sketch-backed sample row (v2): stats only, no retained samples.
+  /// `trials` is taken from stats.count.
+  report_row& add_summary(std::string section, std::string protocol,
+                          std::uint64_t n, std::string params,
+                          std::uint64_t seed, std::string unit,
+                          const summary& stats);
   report_row& add_value(std::string section, std::string metric,
                         std::string protocol, std::uint64_t n,
                         std::string params, double value, std::string unit,
@@ -102,8 +133,9 @@ struct bench_report {
                                                std::string* error = nullptr);
 };
 
-/// Schema check; returns the empty vector when `v` is a valid version-1
-/// report, else one human-readable message per violation.
+/// Schema check; returns the empty vector when `v` is a valid report of
+/// any supported version (1 or 2), else one human-readable message per
+/// violation.
 std::vector<std::string> validate_report_json(const json_value& v);
 
 /// "BENCH_<experiment>.json".

@@ -1,0 +1,92 @@
+#include "obs/report_compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/ks_test.hpp"
+#include "analysis/statistics.hpp"
+
+namespace ssr::obs {
+namespace {
+
+summary row_summary(const report_row& row) {
+  if (!row.samples.empty()) return summarize(row.samples);
+  if (row.stats.has_value()) return *row.stats;
+  return summary{};
+}
+
+row_verdict compare_samples(const report_row& base, const report_row& now,
+                            const compare_limits& limits) {
+  row_verdict verdict;
+  const summary base_stats = row_summary(base);
+  const summary now_stats = row_summary(now);
+  if (base_stats.count == 0 || now_stats.count == 0) {
+    verdict.comparable = false;
+    verdict.detail = "no samples to compare";
+    return verdict;
+  }
+  verdict.base_mean = base_stats.mean;
+  verdict.new_mean = now_stats.mean;
+  verdict.worse =
+      worsening(base.lower_is_better, base_stats.mean, now_stats.mean);
+
+  char buffer[192];
+  const double shift =
+      100.0 * (now_stats.mean - base_stats.mean) /
+      (base_stats.mean == 0.0 ? 1.0 : base_stats.mean);
+  if (!base.samples.empty() && !now.samples.empty()) {
+    const ks_result ks = ks_two_sample(base.samples, now.samples);
+    verdict.regression = ks.p_value < limits.ks_alpha &&
+                         verdict.worse > limits.sample_mean_tolerance;
+    std::snprintf(buffer, sizeof(buffer),
+                  "mean %.4g -> %.4g (%+.1f%%), KS D=%.3f p=%.3g",
+                  base_stats.mean, now_stats.mean, shift, ks.statistic,
+                  ks.p_value);
+  } else {
+    // Stats-only on at least one side: no raw samples for a KS test, so
+    // significance = the 95% CIs of the means do not overlap.
+    const double gap = std::fabs(now_stats.mean - base_stats.mean);
+    const double ci =
+        ci95_halfwidth(base_stats) + ci95_halfwidth(now_stats);
+    verdict.regression =
+        gap > ci && verdict.worse > limits.sample_mean_tolerance;
+    std::snprintf(buffer, sizeof(buffer),
+                  "mean %.4g -> %.4g (%+.1f%%), ci95 gap %.3g vs %.3g "
+                  "[stats-only]",
+                  base_stats.mean, now_stats.mean, shift, gap, ci);
+  }
+  verdict.detail = buffer;
+  return verdict;
+}
+
+row_verdict compare_values(const report_row& base, const report_row& now,
+                           const compare_limits& limits) {
+  row_verdict verdict;
+  verdict.base_mean = base.value;
+  verdict.new_mean = now.value;
+  verdict.worse = worsening(base.lower_is_better, base.value, now.value);
+  verdict.regression = verdict.worse > limits.value_tolerance;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%.4g -> %.4g %s (%+.1f%% worse)",
+                base.value, now.value, now.unit.c_str(),
+                100.0 * verdict.worse);
+  verdict.detail = buffer;
+  return verdict;
+}
+
+}  // namespace
+
+double worsening(bool lower_is_better, double base, double now) {
+  if (base == 0.0) return now == 0.0 ? 0.0 : (lower_is_better ? 1.0 : -1.0);
+  const double ratio = now / base;
+  return lower_is_better ? ratio - 1.0 : 1.0 - ratio;
+}
+
+row_verdict compare_rows(const report_row& base, const report_row& now,
+                         const compare_limits& limits) {
+  return base.kind == report_row::kind_t::samples
+             ? compare_samples(base, now, limits)
+             : compare_values(base, now, limits);
+}
+
+}  // namespace ssr::obs

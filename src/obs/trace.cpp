@@ -26,6 +26,20 @@ std::string_view to_string(trace_event_kind kind) {
   return "unknown";
 }
 
+std::optional<trace_event_kind> trace_event_kind_from_string(
+    std::string_view name) {
+  for (const trace_event_kind kind :
+       {trace_event_kind::run_start, trace_event_kind::run_end,
+        trace_event_kind::phase_transition,
+        trace_event_kind::reset_wave_start,
+        trace_event_kind::reset_wave_end, trace_event_kind::rank_collision,
+        trace_event_kind::convergence,
+        trace_event_kind::correctness_lost}) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 trace_sink::trace_sink(trace_options options) : options_(options) {
   if (options_.sample_every == 0) options_.sample_every = 1;
 }

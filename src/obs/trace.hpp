@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -55,6 +56,10 @@ enum class trace_event_kind : std::uint8_t {
 };
 
 std::string_view to_string(trace_event_kind kind);
+/// Inverse of to_string; nullopt for unknown names (e.g. "trace_header",
+/// which frames JSONL files but is not an event).
+std::optional<trace_event_kind> trace_event_kind_from_string(
+    std::string_view name);
 
 inline constexpr std::uint32_t trace_no_agent = 0xffffffffu;
 

@@ -4,9 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "obs/progress.hpp"
 #include "pp/rng.hpp"
 
 namespace ssr {
@@ -66,10 +69,26 @@ std::vector<double> run_trials(
     const std::function<double(std::uint64_t, engine_kind)>& trial,
     const trial_options& options) {
   std::vector<double> results(count);
+
+  // The heartbeat needs a registry to watch; fall back to a local one when
+  // the caller did not wire metrics through.  Accounting always runs when
+  // either consumer (metrics or heartbeat) wants it.
+  const bool progress =
+      (options.progress || obs::progress_default()) && count > 1;
+  std::optional<obs::metrics_registry> local_registry;
+  obs::metrics_registry* registry = options.metrics;
+  if (registry == nullptr && progress) registry = &local_registry.emplace();
+  std::optional<obs::progress_meter> meter;
+  if (progress) {
+    meter.emplace(*registry,
+                  obs::progress_options{.total_trials = count,
+                                        .label = "trials"});
+  }
+
   parallel_for_index(
       count,
       [&](std::size_t i) {
-        if (options.metrics == nullptr) {
+        if (registry == nullptr) {
           results[i] = trial(derive_seed(base_seed, i), options.engine);
           return;
         }
@@ -77,9 +96,8 @@ std::vector<double> run_trials(
         results[i] = trial(derive_seed(base_seed, i), options.engine);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
-        options.metrics->get_histogram("trial.seconds")
-            .record(elapsed.count());
-        options.metrics->get_counter("trials.completed").add(1);
+        registry->get_histogram("trial.seconds").record(elapsed.count());
+        registry->get_counter("trials.completed").add(1);
       },
       options.parallel);
   return results;

@@ -37,6 +37,11 @@ struct trial_options {
   /// "trial.seconds" (histogram of per-trial wall time) into the registry.
   /// The registry is thread-safe, so this works under parallel execution.
   obs::metrics_registry* metrics = nullptr;
+  /// Prints a periodic heartbeat (trials completed, trials/s, ETA) to
+  /// stderr while the sweep runs.  Also enabled process-wide by
+  /// obs::set_progress_default(true) -- the hook behind the --progress
+  /// flags -- without touching call sites.
+  bool progress = false;
 };
 
 /// Engine-aware overload: `trial(seed, engine)` runs one measurement on the

@@ -1,8 +1,12 @@
 #include "obs/metrics.hpp"
 
+#include "obs/progress.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "pp/engine.hpp"
 #include "protocols/adversary.hpp"
@@ -58,6 +62,96 @@ TEST(ObsMetrics, AbsorbEngineCounters) {
   reg.absorb(c);
   EXPECT_EQ(reg.get_counter("engine.interactions_executed").value(), 10u);
   EXPECT_EQ(reg.get_counter("engine.certain_nulls_skipped").value(), 90u);
+  // absorb() is additive: folding the same counters in again doubles them.
+  reg.absorb(c);
+  EXPECT_EQ(reg.get_counter("engine.interactions_executed").value(), 20u);
+  EXPECT_EQ(reg.get_counter("engine.certain_nulls_skipped").value(), 180u);
+}
+
+TEST(ObsMetrics, HistogramQuantilesFromSketch) {
+  histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const histogram::snapshot_data snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.p50, 500.5, 10.0);
+  EXPECT_NEAR(snap.p90, 900.0, 10.0);
+  EXPECT_NEAR(snap.p99, 990.0, 10.0);
+  EXPECT_DOUBLE_EQ(snap.sum_squares, 1000.0 * 1001.0 * 2001.0 / 6.0);
+  const json_value j = h.to_json();
+  ASSERT_NE(j.find("p50"), nullptr);
+  ASSERT_NE(j.find("p99"), nullptr);
+  EXPECT_NEAR(j.find("p90")->as_double(), 900.0, 10.0);
+}
+
+TEST(ObsMetrics, HistogramMergeIsAdditive) {
+  histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.record(i);
+  for (int i = 101; i <= 200; ++i) b.record(i);
+  a.merge(b);
+  const histogram::snapshot_data snap = a.snapshot();
+  EXPECT_EQ(snap.count, 200u);
+  EXPECT_DOUBLE_EQ(snap.sum, 200.0 * 201.0 / 2.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 200.0);
+  EXPECT_NEAR(snap.p50, 100.5, 5.0);
+  // Merging an empty histogram changes nothing.
+  histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.snapshot().count, 200u);
+}
+
+TEST(ObsMetrics, AbsorbRegistryTwiceIsAdditive) {
+  metrics_registry source;
+  source.get_counter("trials.completed").add(5);
+  source.get_gauge("params.n").set(64.0);
+  source.get_histogram("trial.seconds").record(1.5);
+  source.get_histogram("trial.seconds").record(2.5);
+
+  metrics_registry target;
+  target.absorb(source);
+  target.absorb(source);
+  EXPECT_EQ(target.get_counter("trials.completed").value(), 10u);
+  EXPECT_DOUBLE_EQ(target.get_gauge("params.n").value(), 64.0);
+  const histogram::snapshot_data snap =
+      target.get_histogram("trial.seconds").snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 8.0);
+  // Self-absorb is a documented no-op.
+  target.absorb(target);
+  EXPECT_EQ(target.get_counter("trials.completed").value(), 10u);
+}
+
+// Many threads folding per-worker registries into one shared target while
+// the target is also being recorded into directly: counter and histogram
+// merges must stay additive and data-race free (run under TSan to enforce
+// the latter).
+TEST(ObsMetrics, AbsorbRegistryConcurrently) {
+  constexpr int threads = 8;
+  constexpr int rounds = 50;
+
+  metrics_registry source;
+  source.get_counter("work.items").add(3);
+  source.get_histogram("work.seconds").record(0.25);
+
+  metrics_registry target;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&target, &source, t] {
+      for (int r = 0; r < rounds; ++r) {
+        target.absorb(source);
+        target.get_counter("work.items").add(1);
+        target.get_histogram("work.seconds").record(0.5 + t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(target.get_counter("work.items").value(),
+            static_cast<std::uint64_t>(threads * rounds) * 4);
+  const histogram::snapshot_data snap =
+      target.get_histogram("work.seconds").snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(threads * rounds) * 2);
 }
 
 TEST(ObsMetrics, EngineCountersToJsonHasEveryField) {
@@ -149,6 +243,55 @@ TEST(ObsMetrics, CountersAccumulateAcrossRuns) {
   eng.run(2000, [](const agent_pair&) {},
           [](const agent_pair&, bool) { return false; });
   EXPECT_EQ(c.interactions_executed + c.certain_nulls_skipped, 2000u);
+}
+
+// The heartbeat formatter is pure: registry snapshot in, one line out.
+TEST(ObsProgress, SampleReadsRegistryKeysAndFormatterRendersEta) {
+  metrics_registry registry;
+  registry.get_counter("trials.completed").add(12);
+  registry.get_gauge("run.parallel_time").set(500.0);
+  registry.get_gauge("run.max_parallel_time").set(1000.0);
+  registry.get_gauge("engine.interactions_executed").set(3.0e6);
+
+  const progress_sample current = read_progress_sample(registry.snapshot());
+  EXPECT_DOUBLE_EQ(current.trials_completed, 12.0);
+  EXPECT_DOUBLE_EQ(current.parallel_time, 500.0);
+  EXPECT_DOUBLE_EQ(current.max_parallel_time, 1000.0);
+  EXPECT_DOUBLE_EQ(current.interactions, 3.0e6);
+
+  progress_sample baseline;  // all zero
+  progress_sample previous;
+  previous.interactions = 1.0e6;
+  const progress_options options{.total_trials = 60, .label = "bench"};
+  // 12/60 trials after 6s at 2 trials/s -> 24s to go; interactions rate is
+  // the delta over one 2s interval.
+  const std::string line = format_progress_line(
+      options, baseline, previous, current, /*interval_seconds=*/2.0,
+      /*elapsed_seconds=*/6.0);
+  EXPECT_NE(line.find("[bench]"), std::string::npos) << line;
+  EXPECT_NE(line.find("trials 12/60 (20%)"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA 24s"), std::string::npos) << line;
+  EXPECT_NE(line.find("t=500/1000 (50%)"), std::string::npos) << line;
+  EXPECT_NE(line.find("1.00e+06 interactions/s"), std::string::npos) << line;
+}
+
+TEST(ObsProgress, FormatterStaysSilentWithNothingToReport) {
+  const progress_sample zero;
+  EXPECT_EQ(format_progress_line({}, zero, zero, zero, 2.0, 2.0), "");
+}
+
+TEST(ObsProgress, MeterStopsCleanlyBeforeFirstInterval) {
+  metrics_registry registry;
+  progress_meter meter(registry, {.interval_seconds = 60.0});
+  meter.stop();  // must join without waiting out the interval
+  meter.stop();  // idempotent
+}
+
+TEST(ObsProgress, DefaultSwitchRoundTrips) {
+  set_progress_default(true);
+  EXPECT_TRUE(progress_default());
+  set_progress_default(false);
+  EXPECT_FALSE(progress_default());
 }
 
 }  // namespace

@@ -150,6 +150,59 @@ TEST(ObsTrace, BatchedEngineEmitsSameStreamShape) {
   EXPECT_TRUE(saw_transition);
 }
 
+// Accounting at the cap boundary: every offered event is either emitted,
+// sampled out, or dropped -- exactly, with no double counting when the
+// buffer fills mid-stream.
+TEST(ObsTrace, OfferedSplitsExactlyIntoEmittedSampledDropped) {
+  trace_sink sink({.sample_every = 3, .max_events = 8});
+  for (int i = 0; i < 100; ++i)
+    sink.emit({trace_event_kind::phase_transition, double(i), std::uint64_t(i),
+               1, 0, 1});
+  EXPECT_EQ(sink.offered(), 100u);
+  EXPECT_EQ(sink.events().size(), 8u);  // cap reached, never exceeded
+  EXPECT_EQ(sink.offered(),
+            sink.events().size() + sink.sampled_out() + sink.dropped());
+  // Sampling is applied before the cap: 33 of 100 transitions survive
+  // sampling (offered index divisible by 3), the first 8 fit, the rest drop.
+  EXPECT_EQ(sink.sampled_out(), 67u);
+  EXPECT_EQ(sink.dropped(), 25u);
+
+  // Exactly at the cap: one more slot, one more event, zero drops.
+  trace_sink exact({.sample_every = 1, .max_events = 5});
+  for (int i = 0; i < 5; ++i)
+    exact.emit({trace_event_kind::phase_transition, 0.0, 0, 1, 0, 1});
+  EXPECT_EQ(exact.events().size(), 5u);
+  EXPECT_EQ(exact.dropped(), 0u);
+  exact.emit({trace_event_kind::phase_transition, 0.0, 0, 1, 0, 1});
+  EXPECT_EQ(exact.events().size(), 5u);
+  EXPECT_EQ(exact.dropped(), 1u);
+}
+
+// Aggressive sampling must never sample out the run framing or any other
+// structural event: a downstream trace_stats pass relies on run_start /
+// run_end pairs to delimit runs.
+TEST(ObsTrace, SamplingNeverDropsRunFraming) {
+  trace_sink sink({.sample_every = 1000, .max_events = 1u << 20});
+  sink.emit({trace_event_kind::run_start, 0.0, 0});
+  for (int i = 0; i < 500; ++i)
+    sink.emit({trace_event_kind::phase_transition, double(i),
+               std::uint64_t(i), 2, 0, 1});
+  sink.emit({trace_event_kind::reset_wave_start, 500.0, 500});
+  sink.emit({trace_event_kind::reset_wave_end, 501.0, 501});
+  sink.emit({trace_event_kind::run_end, 502.0, 502});
+  ASSERT_FALSE(sink.events().empty());
+  EXPECT_EQ(sink.events().front().kind, trace_event_kind::run_start);
+  EXPECT_EQ(sink.events().back().kind, trace_event_kind::run_end);
+  std::uint64_t structural = 0;
+  for (const trace_event& e : sink.events())
+    if (e.kind != trace_event_kind::phase_transition) ++structural;
+  EXPECT_EQ(structural, 4u);  // start, wave pair, end -- all retained
+  EXPECT_EQ(sink.sampled_out(), 500u);  // every transition sampled out
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.offered(),
+            sink.events().size() + sink.sampled_out() + sink.dropped());
+}
+
 TEST(ObsTrace, PhaseNamesMatchProtocolHooks) {
   const optimal_silent_ssr p(8);
   trace_sink sink;

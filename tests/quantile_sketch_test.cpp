@@ -1,0 +1,156 @@
+#include "obs/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "analysis/statistics.hpp"
+
+namespace ssr::obs {
+namespace {
+
+/// Acceptance gate (ISSUE 3): p50/p90/p99 within 2% relative error of the
+/// exact sample quantiles on 1e6-sample reference distributions.
+constexpr double relative_tolerance = 0.02;
+constexpr std::size_t reference_samples = 1'000'000;
+
+void expect_quantiles_close(const quantile_sketch& sketch,
+                            std::vector<double> exact_source,
+                            const char* label) {
+  std::sort(exact_source.begin(), exact_source.end());
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = quantile(exact_source, q);
+    const double estimated = sketch.quantile(q);
+    const double scale = std::max(std::abs(exact), 1e-12);
+    EXPECT_NEAR(estimated, exact, relative_tolerance * scale)
+        << label << " q=" << q;
+  }
+}
+
+template <class Distribution>
+void run_reference(Distribution dist, std::uint64_t seed,
+                   const char* label) {
+  std::mt19937_64 rng(seed);
+  quantile_sketch sketch;
+  std::vector<double> samples;
+  samples.reserve(reference_samples);
+  for (std::size_t i = 0; i < reference_samples; ++i) {
+    const double x = dist(rng);
+    sketch.add(x);
+    samples.push_back(x);
+  }
+  EXPECT_EQ(sketch.count(), reference_samples);
+  expect_quantiles_close(sketch, std::move(samples), label);
+}
+
+TEST(QuantileSketch, UniformReference) {
+  run_reference(std::uniform_real_distribution<double>(0.0, 100.0), 11,
+                "uniform");
+}
+
+TEST(QuantileSketch, ExponentialReference) {
+  // Heavy right tail: the regime the paper's WHP columns (upper quantiles
+  // of stabilization time) live in.
+  run_reference(std::exponential_distribution<double>(1.0 / 50.0), 12,
+                "exponential");
+}
+
+TEST(QuantileSketch, LognormalReference) {
+  run_reference(std::lognormal_distribution<double>(3.0, 0.8), 13,
+                "lognormal");
+}
+
+TEST(QuantileSketch, BoundedMemory) {
+  std::mt19937_64 rng(7);
+  std::exponential_distribution<double> dist(1.0);
+  quantile_sketch sketch;
+  for (std::size_t i = 0; i < 200'000; ++i) sketch.add(dist(rng));
+  // ~2x compression centroids regardless of stream length.
+  EXPECT_LE(sketch.centroid_count(), 500u);
+}
+
+TEST(QuantileSketch, EmptyAndSingleton) {
+  quantile_sketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  sketch.add(42.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 42.0);
+}
+
+TEST(QuantileSketch, IgnoresNonFiniteSamples) {
+  quantile_sketch sketch;
+  sketch.add(std::numeric_limits<double>::quiet_NaN());
+  sketch.add(std::numeric_limits<double>::infinity());
+  sketch.add(1.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 1.0);
+}
+
+TEST(QuantileSketch, MergeMatchesConcatenatedStream) {
+  std::mt19937_64 rng(21);
+  std::normal_distribution<double> left(100.0, 10.0);
+  std::exponential_distribution<double> right(1.0 / 30.0);
+
+  quantile_sketch a, b, whole;
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    const double x = left(rng);
+    a.add(x);
+    whole.add(x);
+    samples.push_back(x);
+  }
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    const double x = right(rng);
+    b.add(x);
+    whole.add(x);
+    samples.push_back(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), samples.size());
+  // The merged digest and the single-stream digest agree with the exact
+  // quantiles of the concatenation within the same tolerance.
+  expect_quantiles_close(a, samples, "merged");
+  expect_quantiles_close(whole, std::move(samples), "single-stream");
+}
+
+TEST(QuantileSketch, MergeFromEmptyAndIntoEmpty) {
+  quantile_sketch empty, filled;
+  for (int i = 1; i <= 100; ++i) filled.add(i);
+  quantile_sketch target;
+  target.merge(filled);
+  EXPECT_EQ(target.count(), 100u);
+  EXPECT_NEAR(target.quantile(0.5), 50.5, 2.0);
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 100u);
+}
+
+TEST(QuantileSketch, SelfMergeDoublesWeight) {
+  quantile_sketch sketch;
+  for (int i = 1; i <= 1000; ++i) sketch.add(i);
+  const double median_before = sketch.quantile(0.5);
+  sketch.merge(sketch);
+  EXPECT_EQ(sketch.count(), 2000u);
+  EXPECT_NEAR(sketch.quantile(0.5), median_before, 5.0);
+}
+
+TEST(QuantileSketch, MonotoneInQ) {
+  std::mt19937_64 rng(5);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  quantile_sketch sketch;
+  for (std::size_t i = 0; i < 50'000; ++i) sketch.add(dist(rng));
+  double last = sketch.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = sketch.quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+}
+
+}  // namespace
+}  // namespace ssr::obs

@@ -1,0 +1,326 @@
+#include "analysis/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "pp/engine.hpp"
+#include "protocols/adversary.hpp"
+#include "protocols/optimal_silent.hpp"
+
+namespace ssr {
+namespace {
+
+using obs::trace_event;
+using obs::trace_event_kind;
+using obs::trace_sink;
+
+trace_event make_event(trace_event_kind kind, double time,
+                       std::uint64_t interaction,
+                       std::uint32_t agent = obs::trace_no_agent,
+                       std::int32_t from = -1, std::int32_t to = -1) {
+  return trace_event{kind, time, interaction, agent, from, to};
+}
+
+/// Executes Optimal-Silent-SSR from the duplicated_ranks start with a
+/// phase observer attached (the ssr_cli --trace-out pipeline, minus the
+/// file), and returns the sink.
+trace_sink run_traced(std::uint32_t n, std::uint64_t seed,
+                      obs::trace_options options = {}) {
+  trace_sink sink(options);
+  optimal_silent_ssr p(n);
+  rng_t rng(seed);
+  auto init = adversarial_configuration(
+      p, optimal_silent_scenario::duplicated_ranks, rng);
+  direct_engine<optimal_silent_ssr> eng(p, std::move(init), seed ^ 0x1234);
+  obs::phase_observer<optimal_silent_ssr> observer(p, eng.agents(), &sink);
+  observer.begin(eng.parallel_time(), eng.interactions());
+  eng.run(std::uint64_t{400} * n,
+          [&](const agent_pair& pair) { observer.before(pair); },
+          [&](const agent_pair& pair, bool changed) {
+            observer.after(pair, changed, eng.parallel_time(),
+                           eng.interactions());
+            return false;
+          });
+  observer.end(eng.parallel_time(), eng.interactions());
+  return sink;
+}
+
+parsed_trace parse_sink(const trace_sink& sink) {
+  const optimal_silent_ssr p(4);
+  std::vector<std::string_view> names;
+  for (std::uint32_t ph = 0; ph < p.obs_phase_count(); ++ph) {
+    names.push_back(optimal_silent_ssr::obs_phase_name(ph));
+  }
+  std::ostringstream os;
+  sink.write_jsonl(os, names);
+  std::istringstream is(os.str());
+  std::string error;
+  auto trace = parse_trace_jsonl(is, &error);
+  EXPECT_TRUE(trace.has_value()) << error;
+  return trace.value_or(parsed_trace{});
+}
+
+TEST(TraceStats, JsonlParseRoundTripsEvents) {
+  const trace_sink sink = run_traced(48, 21);
+  const parsed_trace trace = parse_sink(sink);
+  EXPECT_EQ(trace.offered, sink.offered());
+  EXPECT_EQ(trace.sampled_out, sink.sampled_out());
+  EXPECT_EQ(trace.dropped, sink.dropped());
+  ASSERT_EQ(trace.events.size(), sink.events().size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(trace.events[i], sink.events()[i]) << "event " << i;
+  }
+  EXPECT_FALSE(trace.phase_names.empty());
+}
+
+TEST(TraceStats, ParseRejectsMalformedLines) {
+  std::istringstream garbage("{\"event\":\"no_such_event\",\"time\":0}\n");
+  std::string error;
+  EXPECT_FALSE(parse_trace_jsonl(garbage, &error).has_value());
+  EXPECT_NE(error.find("no_such_event"), std::string::npos);
+
+  std::istringstream not_json("not json at all\n");
+  EXPECT_FALSE(parse_trace_jsonl(not_json, &error).has_value());
+}
+
+// The aggregate statistics must agree with what the phase_observer
+// invariants promise about the raw stream: waves come in start/end pairs,
+// every transition contributes one entry, one exit and one dwell, and the
+// interaction span matches the run framing.
+TEST(TraceStats, StatsConsistentWithObservedRun) {
+  const trace_sink sink = run_traced(48, 21);
+  const parsed_trace trace = parse_sink(sink);
+
+  std::uint64_t transitions = 0;
+  std::uint64_t wave_starts = 0;
+  std::uint64_t wave_ends = 0;
+  for (const trace_event& e : sink.events()) {
+    transitions += e.kind == trace_event_kind::phase_transition;
+    wave_starts += e.kind == trace_event_kind::reset_wave_start;
+    wave_ends += e.kind == trace_event_kind::reset_wave_end;
+  }
+  ASSERT_GT(transitions, 0u);
+  ASSERT_GT(wave_starts, 0u);
+
+  trace_stats_accumulator stats;
+  stats.add(trace);
+  EXPECT_EQ(stats.runs(), 1u);
+  EXPECT_EQ(stats.events(), sink.events().size());
+
+  const reset_wave_stats waves = stats.reset_waves();
+  EXPECT_EQ(waves.waves, wave_ends);
+  EXPECT_EQ(waves.unclosed, wave_starts - wave_ends);
+  EXPECT_EQ(waves.duration_time.count, wave_ends);
+
+  std::uint64_t entries = 0;
+  std::uint64_t exits = 0;
+  std::uint64_t dwells = 0;
+  const double total_time = stats.total_time();
+  for (const phase_stats& ph : stats.phases()) {
+    entries += ph.entries;
+    exits += ph.exits;
+    dwells += ph.dwell.count;
+    if (ph.dwell.count > 0) {
+      EXPECT_GE(ph.dwell.min, 0.0) << ph.name;
+      EXPECT_LE(ph.dwell.max, total_time) << ph.name;
+      EXPECT_LE(ph.dwell.p50, ph.dwell.p99) << ph.name;
+    }
+  }
+  EXPECT_EQ(entries, transitions);
+  EXPECT_EQ(exits, transitions);
+  EXPECT_EQ(dwells, transitions);
+
+  EXPECT_EQ(stats.interactions(), sink.events().back().interaction -
+                                      sink.events().front().interaction);
+  EXPECT_GT(stats.total_time(), 0.0);
+}
+
+TEST(TraceStats, SyntheticWaveAndConvergenceBreakdown) {
+  parsed_trace trace;
+  trace.events = {
+      make_event(trace_event_kind::run_start, 0.0, 0),
+      make_event(trace_event_kind::reset_wave_start, 1.0, 100),
+      make_event(trace_event_kind::rank_collision, 1.5, 150, 3),
+      make_event(trace_event_kind::reset_wave_end, 3.0, 300),
+      make_event(trace_event_kind::reset_wave_start, 5.0, 500),
+      make_event(trace_event_kind::reset_wave_end, 6.0, 600),
+      make_event(trace_event_kind::convergence, 7.0, 700),
+      make_event(trace_event_kind::correctness_lost, 8.0, 800),
+      make_event(trace_event_kind::convergence, 9.0, 900),
+      make_event(trace_event_kind::run_end, 10.0, 1000),
+  };
+
+  trace_stats_accumulator stats;
+  stats.add(trace);
+
+  const reset_wave_stats waves = stats.reset_waves();
+  EXPECT_EQ(waves.waves, 2u);
+  EXPECT_EQ(waves.unclosed, 0u);
+  EXPECT_DOUBLE_EQ(waves.duration_time.mean, 1.5);   // (2 + 1) / 2
+  EXPECT_DOUBLE_EQ(waves.duration_time.min, 1.0);
+  EXPECT_DOUBLE_EQ(waves.duration_time.max, 2.0);
+  EXPECT_DOUBLE_EQ(waves.duration_interactions.mean, 150.0);
+
+  EXPECT_EQ(stats.rank_collisions(), 1u);
+  EXPECT_DOUBLE_EQ(stats.rank_collision_rate(), 1.0 / 1000.0);
+
+  const convergence_stats conv = stats.convergence();
+  EXPECT_EQ(conv.convergences, 2u);
+  EXPECT_EQ(conv.correctness_lost, 1u);
+  EXPECT_DOUBLE_EQ(conv.time_to_first.mean, 7.0);
+  EXPECT_DOUBLE_EQ(conv.time_to_last.mean, 9.0);
+}
+
+TEST(TraceStats, DwellTimesFromTransitions) {
+  parsed_trace trace;
+  trace.phase_names = {"a", "b"};
+  trace.events = {
+      make_event(trace_event_kind::run_start, 0.0, 0),
+      // Agent 1 leaves phase 0 at t=2 (dwell 2 since run_start), re-leaves
+      // phase 1 at t=5 (dwell 3).
+      make_event(trace_event_kind::phase_transition, 2.0, 20, 1, 0, 1),
+      make_event(trace_event_kind::phase_transition, 5.0, 50, 1, 1, 0),
+      // Agent 2 leaves phase 0 at t=4 (dwell 4 since run_start).
+      make_event(trace_event_kind::phase_transition, 4.0, 40, 2, 0, 1),
+      make_event(trace_event_kind::run_end, 6.0, 60),
+  };
+
+  trace_stats_accumulator stats;
+  stats.add(trace);
+  const std::vector<phase_stats> phases = stats.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "a");
+  EXPECT_EQ(phases[0].exits, 2u);
+  EXPECT_EQ(phases[0].entries, 1u);
+  ASSERT_EQ(phases[0].dwell.count, 2u);
+  EXPECT_DOUBLE_EQ(phases[0].dwell.mean, 3.0);  // dwells 2 and 4
+  EXPECT_EQ(phases[1].exits, 1u);
+  EXPECT_EQ(phases[1].entries, 2u);
+  ASSERT_EQ(phases[1].dwell.count, 1u);
+  EXPECT_DOUBLE_EQ(phases[1].dwell.mean, 3.0);  // t=2 -> t=5
+}
+
+TEST(TraceStats, AggregatesAcrossRuns) {
+  parsed_trace first;
+  first.events = {
+      make_event(trace_event_kind::run_start, 0.0, 0),
+      make_event(trace_event_kind::convergence, 1.0, 10),
+      make_event(trace_event_kind::run_end, 2.0, 20),
+  };
+  parsed_trace second;
+  second.events = {
+      make_event(trace_event_kind::run_start, 0.0, 0),
+      make_event(trace_event_kind::convergence, 3.0, 30),
+      make_event(trace_event_kind::run_end, 4.0, 40),
+  };
+  trace_stats_accumulator stats;
+  stats.add(first);
+  stats.add(second);
+  EXPECT_EQ(stats.runs(), 2u);
+  EXPECT_EQ(stats.interactions(), 60u);
+  EXPECT_DOUBLE_EQ(stats.total_time(), 6.0);
+  const convergence_stats conv = stats.convergence();
+  EXPECT_EQ(conv.time_to_first.count, 2u);
+  EXPECT_DOUBLE_EQ(conv.time_to_first.mean, 2.0);  // (1 + 3) / 2
+}
+
+TEST(TraceStats, JsonSummaryIsVersionedAndParsable) {
+  const trace_sink sink = run_traced(32, 7);
+  trace_stats_accumulator stats;
+  stats.add(parse_sink(sink));
+  const obs::json_value summary = stats.to_json();
+  EXPECT_EQ(summary.find("schema_version")->as_int64(),
+            trace_stats_schema_version);
+  // dump/parse round trip keeps the document intact.
+  const auto reparsed = obs::json_value::parse(summary.dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->find("runs")->as_uint64(), 1u);
+  ASSERT_NE(reparsed->find("reset_waves"), nullptr);
+  ASSERT_NE(reparsed->find("convergence"), nullptr);
+  ASSERT_NE(reparsed->find("phases"), nullptr);
+
+  std::ostringstream table;
+  stats.print_table(table);
+  EXPECT_NE(table.str().find("reset waves"), std::string::npos);
+  EXPECT_NE(table.str().find("rank collisions"), std::string::npos);
+}
+
+// The Chrome exporter must produce a well-formed trace-event document:
+// every event carries name/ph/ts/pid/tid, and duration events balance per
+// (pid, tid, name) -- that is what Perfetto / chrome://tracing require to
+// load the file.
+TEST(TraceStats, ChromeExportBalancesAndRoundTrips) {
+  const trace_sink sink = run_traced(48, 21);
+  const parsed_trace trace = parse_sink(sink);
+  const obs::json_value chrome = chrome_trace_json(trace, 7);
+
+  const auto reparsed = obs::json_value::parse(chrome.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  const obs::json_value* events = reparsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->size(), 0u);
+
+  std::map<std::tuple<std::int64_t, std::int64_t, std::string>, int> depth;
+  std::uint64_t instants = 0;
+  double last_ts = 0.0;
+  for (const obs::json_value& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    EXPECT_EQ(e.find("pid")->as_int64(), 7);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") continue;  // metadata has no timestamp
+    ASSERT_NE(e.find("ts"), nullptr);
+    const double ts = e.find("ts")->as_double();
+    EXPECT_GE(ts, 0.0);
+    last_ts = std::max(last_ts, ts);
+    const auto key = std::make_tuple(e.find("pid")->as_int64(),
+                                     e.find("tid")->as_int64(),
+                                     e.find("name")->as_string());
+    if (ph == "B") {
+      ++depth[key];
+    } else if (ph == "E") {
+      --depth[key];
+      EXPECT_GE(depth[key], 0) << "E without B for " << std::get<2>(key);
+    } else {
+      EXPECT_EQ(ph, "i");
+      ++instants;
+    }
+  }
+  for (const auto& [key, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced duration event " << std::get<2>(key);
+  }
+  EXPECT_GT(instants, 0u);
+  EXPECT_GT(last_ts, 0.0);
+}
+
+// Structural statistics (waves, convergence, collisions) stay exact even
+// when phase transitions are heavily sampled, because the sink never
+// samples structural events out.
+TEST(TraceStats, SampledTraceKeepsStructuralStatsExact) {
+  const trace_sink full = run_traced(48, 21);
+  const trace_sink sampled =
+      run_traced(48, 21, {.sample_every = 50, .max_events = 1u << 20});
+  trace_stats_accumulator full_stats;
+  full_stats.add(parse_sink(full));
+  trace_stats_accumulator sampled_stats;
+  sampled_stats.add(parse_sink(sampled));
+
+  EXPECT_EQ(sampled_stats.reset_waves().waves, full_stats.reset_waves().waves);
+  EXPECT_EQ(sampled_stats.rank_collisions(), full_stats.rank_collisions());
+  EXPECT_EQ(sampled_stats.interactions(), full_stats.interactions());
+  EXPECT_GT(sampled_stats.sampled_out(), 0u);
+  EXPECT_LT(sampled_stats.events(), full_stats.events());
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,26 +1,20 @@
 // report_diff: validate and compare BENCH_<id>.json artifacts.
 //
 //   report_diff --validate FILE...
-//       Checks each file against the version-1 report schema
-//       (obs/report.hpp).  Exit 0 when all are valid, 2 otherwise.
+//       Checks each file against the report schema (obs/report.hpp;
+//       versions 1 and 2 are accepted).  Exit 0 when all are valid,
+//       2 otherwise.
 //
 //   report_diff BASE NEW
 //       Joins rows of the two reports on (section, protocol, n, params)
-//       and flags statistically significant regressions:
-//
-//       * sample rows -- regression iff a two-sample KS test rejects
-//         distribution equality (p < 0.01) AND the mean moved in the bad
-//         direction by more than 10%.  Requiring both keeps identical-seed
-//         reruns (identical samples, KS p = 1) and pure distribution-shape
-//         drift with equal means from firing.
-//       * value rows -- regression iff the value moved in the bad
-//         direction by more than 33% (single numbers carry no spread, so
-//         the threshold is generous; rates routinely wobble 10-20% on
-//         shared hardware).
+//       and flags statistically significant regressions using the shared
+//       gate in obs/report_compare.hpp (KS + direction for sample rows,
+//       CI overlap for v2 stats-only rows, generous threshold for value
+//       rows).
 //
 //       Exit 0 = no regressions, 1 = at least one regression, 2 = usage /
 //       unreadable / invalid input.
-#include <cstdio>
+#include <array>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -28,24 +22,35 @@
 #include <string>
 #include <vector>
 
-#include "analysis/ks_test.hpp"
-#include "analysis/statistics.hpp"
 #include "obs/report.hpp"
+#include "obs/report_compare.hpp"
+#include "util/edit_distance.hpp"
 
 namespace {
 
 using ssr::obs::bench_report;
 using ssr::obs::json_value;
 using ssr::obs::report_row;
+using ssr::obs::row_verdict;
 
-constexpr double ks_alpha = 0.01;
-constexpr double sample_mean_tolerance = 0.10;
-constexpr double value_tolerance = 1.0 / 3.0;
+constexpr std::array<std::string_view, 2> diff_flags = {"--validate",
+                                                        "--help"};
 
 int usage() {
   std::cerr << "usage: report_diff --validate FILE...\n"
                "       report_diff BASE NEW\n";
   return 2;
+}
+
+int unknown_flag(const std::string& flag) {
+  std::cerr << "error: unknown option '" << flag << "'";
+  const std::string_view suggestion =
+      ssr::nearest_candidate(flag, diff_flags);
+  if (!suggestion.empty()) {
+    std::cerr << " (did you mean '" << suggestion << "'?)";
+  }
+  std::cerr << "\n";
+  return usage();
 }
 
 std::optional<json_value> load_json(const std::string& path) {
@@ -88,8 +93,9 @@ int validate(const std::vector<std::string>& paths) {
     const std::vector<std::string> problems =
         ssr::obs::validate_report_json(*json);
     if (problems.empty()) {
+      const json_value* version = json->find("schema_version");
       std::cout << path << ": valid (schema_version "
-                << ssr::obs::report_schema_version << ")\n";
+                << (version != nullptr ? version->as_int64() : 0) << ")\n";
     } else {
       all_valid = false;
       std::cout << path << ": INVALID\n";
@@ -97,53 +103,6 @@ int validate(const std::vector<std::string>& paths) {
     }
   }
   return all_valid ? 0 : 2;
-}
-
-/// Positive = NEW is worse than BASE, as a fraction of BASE.
-double worsening(const report_row& row, double base, double now) {
-  if (base == 0.0) return now == 0.0 ? 0.0 : (row.lower_is_better ? 1.0 : -1.0);
-  const double ratio = now / base;
-  return row.lower_is_better ? ratio - 1.0 : 1.0 - ratio;
-}
-
-struct row_verdict {
-  bool regression = false;
-  std::string detail;
-};
-
-row_verdict compare_samples(const report_row& base, const report_row& now) {
-  row_verdict verdict;
-  if (base.samples.empty() || now.samples.empty()) {
-    verdict.detail = "no samples to compare";
-    return verdict;
-  }
-  const ssr::summary base_stats = ssr::summarize(base.samples);
-  const ssr::summary now_stats = ssr::summarize(now.samples);
-  const ssr::ks_result ks = ssr::ks_two_sample(base.samples, now.samples);
-  const double worse = worsening(base, base_stats.mean, now_stats.mean);
-  verdict.regression = ks.p_value < ks_alpha && worse > sample_mean_tolerance;
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "mean %.4g -> %.4g (%+.1f%%), KS D=%.3f p=%.3g",
-                base_stats.mean, now_stats.mean, 100.0 * (now_stats.mean -
-                base_stats.mean) / (base_stats.mean == 0.0
-                                        ? 1.0
-                                        : base_stats.mean),
-                ks.statistic, ks.p_value);
-  verdict.detail = buffer;
-  return verdict;
-}
-
-row_verdict compare_values(const report_row& base, const report_row& now) {
-  row_verdict verdict;
-  const double worse = worsening(base, base.value, now.value);
-  verdict.regression = worse > value_tolerance;
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer), "%.4g -> %.4g %s (%+.1f%% %s)",
-                base.value, now.value, now.unit.c_str(), 100.0 * worse,
-                "worse");
-  verdict.detail = buffer;
-  return verdict;
 }
 
 int diff(const std::string& base_path, const std::string& new_path) {
@@ -171,10 +130,7 @@ int diff(const std::string& base_path, const std::string& new_path) {
       continue;
     }
     ++compared;
-    const row_verdict verdict =
-        base_row.kind == report_row::kind_t::samples
-            ? compare_samples(base_row, *new_row)
-            : compare_values(base_row, *new_row);
+    const row_verdict verdict = ssr::obs::compare_rows(base_row, *new_row);
     const char* marker = verdict.regression ? "REGRESSION" : "ok";
     std::cout << "  [" << marker << "] " << base_row.key() << ": "
               << verdict.detail << "\n";
@@ -201,11 +157,16 @@ int diff(const std::string& base_path, const std::string& new_path) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
+  if (args.front() == "--help") {
+    usage();
+    return 0;
+  }
   if (args.front() == "--validate") {
     args.erase(args.begin());
     if (args.empty()) return usage();
     return validate(args);
   }
+  if (args.front().rfind("--", 0) == 0) return unknown_flag(args.front());
   if (args.size() != 2) return usage();
   return diff(args[0], args[1]);
 }

@@ -17,6 +17,7 @@
 // through direct_engine/batched_engine per --engine.
 //
 // Exit code 0 iff the run reached a correct configuration.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -29,6 +30,7 @@
 #include "obs/engine_counters.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "pp/graph_simulation.hpp"
 #include "protocols/adversary.hpp"
@@ -56,7 +58,14 @@ struct options {
   std::string load_path;   // read the starting configuration instead
   std::string json_path;   // write a machine-readable run summary here
   std::string trace_path;  // write the structured event stream (JSONL) here
+  std::uint64_t trace_sample_every = 1;  // keep every k-th phase transition
+  std::size_t trace_cap = 1u << 20;      // trace event buffer cap
+  bool progress = false;   // heartbeat on stderr for long runs
   engine_kind engine = engine_kind::direct;
+
+  obs::trace_options trace_options() const {
+    return {.sample_every = trace_sample_every, .max_events = trace_cap};
+  }
 };
 
 constexpr std::string_view cli_flags[] = {
@@ -65,7 +74,8 @@ constexpr std::string_view cli_flags[] = {
     "--graph-p",        "--engine",      "--seed",
     "--max-time",       "--trace-every", "--show-agents",
     "--dump",           "--load",        "--json",
-    "--trace-out",      "--list-protocols",
+    "--trace-out",      "--trace-sample-every",
+    "--trace-cap",      "--progress",    "--list-protocols",
     "--list-scenarios", "--help",
 };
 
@@ -121,6 +131,13 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "  --trace-out=<file>     write the structured event stream as JSONL\n"
       "                         (requires --graph=complete; runs through the\n"
       "                         selected engine)\n"
+      "  --trace-sample-every=<k>  keep every k-th phase_transition event\n"
+      "                         (default 1 = all; structural events are\n"
+      "                         never sampled out)\n"
+      "  --trace-cap=<int>      trace event buffer cap (default 2^20;\n"
+      "                         excess events are counted as dropped)\n"
+      "  --progress             print a heartbeat line to stderr every few\n"
+      "                         seconds (parallel time, interactions/s, ETA)\n"
       "  --list-protocols       print the protocol names and exit\n"
       "  --list-scenarios       print the per-protocol scenario names and "
       "exit\n";
@@ -198,6 +215,15 @@ options parse(int argc, char** argv) {
       opt.json_path = *v;
     } else if (auto v = value_of("--trace-out")) {
       opt.trace_path = *v;
+    } else if (auto v = value_of("--trace-sample-every")) {
+      opt.trace_sample_every = std::stoull(*v);
+      if (opt.trace_sample_every == 0)
+        usage("--trace-sample-every must be >= 1");
+    } else if (auto v = value_of("--trace-cap")) {
+      opt.trace_cap = static_cast<std::size_t>(std::stoull(*v));
+    } else if (arg == "--progress") {
+      opt.progress = true;
+      obs::set_progress_default(true);
     } else {
       const std::string name = arg.substr(0, arg.find('='));
       std::string message = "unknown argument '" + name + "'";
@@ -257,6 +283,48 @@ sublinear_scenario parse_sublinear_scenario(const std::string& s) {
   if (!suggestion.empty())
     message += " (did you mean " + std::string(suggestion) + "?)";
   usage(message);
+}
+
+/// Single-run heartbeat behind --progress: owns a metrics registry whose
+/// run.* gauges the drive loops refresh at each checkpoint window; the
+/// background meter renders parallel-time progress, interactions/s, and an
+/// ETA on stderr (obs/progress.hpp).  A disabled instance is inert.
+class run_progress {
+ public:
+  explicit run_progress(const options& opt) {
+    if (!opt.progress) return;
+    registry_.emplace();
+    registry_->get_gauge("run.max_parallel_time").set(opt.max_time);
+    meter_.emplace(*registry_,
+                   obs::progress_options{.label = opt.protocol});
+  }
+
+  void update(double parallel_time, std::uint64_t interactions) {
+    if (!registry_) return;
+    registry_->get_gauge("run.parallel_time").set(parallel_time);
+    registry_->get_gauge("engine.interactions_executed")
+        .set(static_cast<double>(interactions));
+  }
+
+  /// Final gauge refresh + meter shutdown, so the last heartbeat cannot
+  /// interleave with the verdict lines.
+  void finish(double parallel_time, std::uint64_t interactions) {
+    update(parallel_time, interactions);
+    if (meter_) meter_->stop();
+  }
+
+ private:
+  std::optional<obs::metrics_registry> registry_;
+  std::optional<obs::progress_meter> meter_;
+};
+
+/// Checkpoint window for the drive loops: --trace-every wins; otherwise
+/// --progress forces periodic returns from the engine so the heartbeat
+/// gauges advance; otherwise one full-budget window.
+double progress_window(const options& opt) {
+  if (opt.trace_every > 0) return opt.trace_every;
+  if (opt.progress) return std::max(opt.max_time / 1024.0, 1.0);
+  return opt.max_time;
 }
 
 std::string slurp(const std::string& path) {
@@ -342,8 +410,9 @@ int drive_engine(const options& opt, const P& protocol,
   Engine eng(protocol, std::move(initial), opt.seed);
   obs::engine_counters counters;
   eng.attach_counters(&counters);
-  obs::trace_sink sink;
+  obs::trace_sink sink(opt.trace_options());
   obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
+  run_progress progress(opt);
 
   std::cout << "t=0.0: " << summarize_configuration(protocol, eng.agents())
             << '\n';
@@ -371,8 +440,7 @@ int drive_engine(const options& opt, const P& protocol,
       post_extra(pair, changed);
       return tracker.correct();
     };
-    const double step_window =
-        opt.trace_every > 0 ? opt.trace_every : opt.max_time;
+    const double step_window = progress_window(opt);
     bool done = tracker.correct();
     while (!done && eng.parallel_time() < opt.max_time) {
       const double next_checkpoint =
@@ -380,6 +448,7 @@ int drive_engine(const options& opt, const P& protocol,
       done = eng.run(static_cast<std::uint64_t>(
                          next_checkpoint * static_cast<double>(opt.n)),
                      pre, post);
+      progress.update(eng.parallel_time(), eng.interactions());
       if (opt.trace_every > 0 || done) {
         std::cout << "t=" << eng.parallel_time() << ": "
                   << summarize_configuration(protocol, eng.agents()) << '\n';
@@ -429,6 +498,7 @@ int drive_engine(const options& opt, const P& protocol,
       write_trace(sink, opt.trace_path, {});
     }
   }
+  progress.finish(eng.parallel_time(), eng.interactions());
 
   if (opt.show_agents) {
     for (std::size_t i = 0; i < eng.agents().size(); ++i)
@@ -462,8 +532,8 @@ int drive(const options& opt, const P& protocol,
                 << describe(protocol, sim.agents()[i]) << '\n';
   }
 
-  const double step_window =
-      opt.trace_every > 0 ? opt.trace_every : opt.max_time;
+  run_progress progress(opt);
+  const double step_window = progress_window(opt);
   bool done = false;
   while (!done && sim.parallel_time() < opt.max_time) {
     const double next_checkpoint =
@@ -476,11 +546,13 @@ int drive(const options& opt, const P& protocol,
         static_cast<std::uint64_t>(opt.max_time *
                                    static_cast<double>(opt.n)));
     done = done && is_valid_ranking(protocol, sim.agents());
+    progress.update(sim.parallel_time(), sim.interactions());
     if (opt.trace_every > 0 || done) {
       std::cout << "t=" << sim.parallel_time() << ": "
                 << summarize_configuration(protocol, sim.agents()) << '\n';
     }
   }
+  progress.finish(sim.parallel_time(), sim.interactions());
 
   if (opt.show_agents) {
     for (std::size_t i = 0; i < sim.agents().size(); ++i)
@@ -507,8 +579,9 @@ int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
   Engine eng(p, std::move(initial), opt.seed);
   obs::engine_counters counters;
   eng.attach_counters(&counters);
-  obs::trace_sink sink;
+  obs::trace_sink sink(opt.trace_options());
   obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
+  run_progress progress(opt);
 
   std::cout << "t=0.0: " << summarize_configuration(p, eng.agents()) << '\n';
   if (sink_ptr != nullptr)
@@ -521,9 +594,12 @@ int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
                                    static_cast<double>(opt.n)),
         [](const agent_pair&) {},
         [&](const agent_pair&, bool changed) {
+          if ((eng.interactions() & 0xffff) == 0)
+            progress.update(eng.parallel_time(), eng.interactions());
           return changed && p.leader_count(eng.agents()) == 1;
         });
   }
+  progress.finish(eng.parallel_time(), eng.interactions());
   std::cout << "t=" << eng.parallel_time() << ": "
             << summarize_configuration(p, eng.agents()) << '\n';
   if (sink_ptr != nullptr) {
