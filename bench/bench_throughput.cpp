@@ -82,7 +82,9 @@ void BM_BaselineBatchedInteractions(benchmark::State& state) {
   const auto make = [&] {
     rng_t rng(++seed);
     auto init = adversarial_configuration(p, rng);
-    return batched_engine<silent_n_state_ssr>(p, std::move(init), ++seed);
+    batched_engine<silent_n_state_ssr> eng(p, std::move(init), ++seed);
+    eng.attach_profiler(obs::profiler_default());
+    return eng;
   };
   auto eng = make();
   for (auto _ : state) {
@@ -106,7 +108,9 @@ void BM_OptimalSilentBatchedInteractions(benchmark::State& state) {
     rng_t rng(++seed);
     auto init = adversarial_configuration(
         p, optimal_silent_scenario::uniform_random, rng);
-    return batched_engine<optimal_silent_ssr>(p, std::move(init), ++seed);
+    batched_engine<optimal_silent_ssr> eng(p, std::move(init), ++seed);
+    eng.attach_profiler(obs::profiler_default());
+    return eng;
   };
   auto eng = make();
   for (auto _ : state) {
@@ -130,6 +134,7 @@ void BM_SublinearBatchedInteractions(benchmark::State& state) {
   sublinear_time_ssr p(n, h);
   rng_t rng(4);
   batched_engine<sublinear_time_ssr> eng(p, p.initial_configuration(rng), 5);
+  eng.attach_profiler(obs::profiler_default());
   std::uint64_t budget = 0;
   for (auto _ : state) {
     budget += 1024;

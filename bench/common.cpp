@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 
@@ -17,7 +19,7 @@ namespace {
 
 constexpr std::string_view bench_flags[] = {
     "--engine",   "--trials",      "--seed",     "--out-dir",
-    "--no-json",  "--history-dir", "--progress",
+    "--no-json",  "--history-dir", "--progress", "--profile",
 };
 
 [[noreturn]] void reject_flag(std::string_view arg) {
@@ -26,7 +28,8 @@ constexpr std::string_view bench_flags[] = {
   const std::string_view suggestion = nearest_candidate(name, bench_flags);
   if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion << "?)";
   std::cerr << "\nbenches accept --engine=direct|batched --trials=N --seed=S"
-               " --out-dir=DIR --no-json --history-dir=DIR --progress\n";
+               " --out-dir=DIR --no-json --history-dir=DIR --progress"
+               " --profile\n";
   std::exit(2);
 }
 
@@ -95,6 +98,8 @@ bench_args parse_bench_args(int argc, char** argv) {
       args.write_json = false;
     } else if (arg == "--progress") {
       obs::set_progress_default(true);
+    } else if (arg == "--profile") {
+      args.profile = true;
     } else {
       reject_flag(arg);
     }
@@ -111,6 +116,18 @@ reporter::reporter(const bench_args& args, std::string experiment,
   report_.binary = args_.binary.empty() ? "bench" : args_.binary;
   report_.engine = std::string(to_string(args_.engine));
   report_.argv = args_.argv;
+  if (args_.profile) {
+    perf_.emplace();
+    if (!perf_->available()) {
+      std::cerr << "profile: hardware counters unavailable ("
+                << perf_->status() << "); recording wall time only\n";
+    }
+    profiler_.emplace(obs::timeline_options{.perf = &*perf_});
+    // Root section so even benches that never reach run_trials (e.g. the
+    // throughput bench driving engines directly) emit a non-empty profile.
+    root_section_ = profiler_->enter("bench");
+    obs::set_profiler_default(&*profiler_);
+  }
 }
 
 obs::report_row& reporter::add_samples(std::string section,
@@ -135,6 +152,45 @@ obs::report_row& reporter::add_value(std::string section, std::string metric,
 }
 
 std::string reporter::finish() {
+  if (profiler_.has_value()) {
+    profiler_->exit(root_section_);
+    obs::set_profiler_default(nullptr);
+    const obs::timeline_profile profile = profiler_->profile();
+    report_.profile = profile.to_json();
+    const obs::profile_derived derived = obs::derive_hardware_metrics(profile);
+    if (derived.valid) {
+      // Hardware-stable regression gates: per-interaction rates are far
+      // less sensitive to CI-runner load than wall time.
+      add_value("profile", "instructions_per_interaction", "all", 0, "",
+                derived.instructions_per_unit, "instructions",
+                /*higher_is_better=*/false);
+      add_value("profile", "cycles_per_interaction", "all", 0, "",
+                derived.cycles_per_unit, "cycles",
+                /*higher_is_better=*/false);
+      add_value("profile", "branch_miss_rate", "all", 0, "",
+                derived.branch_miss_rate, "ratio",
+                /*higher_is_better=*/false);
+    }
+    std::string folded_path = args_.out_dir;
+    if (!folded_path.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(
+          std::filesystem::path(folded_path), ec);
+      if (folded_path.back() != '/') folded_path += '/';
+    }
+    folded_path += "PROFILE_" + report_.experiment + ".folded";
+    std::ofstream os(folded_path, std::ios::trunc);
+    if (os) {
+      profile.write_folded(os);
+      std::cout << "profile: " << folded_path << "\n";
+    } else {
+      std::cerr << "warning: could not write '" << folded_path << "'\n";
+    }
+    // Finalize once; the profile block stays in the report for the (
+    // idempotent) JSON rewrite below.
+    profiler_.reset();
+    perf_.reset();
+  }
   if (!args_.write_json) return {};
   report_.git_rev = obs::git_revision();
   report_.generated_unix = static_cast<std::int64_t>(std::time(nullptr));
@@ -169,6 +225,7 @@ std::string reporter::finish() {
 
 std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
                                    std::uint64_t seed, engine_kind engine) {
+  obs::timeline_scope phase(obs::profiler_default(), "phase.baseline");
   return run_trials(
       trials, seed,
       [n](std::uint64_t s, engine_kind kind) -> double {
@@ -197,6 +254,8 @@ std::vector<double> baseline_lower_bound_times(std::uint32_t n,
                                                std::size_t trials,
                                                std::uint64_t seed,
                                                engine_kind engine) {
+  obs::timeline_scope phase(obs::profiler_default(),
+                            "phase.baseline_lower_bound");
   silent_n_state_ssr p(n);
   const auto config = p.lower_bound_configuration();
   std::vector<std::uint32_t> ranks(n);
@@ -221,6 +280,7 @@ std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
                                          std::uint64_t seed,
                                          optimal_silent_scenario scenario,
                                          engine_kind engine) {
+  obs::timeline_scope phase(obs::profiler_default(), "phase.optimal_silent");
   return run_trials(
       trials, seed,
       [=](std::uint64_t s, engine_kind kind) {
@@ -243,6 +303,7 @@ std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
                                     sublinear_scenario scenario,
                                     double confirm, bool parallel,
                                     engine_kind engine) {
+  obs::timeline_scope phase(obs::profiler_default(), "phase.sublinear");
   return run_trials(
       trials, seed,
       [=](std::uint64_t s, engine_kind kind) {
@@ -265,6 +326,7 @@ std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
                                         std::size_t trials,
                                         std::uint64_t seed, bool parallel,
                                         engine_kind engine) {
+  obs::timeline_scope phase(obs::profiler_default(), "phase.detection");
   return run_trials(
       trials, seed,
       [=](std::uint64_t s, engine_kind kind) {
@@ -294,10 +356,12 @@ std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
         if (kind == engine_kind::direct) {
           direct_engine<sublinear_time_ssr> eng(p, std::move(init),
                                                 s ^ 0xc2b2ae35);
+          eng.attach_profiler(obs::profiler_default());
           return detect(eng);
         }
         batched_engine<sublinear_time_ssr> eng(p, std::move(init),
                                                s ^ 0xc2b2ae35);
+        eng.attach_profiler(obs::profiler_default());
         return detect(eng);
       },
       {.parallel = parallel, .engine = engine});

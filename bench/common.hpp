@@ -25,7 +25,9 @@
 
 #include "analysis/statistics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/report.hpp"
+#include "obs/timeline.hpp"
 #include "pp/engine.hpp"
 #include "protocols/adversary.hpp"
 
@@ -46,6 +48,13 @@ void banner(const std::string& experiment, const std::string& artifact,
 ///                             DIR/<git_rev>/ for report_trend
 ///   --progress                periodic heartbeat (trials done, rate, ETA)
 ///                             on stderr during every sweep
+///   --profile                 hierarchical section profiling: hardware
+///                             counters when available (wall time always),
+///                             a PROFILE_<id>.folded flamegraph next to the
+///                             JSON artifact, a "profile" block in it
+///                             (schema 2.1), and derived
+///                             instructions/cycles-per-interaction rows.
+///                             Forces sequential trials.
 ///
 /// Trial counts and seeds are per-row constants chosen by each bench, so
 /// the overrides are optional: row code asks args.trials_or(default) /
@@ -57,6 +66,7 @@ struct bench_args {
   std::string out_dir;
   std::string history_dir;
   bool write_json = true;
+  bool profile = false;
   std::string binary;             // argv[0] basename, for the report
   std::vector<std::string> argv;  // original arguments, for the report
 
@@ -99,6 +109,12 @@ class reporter {
   /// absorb engine counters into it) to land them in the report.
   obs::metrics_registry& metrics() { return metrics_; }
 
+  /// Non-null while --profile is active (between construction and
+  /// finish()); also installed as the process default profiler.
+  obs::timeline_profiler* profiler() {
+    return profiler_.has_value() ? &*profiler_ : nullptr;
+  }
+
   /// Writes the artifact (prints the path) and returns the path, or ""
   /// when JSON output is disabled or the write failed (failure also prints
   /// a warning).  With --history-dir the report is additionally written
@@ -111,6 +127,13 @@ class reporter {
   obs::bench_report report_;
   obs::metrics_registry metrics_;
   std::chrono::steady_clock::time_point start_;
+  // --profile state: a counter group (gracefully degraded where perf is
+  // restricted), the section collector rooted at "bench", and the root id
+  // so finish() can close it.  Construction installs the profiler as the
+  // process default; finish() uninstalls and finalizes it.
+  std::optional<obs::perf_counter_group> perf_;
+  std::optional<obs::timeline_profiler> profiler_;
+  std::uint32_t root_section_ = 0;
 };
 
 /// Stabilization times (parallel) of the baseline from uniform random

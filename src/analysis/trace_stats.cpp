@@ -75,6 +75,12 @@ std::optional<parsed_trace> parse_trace_jsonl(std::istream& is,
       trace.offered = uint_or(*parsed, "offered", 0);
       trace.sampled_out = uint_or(*parsed, "sampled_out", 0);
       trace.dropped = uint_or(*parsed, "dropped", 0);
+      trace.schema_version = static_cast<std::int64_t>(
+          number_or(*parsed, "schema_version", 1.0));
+      if (const json_value* rev = parsed->find("git_rev");
+          rev != nullptr && rev->is_string()) {
+        trace.git_rev = rev->as_string();
+      }
       if (const json_value* phases = parsed->find("phases");
           phases != nullptr && phases->is_array()) {
         for (const json_value& p : phases->items()) {
@@ -132,6 +138,11 @@ void trace_stats_accumulator::add(const parsed_trace& trace) {
   offered_ += trace.offered;
   sampled_out_ += trace.sampled_out;
   dropped_ += trace.dropped;
+  if (!trace.git_rev.empty() &&
+      std::find(git_revs_.begin(), git_revs_.end(), trace.git_rev) ==
+          git_revs_.end()) {
+    git_revs_.push_back(trace.git_rev);
+  }
 
   // Widen the phase tables to whatever this trace names or references.
   std::size_t phase_count =
@@ -301,6 +312,11 @@ json_value trace_stats_accumulator::to_json() const {
   out["dropped"] = json_value{dropped_};
   out["interactions"] = json_value{interactions_};
   out["total_time"] = json_value{total_time_};
+  if (!git_revs_.empty()) {
+    json_value revs = json_value::array();
+    for (const std::string& rev : git_revs_) revs.push_back(json_value{rev});
+    out["git_revs"] = std::move(revs);
+  }
 
   json_value phases_json = json_value::array();
   for (const phase_stats& ph : phases()) {
@@ -342,7 +358,16 @@ void trace_stats_accumulator::print_table(std::ostream& os) const {
      << offered_ << ", sampled out " << sampled_out_ << ", dropped "
      << dropped_ << ")\n";
   os << "interactions " << format_count(static_cast<double>(interactions_))
-     << ", parallel time " << format_fixed(total_time_, 4) << "\n\n";
+     << ", parallel time " << format_fixed(total_time_, 4) << "\n";
+  if (!git_revs_.empty()) {
+    os << "revisions:";
+    for (const std::string& rev : git_revs_) {
+      os << ' ' << rev.substr(0, 12);
+    }
+    if (git_revs_.size() > 1) os << " (MIXED)";
+    os << "\n";
+  }
+  os << "\n";
 
   text_table phase_table({"phase", "entries", "exits", "dwells",
                           "dwell mean", "dwell p50", "dwell p90",
@@ -485,6 +510,45 @@ json_value chrome_trace_json(const parsed_trace& trace, int pid) {
   // A wave still open at the end of the trace would leave an unbalanced
   // "B"; close it at the last timestamp so viewers render it full-width.
   if (wave_open) events.push_back(base("reset_wave", "E", last_time, 1));
+
+  json_value out = json_value::object();
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = json_value{"ms"};
+  return out;
+}
+
+json_value chrome_profile_json(const obs::timeline_profile& profile,
+                               int pid) {
+  constexpr double ns_to_us = 1e-3;
+  json_value events = json_value::array();
+
+  json_value meta = json_value::object();
+  meta["name"] = json_value{"thread_name"};
+  meta["ph"] = json_value{"M"};
+  meta["pid"] = json_value{pid};
+  meta["tid"] = json_value{0};
+  json_value meta_args = json_value::object();
+  meta_args["name"] = json_value{"profile"};
+  meta["args"] = std::move(meta_args);
+  events.push_back(std::move(meta));
+
+  for (const obs::timeline_span& span : profile.spans) {
+    if (span.section >= profile.sections.size()) continue;
+    const obs::timeline_section& section = profile.sections[span.section];
+    json_value e = json_value::object();
+    e["name"] = json_value{section.name};
+    e["cat"] = json_value{"ssr.profile"};
+    e["ph"] = json_value{"X"};
+    e["ts"] = json_value{static_cast<double>(span.start_ns) * ns_to_us};
+    e["dur"] = json_value{static_cast<double>(span.duration_ns) * ns_to_us};
+    e["pid"] = json_value{pid};
+    e["tid"] = json_value{0};
+    json_value args = json_value::object();
+    args["path"] = json_value{profile.path(span.section)};
+    args["depth"] = json_value{static_cast<std::int64_t>(section.depth)};
+    e["args"] = std::move(args);
+    events.push_back(std::move(e));
+  }
 
   json_value out = json_value::object();
   out["traceEvents"] = std::move(events);

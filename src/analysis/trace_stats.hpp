@@ -39,6 +39,7 @@
 
 #include "obs/json.hpp"
 #include "obs/quantile_sketch.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace ssr {
@@ -51,6 +52,10 @@ struct parsed_trace {
   std::uint64_t offered = 0;
   std::uint64_t sampled_out = 0;
   std::uint64_t dropped = 0;
+  // Run framing added in trace schema v2; v1 headers leave the defaults
+  // (version 1, unknown producer revision).
+  std::int64_t schema_version = 1;
+  std::string git_rev;  // empty = v1 trace with no revision stamp
   std::vector<obs::trace_event> events;
 };
 
@@ -113,6 +118,11 @@ class trace_stats_accumulator {
   std::vector<phase_stats> phases() const;
   reset_wave_stats reset_waves() const;
   convergence_stats convergence() const;
+  /// Distinct producing revisions seen across added traces, in first-seen
+  /// order (empty for v1 traces, which carry no git_rev).  More than one
+  /// entry means the aggregate mixes revisions -- report_trend joins on
+  /// this.
+  const std::vector<std::string>& git_revs() const { return git_revs_; }
 
   /// Versioned machine-readable summary (trace_stats_schema_version).
   obs::json_value to_json() const;
@@ -141,6 +151,7 @@ class trace_stats_accumulator {
   std::uint64_t interactions_ = 0;
   double total_time_ = 0.0;
   std::uint64_t rank_collisions_ = 0;
+  std::vector<std::string> git_revs_;
 
   std::vector<std::string> phase_names_;
   std::vector<std::uint64_t> entries_;
@@ -163,5 +174,13 @@ class trace_stats_accumulator {
 /// = 1 second.  `pid` distinguishes runs when several files are merged
 /// into one timeline.
 obs::json_value chrome_trace_json(const parsed_trace& trace, int pid = 1);
+
+/// Chrome trace-event JSON for a section profile (obs/timeline.hpp): every
+/// recorded span becomes an "X" complete event on one "profile" thread,
+/// ts/dur in microseconds of wall time, with the section path and depth in
+/// args.  Loads into Perfetto / chrome://tracing alongside (or merged
+/// with) chrome_trace_json output -- use a distinct `pid` when merging.
+obs::json_value chrome_profile_json(const obs::timeline_profile& profile,
+                                    int pid = 1);
 
 }  // namespace ssr

@@ -1,0 +1,190 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SSR_PERF_BACKEND 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#define SSR_PERF_BACKEND 0
+#endif
+
+namespace ssr::obs {
+namespace {
+
+constexpr std::array<std::string_view, perf_counter_count> counter_names = {
+    "cycles", "instructions", "branch_misses", "cache_misses", "task_clock",
+};
+
+}  // namespace
+
+std::string_view to_string(perf_counter_id id) {
+  return counter_names[static_cast<std::size_t>(id)];
+}
+
+bool perf_counter_values::any_available() const {
+  for (const bool a : available)
+    if (a) return true;
+  return false;
+}
+
+perf_counter_values& perf_counter_values::operator+=(
+    const perf_counter_values& other) {
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    value[i] += other.value[i];
+    available[i] = available[i] || other.available[i];
+  }
+  return *this;
+}
+
+perf_counter_values operator-(const perf_counter_values& after,
+                              const perf_counter_values& before) {
+  perf_counter_values delta;
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    delta.value[i] =
+        after.value[i] >= before.value[i] ? after.value[i] - before.value[i]
+                                          : 0;
+    delta.available[i] = after.available[i] && before.available[i];
+  }
+  return delta;
+}
+
+json_value perf_counter_values::to_json() const {
+  json_value out = json_value::object();
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    if (available[i]) out[counter_names[i]] = json_value{value[i]};
+  }
+  return out;
+}
+
+#if SSR_PERF_BACKEND
+
+namespace {
+
+struct event_config {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::array<event_config, perf_counter_count> event_configs = {{
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+}};
+
+int open_perf_event(const event_config& cfg, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = cfg.type;
+  attr.config = cfg.config;
+  // Kernel/hypervisor exclusion widens what perf_event_paranoid permits.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                    /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+perf_counter_group::perf_counter_group() {
+  fd_.fill(-1);
+  slot_.fill(-1);
+  if (std::getenv("SSR_PERF_DISABLE") != nullptr) {
+    status_ = "disabled by SSR_PERF_DISABLE";
+    return;
+  }
+  int first_errno = 0;
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    const int fd = open_perf_event(event_configs[i], leader_fd_);
+    if (fd < 0) {
+      if (first_errno == 0) first_errno = errno;
+      continue;
+    }
+    if (leader_fd_ < 0) leader_fd_ = fd;
+    fd_[i] = fd;
+    slot_[i] = open_count_++;
+    available_[i] = true;
+  }
+  if (open_count_ == 0) {
+    status_ = std::string("perf_event_open: ") + std::strerror(first_errno) +
+              " (perf_event_paranoid / container restrictions?)";
+  } else if (open_count_ < static_cast<int>(perf_counter_count)) {
+    status_ = "partial: some events unsupported or restricted";
+  }
+}
+
+perf_counter_group::~perf_counter_group() {
+  for (const int fd : fd_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+bool perf_counter_group::available() const { return open_count_ > 0; }
+
+perf_counter_values perf_counter_group::read() const {
+  perf_counter_values out;
+  if (open_count_ == 0) return out;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr]
+  // (one u64 per opened event, in open order).
+  std::array<std::uint64_t, 3 + perf_counter_count> buffer{};
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + static_cast<std::size_t>(open_count_)) * sizeof(std::uint64_t));
+  const ssize_t got = ::read(leader_fd_, buffer.data(),
+                             static_cast<std::size_t>(want));
+  if (got < want) return out;
+  const std::uint64_t enabled = buffer[1];
+  const std::uint64_t running = buffer[2];
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    if (!available_[i]) continue;
+    std::uint64_t v = buffer[3 + static_cast<std::size_t>(slot_[i])];
+    if (running > 0 && running < enabled) {
+      // The kernel multiplexed the group; scale to the full enabled window.
+      const double scale = static_cast<double>(enabled) /
+                           static_cast<double>(running);
+      v = static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+    }
+    out.value[i] = v;
+    out.available[i] = true;
+  }
+  return out;
+}
+
+#else  // !SSR_PERF_BACKEND
+
+perf_counter_group::perf_counter_group() {
+  fd_.fill(-1);
+  slot_.fill(-1);
+  status_ = "stub backend (perf_event_open not available on this platform)";
+}
+
+perf_counter_group::~perf_counter_group() = default;
+
+bool perf_counter_group::available() const { return false; }
+
+perf_counter_values perf_counter_group::read() const { return {}; }
+
+#endif  // SSR_PERF_BACKEND
+
+json_value perf_counter_group::availability_json() const {
+  json_value out = json_value::object();
+  json_value flags = json_value::object();
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    flags[counter_names[i]] = json_value{available_[i]};
+  }
+  out["available"] = std::move(flags);
+  out["status"] = json_value{status_};
+  return out;
+}
+
+}  // namespace ssr::obs

@@ -1,0 +1,109 @@
+// Hardware performance counters via perf_event_open, with graceful
+// degradation.
+//
+// A perf_counter_group opens one event group on the calling thread reading
+// five counters: CPU cycles, retired instructions, branch misses, cache
+// misses, and task clock.  Containers and perf_event_paranoid routinely
+// forbid some or all of these, so availability is per counter: every
+// counter that fails to open is simply marked unavailable and reads as 0,
+// the group keeps whatever did open, and nothing ever throws or exits --
+// callers (the --profile paths) fall back to wall-time-only profiles.  On
+// non-Linux builds (or with SSR_PERF_DISABLE=1 in the environment, which CI
+// uses to pin the fallback path) the stub backend reports every counter
+// unavailable.
+//
+// Counters are free-running from construction; consumers take deltas of
+// read() around the region of interest (obs/timeline.hpp does this per
+// profiled section).  Reads request PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING
+// and scale counts when the kernel multiplexed the group, so values stay
+// meaningful under counter pressure.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace ssr::obs {
+
+enum class perf_counter_id : std::uint8_t {
+  cycles = 0,
+  instructions,
+  branch_misses,
+  cache_misses,
+  task_clock,  // nanoseconds of on-CPU time
+};
+
+inline constexpr std::size_t perf_counter_count = 5;
+
+/// Stable short names ("cycles", "instructions", ...) used in JSON output.
+std::string_view to_string(perf_counter_id id);
+
+/// One sample (or delta) of the counter group.  Unavailable counters hold 0
+/// and their availability flag is false.
+struct perf_counter_values {
+  std::array<std::uint64_t, perf_counter_count> value{};
+  std::array<bool, perf_counter_count> available{};
+
+  std::uint64_t operator[](perf_counter_id id) const {
+    return value[static_cast<std::size_t>(id)];
+  }
+  bool has(perf_counter_id id) const {
+    return available[static_cast<std::size_t>(id)];
+  }
+  bool any_available() const;
+
+  perf_counter_values& operator+=(const perf_counter_values& other);
+  /// Per-counter saturating difference (counters are monotone, so a
+  /// negative delta only appears on caller error); availability is the
+  /// conjunction of both sides.
+  friend perf_counter_values operator-(const perf_counter_values& after,
+                                       const perf_counter_values& before);
+
+  /// {"cycles": 123, ...} with one member per *available* counter.
+  json_value to_json() const;
+};
+
+/// RAII perf_event_open group bound to the calling thread.  Construction
+/// never fails: counters that cannot open are flagged unavailable and
+/// status() says why the group is degraded.
+class perf_counter_group {
+ public:
+  perf_counter_group();
+  ~perf_counter_group();
+
+  perf_counter_group(const perf_counter_group&) = delete;
+  perf_counter_group& operator=(const perf_counter_group&) = delete;
+
+  /// True iff at least one counter opened.
+  bool available() const;
+  const std::array<bool, perf_counter_count>& availability() const {
+    return available_;
+  }
+  /// Human-readable reason the backend is degraded ("" when every counter
+  /// opened): "stub backend (not linux)", "perf_event_open: Permission
+  /// denied (perf_event_paranoid?)", ...
+  const std::string& status() const { return status_; }
+
+  /// Current cumulative counts since construction, multiplex-scaled.
+  /// Unavailable counters read 0 with available=false.  Must be called
+  /// from the thread that constructed the group.
+  perf_counter_values read() const;
+
+  /// {"available": {"cycles": true, ...}, "status": "..."} -- the
+  /// availability block profiles and bench reports embed.
+  json_value availability_json() const;
+
+ private:
+  std::array<int, perf_counter_count> fd_;       // -1 = not open
+  std::array<int, perf_counter_count> slot_;     // group read-buffer index
+  std::array<bool, perf_counter_count> available_{};
+  int leader_fd_ = -1;
+  int open_count_ = 0;
+  std::string status_;
+};
+
+}  // namespace ssr::obs

@@ -136,14 +136,16 @@ progress_meter::~progress_meter() { stop(); }
 void progress_meter::stop() {
   {
     const std::scoped_lock lock(mutex_);
-    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
+  // Join unconditionally (not gated on a "first stop" flag): stop() must be
+  // safe from destructors running during exception unwinding, and a second
+  // caller must not return while the meter thread is still alive.
   if (thread_.joinable()) thread_.join();
 }
 
-void progress_meter::loop() {
+void progress_meter::loop() try {
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
   const progress_sample baseline = read_progress_sample(registry_.snapshot());
@@ -158,13 +160,23 @@ void progress_meter::loop() {
         read_progress_sample(registry_.snapshot());
     const double elapsed =
         std::chrono::duration<double>(clock::now() - start).count();
-    const std::string line = format_progress_line(
+    std::string line = format_progress_line(
         options_, baseline, previous, current, options_.interval_seconds,
         elapsed);
-    if (!line.empty()) std::cerr << line << std::endl;
+    // One write call per heartbeat so the line (newline included) cannot
+    // interleave with other stderr writers, and the last line before stop()
+    // is always newline-terminated.
+    if (!line.empty()) {
+      line += '\n';
+      std::cerr << line << std::flush;
+    }
     previous = current;
     lock.lock();
   }
+} catch (...) {
+  // A throwing heartbeat (snapshot allocation, stream failure) must not
+  // take the process down via std::terminate; the meter just goes quiet
+  // and stop() still joins normally.
 }
 
 }  // namespace ssr::obs

@@ -69,6 +69,17 @@ std::optional<summary> stats_from_json(const json_value& row) {
 
 }  // namespace
 
+std::string format_schema_version(double version) {
+  std::array<char, 32> buf{};
+  if (version == static_cast<double>(static_cast<long long>(version))) {
+    std::snprintf(buf.data(), buf.size(), "%lld",
+                  static_cast<long long>(version));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%g", version);
+  }
+  return buf.data();
+}
+
 summary summary_from_histogram(const histogram::snapshot_data& data) {
   summary s;
   s.count = data.count;
@@ -218,6 +229,7 @@ json_value bench_report::to_json() const {
   }
   out["rows"] = std::move(rows_json);
   out["metrics"] = metrics;
+  if (profile.has_value()) out["profile"] = *profile;
   return out;
 }
 
@@ -288,6 +300,10 @@ std::optional<bench_report> bench_report::from_json(const json_value& v,
       m != nullptr && m->is_object()) {
     report.metrics = *m;
   }
+  if (const json_value* p = v.find("profile");
+      p != nullptr && p->is_object()) {
+    report.profile = *p;
+  }
   return report;
 }
 
@@ -298,17 +314,15 @@ std::vector<std::string> validate_report_json(const json_value& v) {
     return problems;
   }
   const json_value* version = v.find("schema_version");
-  std::int64_t schema = report_schema_version;
+  double schema = report_schema_version;
   if (version == nullptr || !version->is_number()) {
     problems.push_back("missing numeric \"schema_version\"");
-  } else if (version->as_int64() < min_report_schema_version ||
-             version->as_int64() > report_schema_version) {
+  } else if (const double got = version->as_double();
+             got != 1.0 && got != 2.0 && got != 2.1) {
     problems.push_back("unsupported schema_version " +
-                       std::to_string(version->as_int64()) + " (supported " +
-                       std::to_string(min_report_schema_version) + ".." +
-                       std::to_string(report_schema_version) + ")");
+                       format_schema_version(got) + " (supported 1, 2, 2.1)");
   } else {
-    schema = version->as_int64();
+    schema = got;
   }
   for (const std::string_view key :
        {"experiment", "binary", "engine", "git_rev"}) {
@@ -399,6 +413,15 @@ std::vector<std::string> validate_report_json(const json_value& v) {
   if (metrics != nullptr && !metrics->is_object()) {
     problems.push_back("\"metrics\" must be an object when present");
   }
+  const json_value* profile = v.find("profile");
+  if (profile != nullptr) {
+    if (!profile->is_object()) {
+      problems.push_back("\"profile\" must be an object when present");
+    } else if (schema < 2.1) {
+      problems.push_back("\"profile\" requires schema_version >= 2.1 (got " +
+                         format_schema_version(schema) + ")");
+    }
+  }
   return problems;
 }
 
@@ -424,26 +447,6 @@ std::string write_report(const bench_report& report,
   os << report.to_json().dump(2) << '\n';
   os.flush();
   return os ? path : std::string{};
-}
-
-std::string git_revision() {
-#if defined(_WIN32)
-  return "unknown";
-#else
-  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
-  std::array<char, 128> buffer{};
-  std::string rev;
-  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
-    rev += buffer.data();
-  }
-  const int status = ::pclose(pipe);
-  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
-    rev.pop_back();
-  }
-  if (status != 0 || rev.empty()) return "unknown";
-  return rev;
-#endif
 }
 
 }  // namespace ssr::obs

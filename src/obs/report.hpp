@@ -1,11 +1,11 @@
 // Versioned, machine-readable benchmark reports.
 //
 // Every bench binary (and the CLI with --json) writes one BENCH_<id>.json
-// artifact per run through this layer.  The schema (version 2, validated by
-// validate_report_json and documented in docs/observability.md) is:
+// artifact per run through this layer.  The schema (version 2.1, validated
+// by validate_report_json and documented in docs/observability.md) is:
 //
 //   {
-//     "schema_version": 2,
+//     "schema_version": 2.1,
 //     "experiment":  "E3",              // experiment id from ROADMAP.md
 //     "title":       "...",             // human-readable banner
 //     "binary":      "bench_states",
@@ -15,7 +15,8 @@
 //     "argv":        ["--engine=batched", ...],
 //     "wall_time_seconds": 12.5,
 //     "rows": [ <sample row> | <value row>, ... ],
-//     "metrics":     { "<name>": <number|histogram object>, ... }
+//     "metrics":     { "<name>": <number|histogram object>, ... },
+//     "profile":     { ... }           // optional (2.1+): timeline profile
 //   }
 //
 // A *sample row* carries the raw per-trial measurements plus derived stats
@@ -58,12 +59,20 @@
 #include "analysis/statistics.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_info.hpp"  // git_revision(), recorded in every report
 
 namespace ssr::obs {
 
-inline constexpr int report_schema_version = 2;
+/// Written schema.  Versions are doubles so point revisions (2 -> 2.1, the
+/// optional "profile" block) stay readable by integer-era consumers: a v2
+/// reader truncating 2.1 to 2 sees a valid v2 document, because 2.1 only
+/// *adds* an optional member.
+inline constexpr double report_schema_version = 2.1;
 /// Oldest schema from_json / validate_report_json still accept.
 inline constexpr int min_report_schema_version = 1;
+/// "2.1" for 2.1, "2" for 2.0 -- trailing ".0" dropped for messages and
+/// round numbers.
+std::string format_schema_version(double version);
 
 struct report_row {
   enum class kind_t : std::uint8_t { samples, value };
@@ -112,6 +121,10 @@ struct bench_report {
   double wall_time_seconds = 0.0;
   std::vector<report_row> rows;
   json_value metrics = json_value::object();
+  /// Optional profiling block (schema >= 2.1): the timeline_profile JSON
+  /// emitted under --profile (obs/timeline.hpp).  Carried opaquely --
+  /// serialization round-trips it, but nothing here interprets it.
+  std::optional<json_value> profile;
 
   report_row& add_samples(std::string section, std::string protocol,
                           std::uint64_t n, std::string params,
@@ -134,8 +147,8 @@ struct bench_report {
 };
 
 /// Schema check; returns the empty vector when `v` is a valid report of
-/// any supported version (1 or 2), else one human-readable message per
-/// violation.
+/// any supported version (1, 2, or 2.1), else one human-readable message
+/// per violation.
 std::vector<std::string> validate_report_json(const json_value& v);
 
 /// "BENCH_<experiment>.json".
@@ -145,8 +158,5 @@ std::string report_filename(std::string_view experiment);
 /// (out_dir "" means the current directory; the directory must exist).
 /// Returns the path written, or "" on I/O failure.
 std::string write_report(const bench_report& report, std::string_view out_dir);
-
-/// `git rev-parse HEAD` of the working tree, "unknown" when unavailable.
-std::string git_revision();
 
 }  // namespace ssr::obs

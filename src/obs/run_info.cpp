@@ -1,0 +1,32 @@
+#include "obs/run_info.hpp"
+
+#include <array>
+#include <cstdio>
+
+#if !defined(_WIN32)
+#include <stdio.h>  // popen/pclose
+#endif
+
+namespace ssr::obs {
+
+std::string git_revision() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 128> buffer{};
+  std::string rev;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    rev += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  if (status != 0 || rev.empty()) return "unknown";
+  return rev;
+#endif
+}
+
+}  // namespace ssr::obs

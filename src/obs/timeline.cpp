@@ -1,0 +1,216 @@
+#include "obs/timeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <ostream>
+
+namespace ssr::obs {
+
+std::string timeline_profile::path(std::uint32_t section) const {
+  if (section >= sections.size()) return {};
+  // Collect the ancestor chain, then join root-first.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t at = section; at != timeline_no_parent;
+       at = sections[at].parent) {
+    chain.push_back(at);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += ';';
+    out += sections[*it].name;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> timeline_profile::self_wall_ns() const {
+  std::vector<std::uint64_t> self(sections.size(), 0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    self[i] = sections[i].wall_ns;
+  }
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const std::uint32_t parent = sections[i].parent;
+    if (parent == timeline_no_parent) continue;
+    const std::uint64_t child = sections[i].wall_ns;
+    self[parent] = self[parent] >= child ? self[parent] - child : 0;
+  }
+  return self;
+}
+
+void timeline_profile::write_folded(std::ostream& os) const {
+  const std::vector<std::uint64_t> self = self_wall_ns();
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (self[i] == 0) continue;
+    os << path(static_cast<std::uint32_t>(i)) << ' ' << self[i] << '\n';
+  }
+}
+
+json_value timeline_profile::to_json() const {
+  const std::vector<std::uint64_t> self = self_wall_ns();
+  json_value out = json_value::object();
+  out["schema"] = json_value{"ssr.profile"};
+  json_value rows = json_value::array();
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const timeline_section& s = sections[i];
+    json_value row = json_value::object();
+    row["path"] = json_value{path(static_cast<std::uint32_t>(i))};
+    row["depth"] = json_value{static_cast<std::int64_t>(s.depth)};
+    row["count"] = json_value{s.count};
+    row["wall_ns"] = json_value{s.wall_ns};
+    row["self_ns"] = json_value{self[i]};
+    if (s.units > 0) row["units"] = json_value{s.units};
+    if (s.perf.any_available()) row["perf"] = s.perf.to_json();
+    rows.push_back(std::move(row));
+  }
+  out["sections"] = std::move(rows);
+  out["spans_recorded"] = json_value{static_cast<std::uint64_t>(spans.size())};
+  out["spans_dropped"] = json_value{spans_dropped};
+  json_value flags = json_value::object();
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    flags[to_string(static_cast<perf_counter_id>(i))] =
+        json_value{perf_available[i]};
+  }
+  json_value perf = json_value::object();
+  perf["available"] = std::move(flags);
+  perf["status"] = json_value{perf_status};
+  out["perf"] = std::move(perf);
+  return out;
+}
+
+profile_derived derive_hardware_metrics(const timeline_profile& profile) {
+  profile_derived out;
+  perf_counter_values total;
+  for (const timeline_section& s : profile.sections) {
+    if (s.units == 0) continue;
+    out.units += s.units;
+    total += s.perf;
+  }
+  if (out.units == 0) return out;
+  const double units = static_cast<double>(out.units);
+  const std::uint64_t instructions = total[perf_counter_id::instructions];
+  if (total.has(perf_counter_id::instructions) && instructions > 0) {
+    out.instructions_per_unit = static_cast<double>(instructions) / units;
+    if (total.has(perf_counter_id::branch_misses)) {
+      out.branch_miss_rate =
+          static_cast<double>(total[perf_counter_id::branch_misses]) /
+          static_cast<double>(instructions);
+    }
+    out.valid = true;
+  }
+  if (total.has(perf_counter_id::cycles)) {
+    out.cycles_per_unit =
+        static_cast<double>(total[perf_counter_id::cycles]) / units;
+    out.valid = true;
+  }
+  return out;
+}
+
+timeline_profiler::timeline_profiler(timeline_options options)
+    : options_(options) {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+std::uint64_t timeline_profiler::now_ns() const {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<std::uint64_t>(now - epoch_ns_);
+}
+
+std::uint32_t timeline_profiler::find_or_create(std::uint32_t parent,
+                                                std::string_view name) {
+  const std::vector<std::uint32_t>* siblings = nullptr;
+  if (parent == timeline_no_parent) {
+    siblings = &roots_;
+  } else {
+    siblings = &children_[parent];
+  }
+  for (const std::uint32_t id : *siblings) {
+    if (sections_[id].name == name) return id;
+  }
+  const auto id = static_cast<std::uint32_t>(sections_.size());
+  timeline_section section;
+  section.name.assign(name);
+  section.parent = parent;
+  section.depth =
+      parent == timeline_no_parent ? 0 : sections_[parent].depth + 1;
+  sections_.push_back(std::move(section));
+  children_.emplace_back();
+  if (parent == timeline_no_parent) {
+    roots_.push_back(id);
+  } else {
+    children_[parent].push_back(id);
+  }
+  return id;
+}
+
+std::uint32_t timeline_profiler::enter(std::string_view name) {
+  const std::uint32_t parent =
+      stack_.empty() ? timeline_no_parent : stack_.back().section;
+  const std::uint32_t id = find_or_create(parent, name);
+  frame f;
+  f.section = id;
+  f.start_ns = now_ns();
+  if (options_.perf != nullptr) f.perf_at_entry = options_.perf->read();
+  stack_.push_back(std::move(f));
+  return id;
+}
+
+void timeline_profiler::exit(std::uint32_t section) {
+  // Pop until the matching frame closes; intervening frames (a caller that
+  // forgot an exit) close with it rather than corrupting the stack.
+  while (!stack_.empty()) {
+    const frame f = stack_.back();
+    stack_.pop_back();
+    timeline_section& s = sections_[f.section];
+    const std::uint64_t end_ns = now_ns();
+    const std::uint64_t duration =
+        end_ns >= f.start_ns ? end_ns - f.start_ns : 0;
+    s.count += 1;
+    s.wall_ns += duration;
+    if (options_.perf != nullptr) {
+      s.perf += options_.perf->read() - f.perf_at_entry;
+    }
+    if (spans_.size() < options_.max_spans) {
+      spans_.push_back({f.section, f.start_ns, duration});
+    } else {
+      ++spans_dropped_;
+    }
+    if (f.section == section) return;
+  }
+}
+
+void timeline_profiler::add_units(std::uint64_t n) {
+  if (stack_.empty()) return;
+  sections_[stack_.back().section].units += n;
+}
+
+timeline_profile timeline_profiler::profile() const {
+  timeline_profile out;
+  out.sections = sections_;
+  out.spans = spans_;
+  out.spans_dropped = spans_dropped_;
+  if (options_.perf != nullptr) {
+    out.perf_available = options_.perf->availability();
+    out.perf_status = options_.perf->status();
+  } else {
+    out.perf_status = "no counter group attached (wall time only)";
+  }
+  return out;
+}
+
+namespace {
+std::atomic<timeline_profiler*> default_profiler{nullptr};
+}  // namespace
+
+void set_profiler_default(timeline_profiler* profiler) {
+  default_profiler.store(profiler, std::memory_order_release);
+}
+
+timeline_profiler* profiler_default() {
+  return default_profiler.load(std::memory_order_acquire);
+}
+
+}  // namespace ssr::obs

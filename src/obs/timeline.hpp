@@ -1,0 +1,190 @@
+// Hierarchical scoped-section profiler for the measurement pipeline.
+//
+// A timeline_profiler collects an aggregated call tree of named sections
+// (phase -> trial -> engine.run -> batch.draw) with wall time, an optional
+// hardware-counter delta (obs/perf_counters.hpp), and a "work unit" count
+// per section -- engines report executed interactions as units, which is
+// what turns raw counter deltas into the hardware-stable derived metrics
+// (instructions per interaction, cycles per interaction, branch-miss rate)
+// the bench reports gate on.  A bounded sample of concrete spans is also
+// kept for the chrome/Perfetto export.
+//
+// Cost discipline follows engine_counters: instrumented code holds a
+// nullable profiler pointer, and the detached path (the default) is a
+// single predictable `if (profiler_)` branch *per run() call* -- the
+// per-interaction hot loops are never touched (tests/obs_timeline_test.cpp
+// guards this next to the counter overhead guard).  The collector itself is
+// single-threaded by design, like engine_counters: one measuring thread,
+// one profiler.  run_trials therefore serializes trials while a profiler
+// is attached (hardware counters are per-thread anyway).
+//
+// The aggregated timeline_profile is plain data with deterministic
+// serializers, pinned by golden-file tests:
+//
+//   write_folded()  -- folded-stack lines ("phase;trial;engine.run 1234"),
+//                      weight = self wall time in nanoseconds; loads
+//                      directly into speedscope or flamegraph.pl.
+//   to_json()       -- the "profile" block embedded in BENCH_*.json
+//                      (report schema v2.1) and ssr_cli --json summaries.
+//
+// chrome span export lives in analysis/trace_stats
+// (chrome_profile_json), next to the trace-event exporter it mirrors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/perf_counters.hpp"
+
+namespace ssr::obs {
+
+inline constexpr std::uint32_t timeline_no_parent = 0xffffffffu;
+
+/// One aggregated node of the section tree.  Children always carry a
+/// larger index than their parent (created on first entry).
+struct timeline_section {
+  std::string name;
+  std::uint32_t parent = timeline_no_parent;
+  std::uint32_t depth = 0;
+  std::uint64_t count = 0;    // completed executions of this section
+  std::uint64_t wall_ns = 0;  // inclusive wall time
+  std::uint64_t units = 0;    // work units (executed interactions) attributed
+  perf_counter_values perf;   // inclusive hardware-counter deltas
+};
+
+/// One concrete execution of a section, for span export.  Timestamps are
+/// nanoseconds since the profiler's construction.
+struct timeline_span {
+  std::uint32_t section = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// Aggregated profile snapshot: plain data, deterministic to serialize.
+struct timeline_profile {
+  std::vector<timeline_section> sections;
+  std::vector<timeline_span> spans;  // bounded sample, in completion order
+  std::uint64_t spans_dropped = 0;
+  std::array<bool, perf_counter_count> perf_available{};
+  std::string perf_status;  // why perf is absent/degraded; "" when fully up
+
+  /// Root-to-node path of a section, ';'-separated ("phase;trial;...").
+  std::string path(std::uint32_t section) const;
+  /// Self wall time per section: inclusive minus the children's inclusive
+  /// time (clamped at 0 against clock jitter).
+  std::vector<std::uint64_t> self_wall_ns() const;
+
+  /// Folded-stack lines, one per section with nonzero self time (plus any
+  /// zero-self parents with no samples are skipped): "a;b;c <self_ns>".
+  /// Deterministic: sections print in creation order.
+  void write_folded(std::ostream& os) const;
+
+  /// The "profile" block: schema tag, per-section rows (path, count, wall,
+  /// units, available perf deltas), span accounting, and the perf
+  /// availability flags + status.
+  json_value to_json() const;
+};
+
+/// Hardware-derived summary metrics computed over the sections that carry
+/// work units (the engine.run level).  valid is false when no units were
+/// recorded or the required counters were unavailable.
+struct profile_derived {
+  bool valid = false;
+  std::uint64_t units = 0;
+  double instructions_per_unit = 0.0;
+  double cycles_per_unit = 0.0;
+  /// branch_misses / instructions over the unit-carrying sections.
+  double branch_miss_rate = 0.0;
+};
+
+profile_derived derive_hardware_metrics(const timeline_profile& profile);
+
+struct timeline_options {
+  /// Concrete spans kept for the chrome export; excess spans are counted in
+  /// spans_dropped (aggregation is unaffected).
+  std::size_t max_spans = 1u << 16;
+  /// Optional hardware counters; when set, every section entry/exit reads
+  /// the group and the section accumulates the delta.  The group must
+  /// belong to the profiling thread and outlive the profiler.
+  perf_counter_group* perf = nullptr;
+};
+
+/// Single-threaded section collector.  enter()/exit() must nest (exit the
+/// most recently entered section first) -- use timeline_scope.
+class timeline_profiler {
+ public:
+  explicit timeline_profiler(timeline_options options = {});
+
+  timeline_profiler(const timeline_profiler&) = delete;
+  timeline_profiler& operator=(const timeline_profiler&) = delete;
+
+  /// Opens the section `name` under the currently open section (or at the
+  /// root) and returns its section id.
+  std::uint32_t enter(std::string_view name);
+  /// Closes the innermost open section.  `section` must be the id enter()
+  /// returned for it; mismatches close intervening sections defensively.
+  void exit(std::uint32_t section);
+  /// Attributes `n` work units (executed interactions) to the innermost
+  /// open section.  No-op when no section is open.
+  void add_units(std::uint64_t n);
+
+  bool idle() const { return stack_.empty(); }
+  const perf_counter_group* perf() const { return options_.perf; }
+
+  /// Aggregated snapshot; open sections contribute nothing until exited.
+  timeline_profile profile() const;
+
+ private:
+  struct frame {
+    std::uint32_t section;
+    std::uint64_t start_ns;
+    perf_counter_values perf_at_entry;
+  };
+
+  std::uint64_t now_ns() const;
+  std::uint32_t find_or_create(std::uint32_t parent, std::string_view name);
+
+  timeline_options options_;
+  std::vector<timeline_section> sections_;
+  std::vector<std::uint32_t> roots_;                  // top-level sections
+  std::vector<std::vector<std::uint32_t>> children_;  // per section
+  std::vector<timeline_span> spans_;
+  std::uint64_t spans_dropped_ = 0;
+  std::vector<frame> stack_;
+  std::int64_t epoch_ns_ = 0;  // steady_clock at construction
+};
+
+/// RAII section scope with the nullable-pointer discipline: a null profiler
+/// costs one predictable branch on entry and one on destruction.
+class timeline_scope {
+ public:
+  timeline_scope(timeline_profiler* profiler, std::string_view name)
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) section_ = profiler_->enter(name);
+  }
+  ~timeline_scope() {
+    if (profiler_ != nullptr) profiler_->exit(section_);
+  }
+
+  timeline_scope(const timeline_scope&) = delete;
+  timeline_scope& operator=(const timeline_scope&) = delete;
+
+ private:
+  timeline_profiler* profiler_;
+  std::uint32_t section_ = 0;
+};
+
+/// Process-wide default profiler -- the hook behind the --profile flags,
+/// mirroring set_progress_default(): bench front ends install their
+/// profiler here and run_trials / measure_convergence_with pick it up
+/// without signature churn.  Thread-safe to set; the profiler itself is
+/// single-threaded, so installers must also serialize the measured work
+/// (run_trials does).
+void set_profiler_default(timeline_profiler* profiler);
+timeline_profiler* profiler_default();
+
+}  // namespace ssr::obs

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/run_info.hpp"
+
 namespace ssr::obs {
 
 std::string_view to_string(trace_event_kind kind) {
@@ -92,7 +94,12 @@ void trace_sink::write_jsonl(
   {
     json_value header = json_value::object();
     header["event"] = json_value{"trace_header"};
-    header["schema_version"] = json_value{1};
+    // v2 adds the format tag and producing revision so offline consumers
+    // (trace_stats, report_trend) can join traces to bench history without
+    // side-channel bookkeeping.  v1 headers (no schema/git_rev) still parse.
+    header["schema"] = json_value{"ssr.trace"};
+    header["schema_version"] = json_value{2};
+    header["git_rev"] = json_value{git_revision()};
     header["offered"] = json_value{offered_};
     header["sampled_out"] = json_value{sampled_out_};
     header["dropped"] = json_value{dropped_};

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "pp/assert.hpp"
 #include "pp/protocol.hpp"
 #include "pp/random.hpp"
@@ -138,6 +139,25 @@ class accelerated_simulation {
   /// the configuration is both correct and silent; otherwise runs until
   /// `max_interactions`.
   bool run_until_correct(std::uint64_t max_interactions) {
+    if (profiler_ == nullptr) {  // detached cost: one branch per call
+      return run_until_correct_loop(max_interactions);
+    }
+    obs::timeline_scope section(profiler_, "accelerated.run");
+    const std::uint64_t before = interactions_;
+    const bool result = run_until_correct_loop(max_interactions);
+    profiler_->add_units(interactions_ - before);
+    return result;
+  }
+
+  /// Attaches (or with nullptr detaches) a section profiler;
+  /// run_until_correct records an "accelerated.run" section carrying the
+  /// simulated interactions (mostly skipped nulls) as units.
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
+  }
+
+ private:
+  bool run_until_correct_loop(std::uint64_t max_interactions) {
     while (interactions_ < max_interactions) {
       if (correct() && silent()) return true;
       if (silent()) return false;  // silent but wrong: stuck forever
@@ -146,7 +166,6 @@ class accelerated_simulation {
     return correct();
   }
 
- private:
   std::size_t index_of(const agent_state& s) const {
     for (std::size_t i = 0; i < k_; ++i) {
       if (states_[i] == s) return i;
@@ -211,6 +230,7 @@ class accelerated_simulation {
   std::vector<std::uint32_t> rank_of_state_;
   std::vector<std::uint64_t> rank_count_;
   std::uint32_t singleton_ranks_ = 0;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 }  // namespace ssr

@@ -16,6 +16,7 @@ batch_scheduler::batch_scheduler(std::uint32_t n, std::uint32_t capacity)
 
 std::span<const agent_pair> batch_scheduler::next_batch(rng_t& rng,
                                                         std::uint64_t limit) {
+  obs::timeline_scope section(profiler_, "batch.draw");
   buffer_.clear();
   ++epoch_;
   ++batches_;

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "pp/rng.hpp"
 #include "pp/scheduler.hpp"
 
@@ -46,6 +47,13 @@ class batch_scheduler {
       rng_t& rng,
       std::uint64_t limit = std::numeric_limits<std::uint64_t>::max());
 
+  /// Attaches (or with nullptr detaches) a section profiler; each
+  /// next_batch call records a "batch.draw" section.  The batched engine
+  /// forwards its profiler here so draws nest under "engine.run".
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
+  }
+
   std::uint32_t population_size() const { return n_; }
   std::uint32_t capacity() const { return capacity_; }
 
@@ -65,6 +73,7 @@ class batch_scheduler {
   std::uint64_t pairs_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t truncations_ = 0;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 }  // namespace ssr

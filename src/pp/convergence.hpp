@@ -187,6 +187,7 @@ convergence_result measure_convergence(
     std::vector<typename P::agent_state>* final_config = nullptr) {
   SSR_REQUIRE(initial.size() == protocol.population_size());
   direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
+  engine.attach_profiler(obs::profiler_default());
   return measure_convergence_run(engine, opt, final_config);
 }
 
@@ -200,11 +201,15 @@ convergence_result measure_convergence_with(
     std::uint64_t seed, const convergence_options& opt = {},
     std::vector<typename P::agent_state>* final_config = nullptr) {
   SSR_REQUIRE(initial.size() == protocol.population_size());
+  // Profiling hook: when a bench front end installed a default profiler
+  // (--profile), every engine constructed here reports into it.
   if (kind == engine_kind::direct) {
     direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
+    engine.attach_profiler(obs::profiler_default());
     return measure_convergence_run(engine, opt, final_config);
   }
   batched_engine<P> engine(std::move(protocol), std::move(initial), seed);
+  engine.attach_profiler(obs::profiler_default());
   return measure_convergence_run(engine, opt, final_config);
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "obs/engine_counters.hpp"
+#include "obs/timeline.hpp"
 #include "pp/assert.hpp"
 #include "pp/batch_scheduler.hpp"
 #include "pp/protocol.hpp"
@@ -111,26 +112,29 @@ class direct_engine {
 
   template <class Pre, class Post>
   bool run(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
-    const std::uint32_t n = population_size();
-    while (interactions_ < max_interactions) {
-      const agent_pair pair = sample_pair(rng_, n);
-      pre(pair);
-      const bool changed = protocol_.interact(agents_[pair.initiator],
-                                              agents_[pair.responder], rng_);
-      ++interactions_;
-      if (counters_) {
-        ++counters_->interactions_executed;
-        counters_->transitions_changed += changed;
-      }
-      if (post(pair, changed)) return true;
+    if (profiler_ == nullptr) {  // detached cost: this one branch per run()
+      return run_loop(max_interactions, std::forward<Pre>(pre),
+                      std::forward<Post>(post));
     }
-    return false;
+    obs::timeline_scope section(profiler_, "engine.run");
+    const std::uint64_t before = interactions_;
+    const bool stopped = run_loop(max_interactions, std::forward<Pre>(pre),
+                                  std::forward<Post>(post));
+    profiler_->add_units(interactions_ - before);
+    return stopped;
   }
 
   /// Attaches (or with nullptr detaches) an event-counter sink; see
   /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
   void attach_counters(obs::engine_counters* counters) {
     counters_ = counters;
+  }
+
+  /// Attaches (or with nullptr detaches) a section profiler; every run()
+  /// call becomes an "engine.run" section carrying the executed
+  /// interactions as units.  See obs/timeline.hpp.
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
   }
 
   std::uint32_t population_size() const {
@@ -148,11 +152,30 @@ class direct_engine {
   rng_t& rng() { return rng_; }
 
  private:
+  template <class Pre, class Post>
+  bool run_loop(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
+    const std::uint32_t n = population_size();
+    while (interactions_ < max_interactions) {
+      const agent_pair pair = sample_pair(rng_, n);
+      pre(pair);
+      const bool changed = protocol_.interact(agents_[pair.initiator],
+                                              agents_[pair.responder], rng_);
+      ++interactions_;
+      if (counters_) {
+        ++counters_->interactions_executed;
+        counters_->transitions_changed += changed;
+      }
+      if (post(pair, changed)) return true;
+    }
+    return false;
+  }
+
   P protocol_;
   std::vector<agent_state> agents_;
   rng_t rng_;
   std::uint64_t interactions_ = 0;
   obs::engine_counters* counters_ = nullptr;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 namespace detail {
@@ -261,6 +284,53 @@ class batched_engine<P, true> {
 
   template <class Pre, class Post>
   bool run(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
+    if (profiler_ == nullptr) {  // detached cost: this one branch per run()
+      return run_loop(max_interactions, std::forward<Pre>(pre),
+                      std::forward<Post>(post));
+    }
+    obs::timeline_scope section(profiler_, "engine.run");
+    const std::uint64_t before = interactions_;
+    const bool stopped = run_loop(max_interactions, std::forward<Pre>(pre),
+                                  std::forward<Post>(post));
+    profiler_->add_units(interactions_ - before);
+    return stopped;
+  }
+
+  /// Attaches (or with nullptr detaches) an event-counter sink; see
+  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
+  void attach_counters(obs::engine_counters* counters) {
+    counters_ = counters;
+  }
+
+  /// Attaches (or with nullptr detaches) a section profiler; every run()
+  /// call becomes an "engine.run" section carrying the executed
+  /// interactions (including skipped certain nulls) as units.
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
+  }
+
+  std::uint32_t population_size() const { return n_; }
+  std::uint64_t interactions() const { return interactions_; }
+  double parallel_time() const {
+    return static_cast<double>(interactions_) / n_;
+  }
+  /// True iff no maybe-active pair remains; the contract then guarantees
+  /// the configuration is silent.
+  bool quiescent() const { return active_weight() == 0; }
+
+  /// Total weight of maybe-active ordered pairs (0 iff quiescent).
+  std::uint64_t active_weight() const {
+    const std::uint64_t v = buckets_[inert_keys_].size();
+    return weight_.total() + v * (n_ - 1) + (n_ - v) * v;
+  }
+
+  std::span<const agent_state> agents() const { return agents_; }
+  const P& protocol() const { return protocol_; }
+  rng_t& rng() { return rng_; }
+
+ private:
+  template <class Pre, class Post>
+  bool run_loop(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
     const std::uint64_t total = std::uint64_t{n_} * (n_ - 1);
     while (interactions_ < max_interactions) {
       const std::uint64_t active = active_weight();
@@ -312,32 +382,6 @@ class batched_engine<P, true> {
     return false;
   }
 
-  /// Attaches (or with nullptr detaches) an event-counter sink; see
-  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
-  void attach_counters(obs::engine_counters* counters) {
-    counters_ = counters;
-  }
-
-  std::uint32_t population_size() const { return n_; }
-  std::uint64_t interactions() const { return interactions_; }
-  double parallel_time() const {
-    return static_cast<double>(interactions_) / n_;
-  }
-  /// True iff no maybe-active pair remains; the contract then guarantees
-  /// the configuration is silent.
-  bool quiescent() const { return active_weight() == 0; }
-
-  /// Total weight of maybe-active ordered pairs (0 iff quiescent).
-  std::uint64_t active_weight() const {
-    const std::uint64_t v = buckets_[inert_keys_].size();
-    return weight_.total() + v * (n_ - 1) + (n_ - v) * v;
-  }
-
-  std::span<const agent_state> agents() const { return agents_; }
-  const P& protocol() const { return protocol_; }
-  rng_t& rng() { return rng_; }
-
- private:
   std::uint32_t bucket_index(const agent_state& s) const {
     const std::uint32_t k = protocol_.batch_key(s);
     if (k == batch_volatile_key) return inert_keys_;
@@ -416,6 +460,7 @@ class batched_engine<P, true> {
   std::vector<std::uint32_t> pos_;                   // agent -> slot
   detail::pair_weight_tree weight_;                  // same-key pair weights
   obs::engine_counters* counters_ = nullptr;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 /// Generic batched engine: collision-aware block sampling, applied in
@@ -439,6 +484,48 @@ class batched_engine<P, false> {
 
   template <class Pre, class Post>
   bool run(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
+    if (profiler_ == nullptr) {  // detached cost: this one branch per run()
+      return run_loop(max_interactions, std::forward<Pre>(pre),
+                      std::forward<Post>(post));
+    }
+    obs::timeline_scope section(profiler_, "engine.run");
+    const std::uint64_t before = interactions_;
+    const bool stopped = run_loop(max_interactions, std::forward<Pre>(pre),
+                                  std::forward<Post>(post));
+    profiler_->add_units(interactions_ - before);
+    return stopped;
+  }
+
+  /// Attaches (or with nullptr detaches) an event-counter sink; see
+  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
+  void attach_counters(obs::engine_counters* counters) {
+    counters_ = counters;
+  }
+
+  /// Attaches (or with nullptr detaches) a section profiler.  The scheduler
+  /// shares it, so every block draw nests as "batch.draw" under
+  /// "engine.run".
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
+    scheduler_.attach_profiler(profiler);
+  }
+
+  std::uint32_t population_size() const {
+    return protocol_.population_size();
+  }
+  std::uint64_t interactions() const { return interactions_; }
+  double parallel_time() const {
+    return static_cast<double>(interactions_) / population_size();
+  }
+  bool quiescent() const { return false; }
+
+  std::span<const agent_state> agents() const { return agents_; }
+  const P& protocol() const { return protocol_; }
+  rng_t& rng() { return rng_; }
+
+ private:
+  template <class Pre, class Post>
+  bool run_loop(std::uint64_t max_interactions, Pre&& pre, Post&& post) {
     while (interactions_ < max_interactions) {
       const auto batch =
           scheduler_.next_batch(rng_, max_interactions - interactions_);
@@ -458,32 +545,13 @@ class batched_engine<P, false> {
     return false;
   }
 
-  /// Attaches (or with nullptr detaches) an event-counter sink; see
-  /// obs/engine_counters.hpp.  Counters accumulate across run() calls.
-  void attach_counters(obs::engine_counters* counters) {
-    counters_ = counters;
-  }
-
-  std::uint32_t population_size() const {
-    return protocol_.population_size();
-  }
-  std::uint64_t interactions() const { return interactions_; }
-  double parallel_time() const {
-    return static_cast<double>(interactions_) / population_size();
-  }
-  bool quiescent() const { return false; }
-
-  std::span<const agent_state> agents() const { return agents_; }
-  const P& protocol() const { return protocol_; }
-  rng_t& rng() { return rng_; }
-
- private:
   P protocol_;
   std::vector<agent_state> agents_;
   rng_t rng_;
   batch_scheduler scheduler_;
   std::uint64_t interactions_ = 0;
   obs::engine_counters* counters_ = nullptr;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 }  // namespace ssr

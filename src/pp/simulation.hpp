@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "pp/assert.hpp"
 #include "pp/protocol.hpp"
 #include "pp/rng.hpp"
@@ -47,11 +48,21 @@ class simulation {
   /// fired.
   template <class Pred>
   bool run_until(Pred stop, std::uint64_t max_interactions) {
-    while (interactions_ < max_interactions) {
-      step();
-      if (stop(*this)) return true;
+    if (profiler_ == nullptr) {  // detached cost: one branch per call
+      return run_until_loop(stop, max_interactions);
     }
-    return false;
+    obs::timeline_scope section(profiler_, "simulation.run_until");
+    const std::uint64_t before = interactions_;
+    const bool stopped = run_until_loop(stop, max_interactions);
+    profiler_->add_units(interactions_ - before);
+    return stopped;
+  }
+
+  /// Attaches (or with nullptr detaches) a section profiler; run_until
+  /// records a "simulation.run_until" section carrying the executed
+  /// interactions as units.  See obs/timeline.hpp.
+  void attach_profiler(obs::timeline_profiler* profiler) {
+    profiler_ = profiler;
   }
 
   std::uint32_t population_size() const {
@@ -93,11 +104,21 @@ class simulation {
   }
 
  private:
+  template <class Pred>
+  bool run_until_loop(Pred& stop, std::uint64_t max_interactions) {
+    while (interactions_ < max_interactions) {
+      step();
+      if (stop(*this)) return true;
+    }
+    return false;
+  }
+
   P protocol_;
   std::vector<agent_state> agents_;
   rng_t rng_;
   std::uint64_t interactions_ = 0;
   bool last_changed_ = false;
+  obs::timeline_profiler* profiler_ = nullptr;
 };
 
 }  // namespace ssr

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/progress.hpp"
+#include "obs/timeline.hpp"
 #include "pp/rng.hpp"
 
 namespace ssr {
@@ -70,6 +71,12 @@ std::vector<double> run_trials(
     const trial_options& options) {
   std::vector<double> results(count);
 
+  // A default profiler (--profile) forces sequential trials: the section
+  // collector is single-threaded and hardware counter groups are bound to
+  // the profiling thread.
+  obs::timeline_profiler* profiler = obs::profiler_default();
+  const bool parallel = options.parallel && profiler == nullptr;
+
   // The heartbeat needs a registry to watch; fall back to a local one when
   // the caller did not wire metrics through.  Accounting always runs when
   // either consumer (metrics or heartbeat) wants it.
@@ -88,6 +95,7 @@ std::vector<double> run_trials(
   parallel_for_index(
       count,
       [&](std::size_t i) {
+        obs::timeline_scope section(profiler, "trial");
         if (registry == nullptr) {
           results[i] = trial(derive_seed(base_seed, i), options.engine);
           return;
@@ -99,7 +107,7 @@ std::vector<double> run_trials(
         registry->get_histogram("trial.seconds").record(elapsed.count());
         registry->get_counter("trials.completed").add(1);
       },
-      options.parallel);
+      parallel);
   return results;
 }
 

@@ -154,6 +154,86 @@ TEST(ObsMetrics, AbsorbRegistryConcurrently) {
   EXPECT_EQ(snap.count, static_cast<std::uint64_t>(threads * rounds) * 2);
 }
 
+// The production shape of absorb(): run_trials-style workers each own a
+// private registry and fold it into the shared target when they finish,
+// concurrently with each other.  With distinct per-worker contents the
+// folded totals are exact, so any lost or double merge shows up as a wrong
+// count, not just as a TSan report.
+TEST(ObsMetrics, AbsorbDistinctWorkerRegistriesConcurrently) {
+  constexpr int workers = 8;
+  constexpr int folds_per_worker = 25;
+
+  std::vector<metrics_registry> per_worker(workers);
+  for (int t = 0; t < workers; ++t) {
+    per_worker[t].get_counter("worker.items").add(
+        static_cast<std::uint64_t>(t + 1));
+    per_worker[t].get_gauge("params.n").set(64.0);
+    // Distinct sample values per worker so min/max/sum pin the union.
+    per_worker[t].get_histogram("worker.seconds").record(t + 1.0);
+    per_worker[t].get_histogram("worker.seconds").record((t + 1.0) * 10.0);
+  }
+
+  metrics_registry target;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&target, &per_worker, t] {
+      for (int r = 0; r < folds_per_worker; ++r) {
+        target.absorb(per_worker[static_cast<std::size_t>(t)]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // sum(t+1, t=0..7) = 36 items per fold round.
+  EXPECT_EQ(target.get_counter("worker.items").value(),
+            36u * folds_per_worker);
+  EXPECT_DOUBLE_EQ(target.get_gauge("params.n").value(), 64.0);
+  const histogram::snapshot_data snap =
+      target.get_histogram("worker.seconds").snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(workers) * 2 * folds_per_worker);
+  // sum(x + 10x, x=1..8) = 11 * 36 per fold round.
+  EXPECT_DOUBLE_EQ(snap.sum, 11.0 * 36.0 * folds_per_worker);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 80.0);
+}
+
+// merge() summarizes the concatenated streams, so grouping must not
+// matter: ((a+b)+c) and (a+(b+c)) answer quantiles identically up to
+// t-digest interpolation error.  Three disjoint ranges make the combined
+// distribution's quantiles known in closed form.
+TEST(ObsMetrics, SketchMergeIsAssociative) {
+  const auto fill = [](quantile_sketch& s, int lo, int hi) {
+    for (int i = lo; i <= hi; ++i) s.add(i);
+  };
+  quantile_sketch a1, b1, c1, a2, b2, c2;
+  fill(a1, 1, 1000);
+  fill(b1, 1001, 2000);
+  fill(c1, 2001, 3000);
+  fill(a2, 1, 1000);
+  fill(b2, 1001, 2000);
+  fill(c2, 2001, 3000);
+
+  quantile_sketch left_grouped = a1;  // ((a+b)+c)
+  left_grouped.merge(b1);
+  left_grouped.merge(c1);
+  quantile_sketch bc = b2;  // (a+(b+c))
+  bc.merge(c2);
+  quantile_sketch right_grouped = a2;
+  right_grouped.merge(bc);
+
+  ASSERT_EQ(left_grouped.count(), 3000u);
+  ASSERT_EQ(right_grouped.count(), 3000u);
+  for (const double q : {0.01, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const double expected = q * 3000.0;  // uniform 1..3000
+    EXPECT_NEAR(left_grouped.quantile(q), expected, 0.02 * 3000.0) << q;
+    EXPECT_NEAR(left_grouped.quantile(q), right_grouped.quantile(q),
+                0.02 * 3000.0)
+        << q;
+  }
+}
+
 TEST(ObsMetrics, EngineCountersToJsonHasEveryField) {
   engine_counters c;
   c.interactions_executed = 1;

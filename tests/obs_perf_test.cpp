@@ -1,0 +1,125 @@
+// perf_counter_group (obs/perf_counters.hpp) must work wherever the suite
+// runs: bare metal with full perf access, containers where
+// perf_event_paranoid blocks some or all events, and non-Linux stub
+// builds.  The tests therefore assert the *contract* -- per-counter
+// availability flags, a human-readable status, saturating deltas -- and
+// only check counter values on paths that are available here.
+#include "obs/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace ssr::obs {
+namespace {
+
+TEST(ObsPerf, CounterIdsHaveNames) {
+  EXPECT_EQ(to_string(perf_counter_id::cycles), "cycles");
+  EXPECT_EQ(to_string(perf_counter_id::instructions), "instructions");
+  EXPECT_EQ(to_string(perf_counter_id::branch_misses), "branch_misses");
+  EXPECT_EQ(to_string(perf_counter_id::cache_misses), "cache_misses");
+  EXPECT_EQ(to_string(perf_counter_id::task_clock), "task_clock");
+}
+
+TEST(ObsPerf, ValuesArithmeticIsSaturatingAndAndsAvailability) {
+  perf_counter_values before, after;
+  before.value[0] = 100;  // cycles
+  before.available[0] = true;
+  after.value[0] = 350;
+  after.available[0] = true;
+  // instructions available only on one side: the delta must not claim it.
+  after.value[1] = 77;
+  after.available[1] = true;
+
+  const perf_counter_values delta = after - before;
+  EXPECT_TRUE(delta.has(perf_counter_id::cycles));
+  EXPECT_EQ(delta[perf_counter_id::cycles], 250u);
+  EXPECT_FALSE(delta.has(perf_counter_id::instructions));
+
+  // A counter that moved backwards (group re-opened, multiplex glitch)
+  // saturates to 0 instead of wrapping to ~2^64.
+  perf_counter_values regressed = before;
+  regressed.value[0] = 10;
+  const perf_counter_values wrapped = regressed - before;
+  EXPECT_EQ(wrapped[perf_counter_id::cycles], 0u);
+
+  perf_counter_values acc;
+  acc += delta;
+  acc += delta;
+  EXPECT_EQ(acc[perf_counter_id::cycles], 500u);
+  EXPECT_TRUE(acc.any_available());
+}
+
+TEST(ObsPerf, ValuesToJsonEmitsOnlyAvailableCounters) {
+  perf_counter_values v;
+  v.value[1] = 42;  // instructions
+  v.available[1] = true;
+  const json_value j = v.to_json();
+  ASSERT_TRUE(j.is_object());
+  ASSERT_NE(j.find("instructions"), nullptr);
+  EXPECT_EQ(j.find("instructions")->as_uint64(), 42u);
+  EXPECT_EQ(j.find("cycles"), nullptr);
+}
+
+TEST(ObsPerf, GroupConstructsEverywhereAndReportsStatus) {
+  perf_counter_group group;
+  // Whatever the platform allows, the flags and status must be coherent:
+  // available() iff at least one flag is set, and an unavailable group
+  // explains itself.
+  bool any = false;
+  for (const bool flag : group.availability()) any = any || flag;
+  EXPECT_EQ(group.available(), any);
+  if (!group.available()) {
+    EXPECT_FALSE(group.status().empty());
+  }
+
+  const json_value j = group.availability_json();
+  ASSERT_NE(j.find("available"), nullptr);
+  ASSERT_NE(j.find("status"), nullptr);
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    const json_value* flag = j.find("available")->find(
+        to_string(static_cast<perf_counter_id>(i)));
+    ASSERT_NE(flag, nullptr);
+    EXPECT_EQ(flag->as_bool(), group.availability()[i]);
+  }
+}
+
+TEST(ObsPerf, AvailableCountersReadMonotonically) {
+  perf_counter_group group;
+  if (!group.available()) {
+    GTEST_SKIP() << "perf counters unavailable here: " << group.status();
+  }
+  const perf_counter_values first = group.read();
+  // Burn some cycles so every running counter must advance.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
+  const perf_counter_values second = group.read();
+  for (std::size_t i = 0; i < perf_counter_count; ++i) {
+    if (!group.availability()[i]) continue;
+    EXPECT_GE(second.value[i], first.value[i])
+        << to_string(static_cast<perf_counter_id>(i));
+  }
+  const perf_counter_values delta = second - first;
+  if (group.availability()[static_cast<std::size_t>(
+          perf_counter_id::task_clock)]) {
+    EXPECT_GT(delta[perf_counter_id::task_clock], 0u);
+  }
+}
+
+TEST(ObsPerf, DisableEnvForcesStubPath) {
+  ::setenv("SSR_PERF_DISABLE", "1", 1);
+  perf_counter_group group;
+  ::unsetenv("SSR_PERF_DISABLE");
+  EXPECT_FALSE(group.available());
+  for (const bool flag : group.availability()) EXPECT_FALSE(flag);
+  EXPECT_NE(group.status().find("SSR_PERF_DISABLE"), std::string::npos)
+      << group.status();
+  const perf_counter_values v = group.read();
+  EXPECT_FALSE(v.any_available());
+}
+
+}  // namespace
+}  // namespace ssr::obs

@@ -128,6 +128,62 @@ TEST(ObsReport, ValidatorRejectsBrokenDocuments) {
   EXPECT_FALSE(validate_report_json(bad_trials).empty());
 }
 
+TEST(ObsReport, SchemaVersionFormatsWithoutTrailingZeros) {
+  EXPECT_EQ(format_schema_version(1.0), "1");
+  EXPECT_EQ(format_schema_version(2.0), "2");
+  EXPECT_EQ(format_schema_version(2.1), "2.1");
+}
+
+// Writers emit 2.1; v1 and v2 documents from older builds must keep
+// validating, anything else must not.  The "profile" block is the one 2.1
+// addition, so older versions carrying it are corrupt.
+TEST(ObsReport, ValidatorAcceptsEverySupportedSchemaVersion) {
+  const json_value good = make_fixture_report().to_json();
+  ASSERT_NE(good.find("schema_version"), nullptr);
+  EXPECT_DOUBLE_EQ(good.find("schema_version")->as_double(), 2.1);
+
+  // Every fixture row carries samples or a value, so rewinding the version
+  // field alone yields a well-formed older document.
+  for (const double version : {1.0, 2.0, 2.1}) {
+    json_value doc = good;
+    doc["schema_version"] = json_value{version};
+    EXPECT_TRUE(validate_report_json(doc).empty()) << version;
+  }
+  for (const double version : {0.0, 2.2, 3.0}) {
+    json_value doc = good;
+    doc["schema_version"] = json_value{version};
+    EXPECT_FALSE(validate_report_json(doc).empty()) << version;
+  }
+}
+
+TEST(ObsReport, ProfileBlockRequiresSchema21) {
+  bench_report r = make_fixture_report();
+  json_value profile = json_value::object();
+  profile["schema"] = json_value{"ssr.profile"};
+  profile["sections"] = json_value::array();
+  r.profile = profile;
+
+  const json_value with_profile = r.to_json();
+  EXPECT_TRUE(validate_report_json(with_profile).empty());
+
+  json_value downgraded = with_profile;
+  downgraded["schema_version"] = json_value{2.0};
+  const auto problems = validate_report_json(downgraded);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("profile"), std::string::npos);
+
+  json_value bad_type = with_profile;
+  bad_type["profile"] = json_value{"not an object"};
+  EXPECT_FALSE(validate_report_json(bad_type).empty());
+
+  // The block is carried opaquely through parse/serialize.
+  std::string error;
+  const auto back = bench_report::from_json(with_profile, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_TRUE(back->profile.has_value());
+  EXPECT_TRUE(back->to_json() == with_profile);
+}
+
 TEST(ObsReport, FromJsonReportsFirstProblem) {
   json_value broken = make_fixture_report().to_json();
   broken["engine"] = json_value::object();

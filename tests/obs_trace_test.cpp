@@ -55,7 +55,12 @@ TEST(ObsTrace, JsonlHasHeaderAndOneObjectPerEvent) {
   }
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_EQ(lines[0].find("event")->as_string(), "trace_header");
-  EXPECT_EQ(lines[0].find("schema_version")->as_int64(), 1);
+  EXPECT_EQ(lines[0].find("schema")->as_string(), "ssr.trace");
+  EXPECT_EQ(lines[0].find("schema_version")->as_int64(), 2);
+  // v2 stamps the producing revision so offline consumers can join traces
+  // to bench history; "unknown" outside a git checkout, never absent.
+  ASSERT_NE(lines[0].find("git_rev"), nullptr);
+  EXPECT_FALSE(lines[0].find("git_rev")->as_string().empty());
   EXPECT_EQ(lines[1].find("event")->as_string(), "run_start");
   EXPECT_EQ(lines[2].find("event")->as_string(), "phase_transition");
   EXPECT_EQ(lines[2].find("from")->as_string(), "settled");

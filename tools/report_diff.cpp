@@ -95,7 +95,9 @@ int validate(const std::vector<std::string>& paths) {
     if (problems.empty()) {
       const json_value* version = json->find("schema_version");
       std::cout << path << ": valid (schema_version "
-                << (version != nullptr ? version->as_int64() : 0) << ")\n";
+                << ssr::obs::format_schema_version(
+                       version != nullptr ? version->as_double() : 0.0)
+                << ")\n";
     } else {
       all_valid = false;
       std::cout << path << ": INVALID\n";

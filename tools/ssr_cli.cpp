@@ -27,10 +27,13 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/trace_stats.hpp"
 #include "obs/engine_counters.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/progress.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "pp/graph_simulation.hpp"
 #include "protocols/adversary.hpp"
@@ -61,6 +64,9 @@ struct options {
   std::uint64_t trace_sample_every = 1;  // keep every k-th phase transition
   std::size_t trace_cap = 1u << 20;      // trace event buffer cap
   bool progress = false;   // heartbeat on stderr for long runs
+  bool profile = false;    // hierarchical section profiling (wall + perf)
+  std::string profile_out;     // folded-stack output path (implies profile)
+  std::string profile_chrome;  // chrome trace output path (implies profile)
   engine_kind engine = engine_kind::direct;
 
   obs::trace_options trace_options() const {
@@ -75,8 +81,9 @@ constexpr std::string_view cli_flags[] = {
     "--max-time",       "--trace-every", "--show-agents",
     "--dump",           "--load",        "--json",
     "--trace-out",      "--trace-sample-every",
-    "--trace-cap",      "--progress",    "--list-protocols",
-    "--list-scenarios", "--help",
+    "--trace-cap",      "--progress",    "--profile",
+    "--profile-out",    "--profile-chrome",
+    "--list-protocols", "--list-scenarios", "--help",
 };
 
 constexpr std::pair<std::string_view, optimal_silent_scenario>
@@ -138,6 +145,17 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "                         excess events are counted as dropped)\n"
       "  --progress             print a heartbeat line to stderr every few\n"
       "                         seconds (parallel time, interactions/s, ETA)\n"
+      "  --profile              hierarchical section profiling: hardware\n"
+      "                         counters when available, wall time always;\n"
+      "                         the section table lands in the --json summary\n"
+      "                         (requires --graph=complete; runs through the\n"
+      "                         selected engine)\n"
+      "  --profile-out=<file>   also write the profile as a folded-stack\n"
+      "                         file (flamegraph.pl / speedscope); implies\n"
+      "                         --profile\n"
+      "  --profile-chrome=<file>  also write the profile spans as chrome\n"
+      "                         trace-event JSON (Perfetto); implies\n"
+      "                         --profile\n"
       "  --list-protocols       print the protocol names and exit\n"
       "  --list-scenarios       print the per-protocol scenario names and "
       "exit\n";
@@ -224,6 +242,14 @@ options parse(int argc, char** argv) {
     } else if (arg == "--progress") {
       opt.progress = true;
       obs::set_progress_default(true);
+    } else if (arg == "--profile") {
+      opt.profile = true;
+    } else if (auto v = value_of("--profile-out")) {
+      opt.profile = true;
+      opt.profile_out = *v;
+    } else if (auto v = value_of("--profile-chrome")) {
+      opt.profile = true;
+      opt.profile_chrome = *v;
     } else {
       const std::string name = arg.substr(0, arg.find('='));
       std::string message = "unknown argument '" + name + "'";
@@ -238,6 +264,9 @@ options parse(int argc, char** argv) {
   if (!opt.trace_path.empty() && opt.graph != "complete")
     usage("--trace-out requires --graph=complete (tracing attaches to the "
           "engine hook API)");
+  if (opt.profile && opt.graph != "complete")
+    usage("--profile requires --graph=complete (profiling attaches to the "
+          "engine)");
   return opt;
 }
 
@@ -318,6 +347,60 @@ class run_progress {
   std::optional<obs::progress_meter> meter_;
 };
 
+/// Single-run profiling behind --profile: owns the counter group (degraded
+/// gracefully where perf_event_open is restricted) and the section
+/// collector rooted at "run"; the drive loops attach the profiler to their
+/// engine.  finish() writes the requested folded-stack / chrome artifacts
+/// and returns the profile JSON for the --json summary.  A disabled
+/// instance is inert and hands the engine a null profiler.
+class run_profile {
+ public:
+  explicit run_profile(const options& opt) : opt_(&opt) {
+    if (!opt.profile) return;
+    perf_.emplace();
+    if (!perf_->available())
+      std::cerr << "profile: hardware counters unavailable ("
+                << perf_->status() << "); recording wall time only\n";
+    profiler_.emplace(obs::timeline_options{.perf = &*perf_});
+    root_ = profiler_->enter("run");
+  }
+
+  obs::timeline_profiler* profiler() {
+    return profiler_.has_value() ? &*profiler_ : nullptr;
+  }
+
+  /// Closes the root section, writes --profile-out / --profile-chrome, and
+  /// returns the profile block for the --json summary (nullopt when
+  /// profiling is off).
+  std::optional<obs::json_value> finish() {
+    if (!profiler_) return std::nullopt;
+    profiler_->exit(root_);
+    const obs::timeline_profile profile = profiler_->profile();
+    if (!opt_->profile_out.empty()) {
+      std::ofstream out(opt_->profile_out);
+      if (!out) usage("cannot write " + opt_->profile_out);
+      profile.write_folded(out);
+      std::cout << "profile: " << opt_->profile_out << '\n';
+    }
+    if (!opt_->profile_chrome.empty()) {
+      std::ofstream out(opt_->profile_chrome);
+      if (!out) usage("cannot write " + opt_->profile_chrome);
+      out << chrome_profile_json(profile).dump(2) << '\n';
+      std::cout << "profile chrome trace: " << opt_->profile_chrome << '\n';
+    }
+    std::optional<obs::json_value> json = profile.to_json();
+    profiler_.reset();
+    perf_.reset();
+    return json;
+  }
+
+ private:
+  const options* opt_;
+  std::optional<obs::perf_counter_group> perf_;
+  std::optional<obs::timeline_profiler> profiler_;
+  std::uint32_t root_ = 0;
+};
+
 /// Checkpoint window for the drive loops: --trace-every wins; otherwise
 /// --progress forces periodic returns from the engine so the heartbeat
 /// gauges advance; otherwise one full-budget window.
@@ -341,7 +424,9 @@ std::string slurp(const std::string& path) {
 void write_summary(const options& opt, bool stabilized, double time,
                    std::uint64_t interactions,
                    const obs::engine_counters* counters,
-                   const obs::trace_sink* sink) {
+                   const obs::trace_sink* sink,
+                   const std::optional<obs::json_value>& profile =
+                       std::nullopt) {
   if (opt.json_path.empty()) return;
   obs::json_value doc = obs::json_value::object();
   doc["schema_version"] = 1;
@@ -364,6 +449,7 @@ void write_summary(const options& opt, bool stabilized, double time,
     trace["dropped"] = sink->dropped();
     doc["trace"] = std::move(trace);
   }
+  if (profile.has_value()) doc["profile"] = *profile;
   std::ofstream out(opt.json_path);
   if (!out) usage("cannot write " + opt.json_path);
   out << doc.dump(2) << '\n';
@@ -410,6 +496,8 @@ int drive_engine(const options& opt, const P& protocol,
   Engine eng(protocol, std::move(initial), opt.seed);
   obs::engine_counters counters;
   eng.attach_counters(&counters);
+  run_profile prof(opt);
+  eng.attach_profiler(prof.profiler());
   obs::trace_sink sink(opt.trace_options());
   obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
   run_progress progress(opt);
@@ -499,6 +587,7 @@ int drive_engine(const options& opt, const P& protocol,
     }
   }
   progress.finish(eng.parallel_time(), eng.interactions());
+  const std::optional<obs::json_value> profile_json = prof.finish();
 
   if (opt.show_agents) {
     for (std::size_t i = 0; i < eng.agents().size(); ++i)
@@ -506,7 +595,7 @@ int drive_engine(const options& opt, const P& protocol,
                 << describe(protocol, eng.agents()[i]) << '\n';
   }
   write_summary(opt, done, eng.parallel_time(), eng.interactions(),
-                &counters, sink_ptr);
+                &counters, sink_ptr, profile_json);
   if (done) {
     std::cout << "stabilized at t=" << eng.parallel_time() << " ("
               << eng.interactions() << " interactions); leader is the rank-1 "
@@ -579,6 +668,8 @@ int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
   Engine eng(p, std::move(initial), opt.seed);
   obs::engine_counters counters;
   eng.attach_counters(&counters);
+  run_profile prof(opt);
+  eng.attach_profiler(prof.profiler());
   obs::trace_sink sink(opt.trace_options());
   obs::trace_sink* sink_ptr = opt.trace_path.empty() ? nullptr : &sink;
   run_progress progress(opt);
@@ -610,8 +701,9 @@ int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
                eng.interactions()});
     write_trace(sink, opt.trace_path, {});
   }
+  const std::optional<obs::json_value> profile_json = prof.finish();
   write_summary(opt, done, eng.parallel_time(), eng.interactions(),
-                &counters, sink_ptr);
+                &counters, sink_ptr, profile_json);
   return done ? 0 : 1;
 }
 
@@ -623,10 +715,10 @@ int main(int argc, char** argv) {
   const interaction_graph graph = make_graph(opt);
 
   const bool batched = opt.engine == engine_kind::batched;
-  // Tracing attaches to the engine hook API, so a trace request routes even
-  // --engine=direct runs through direct_engine instead of graph_simulation
-  // (parse() already pinned --graph=complete for this case).
-  const bool engine_path = batched || !opt.trace_path.empty();
+  // Tracing and profiling attach to the engine, so either request routes
+  // even --engine=direct runs through direct_engine instead of
+  // graph_simulation (parse() already pinned --graph=complete for these).
+  const bool engine_path = batched || !opt.trace_path.empty() || opt.profile;
   if (opt.protocol == "baseline") {
     silent_n_state_ssr p(opt.n);
     auto init = adversarial_configuration(p, scenario_rng);
