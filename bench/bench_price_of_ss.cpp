@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
             << initialized_tree_ranking::state_count(256)
             << " vs self-stabilizing " << opt_states << " ("
             << format_fixed(static_cast<double>(opt_states) /
-                                initialized_tree_ranking::state_count(256),
+                                static_cast<double>(
+                                    initialized_tree_ranking::state_count(256)),
                             1)
             << "x)\n"
             << "\nAll three columns are Theta(n) (flat t/n): Theorem 4.1's "

@@ -155,7 +155,8 @@ int main(int argc, char** argv) {
     rep.add_samples("fully_dormant", "propagate_reset", n, "", trials, seed,
                     "parallel_time", dormant);
     rep.add_value("clean", "clean_reset_fraction", "propagate_reset", n, "",
-                  static_cast<double>(clean) / trials, "fraction");
+                  static_cast<double>(clean) / static_cast<double>(trials),
+                  "fraction");
   }
   t.print(std::cout);
 

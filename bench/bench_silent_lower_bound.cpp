@@ -88,10 +88,12 @@ int main(int argc, char** argv) {
           static_cast<double>(n) * std::log(static_cast<double>(n)) / 3.0;
       std::size_t over = 0;
       for (const double x : times) over += x >= threshold ? 1 : 0;
+      const double tail_mass =
+          static_cast<double>(over) / static_cast<double>(trials);
       rep.add_value("tail", "tail_mass_alpha_third", "silent_n_state", n, "",
-                    static_cast<double>(over) / trials, "probability");
+                    tail_mass, "probability");
       t.add_row({std::to_string(n), std::to_string(trials),
-                 format_fixed(static_cast<double>(over) / trials, 4),
+                 format_fixed(tail_mass, 4),
                  format_fixed(silent_tail_lower_bound(n, 1.0 / 3.0), 4)});
     }
     t.print(std::cout);

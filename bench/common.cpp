@@ -82,27 +82,41 @@ bench_args parse_bench_args(int argc, char** argv) {
         std::exit(2);
       }
       args.engine = *parsed;
-    } else if (const auto v = value_of("--trials=")) {
+      continue;
+    }
+    if (const auto v = value_of("--trials=")) {
       args.trials = parse_u64_value("--trials", *v);
       if (*args.trials == 0) {
         std::cerr << "error: --trials must be positive\n";
         std::exit(2);
       }
-    } else if (const auto v = value_of("--seed=")) {
-      args.seed = parse_u64_value("--seed", *v);
-    } else if (const auto v = value_of("--out-dir=")) {
-      args.out_dir = *v;
-    } else if (const auto v = value_of("--history-dir=")) {
-      args.history_dir = *v;
-    } else if (arg == "--no-json") {
-      args.write_json = false;
-    } else if (arg == "--progress") {
-      obs::set_progress_default(true);
-    } else if (arg == "--profile") {
-      args.profile = true;
-    } else {
-      reject_flag(arg);
+      continue;
     }
+    if (const auto v = value_of("--seed=")) {
+      args.seed = parse_u64_value("--seed", *v);
+      continue;
+    }
+    if (const auto v = value_of("--out-dir=")) {
+      args.out_dir = *v;
+      continue;
+    }
+    if (const auto v = value_of("--history-dir=")) {
+      args.history_dir = *v;
+      continue;
+    }
+    if (arg == "--no-json") {
+      args.write_json = false;
+      continue;
+    }
+    if (arg == "--progress") {
+      obs::set_progress_default(true);
+      continue;
+    }
+    if (arg == "--profile") {
+      args.profile = true;
+      continue;
+    }
+    reject_flag(arg);
   }
   std::cout << "engine: " << to_string(args.engine) << "\n";
   return args;

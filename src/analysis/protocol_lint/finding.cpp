@@ -1,0 +1,83 @@
+#include "analysis/protocol_lint/finding.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssr::lint {
+namespace {
+
+struct code_names {
+  std::string_view id;
+  std::string_view name;
+};
+
+constexpr std::array<code_names, finding_code_count> kCodes = {{
+    {"L001", "closure-escape"},
+    {"L002", "transition-throw"},
+    {"L003", "nondeterministic-transition"},
+    {"L004", "change-flag-mismatch"},
+    {"L005", "rank-out-of-range"},
+    {"L006", "ranking-not-permutation"},
+    {"L007", "state-count-mismatch"},
+    {"L008", "non-silent-terminal"},
+    {"L009", "not-self-stabilizing"},
+    {"L010", "batch-partition-violation"},
+    {"L011", "unreachable-state"},
+    {"L012", "state-bits-bound"},
+    {"L013", "no-convergence"},
+}};
+
+}  // namespace
+
+std::string_view to_string(finding_code code) {
+  return kCodes[static_cast<std::size_t>(code)].name;
+}
+
+std::string_view code_id(finding_code code) {
+  return kCodes[static_cast<std::size_t>(code)].id;
+}
+
+std::string_view to_string(severity sev) {
+  switch (sev) {
+    case severity::note: return "note";
+    case severity::warning: return "warning";
+    case severity::error: return "error";
+  }
+  return "error";
+}
+
+finding_code parse_finding_code(std::string_view name) {
+  for (std::size_t i = 0; i < kCodes.size(); ++i) {
+    if (kCodes[i].name == name || kCodes[i].id == name)
+      return static_cast<finding_code>(i);
+  }
+  throw std::invalid_argument("unknown finding code: " + std::string(name));
+}
+
+obs::json_value to_json(const finding& f) {
+  obs::json_value v = obs::json_value::object();
+  v["id"] = code_id(f.code);
+  v["code"] = to_string(f.code);
+  v["severity"] = to_string(f.sev);
+  v["protocol"] = f.protocol;
+  v["n"] = static_cast<std::uint64_t>(f.n);
+  v["message"] = f.message;
+  return v;
+}
+
+std::string to_line(const finding& f) {
+  std::ostringstream os;
+  os << to_string(f.sev) << '[' << code_id(f.code) << ' ' << to_string(f.code)
+     << "] " << f.protocol << " n=" << f.n << ": " << f.message;
+  return os.str();
+}
+
+bool contains(const std::vector<finding>& findings, finding_code code) {
+  for (const finding& f : findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+}  // namespace ssr::lint

@@ -1,0 +1,71 @@
+// Finding model of the protocol linter (docs/static_analysis.md).
+//
+// A finding is one violated structural invariant, attributed to a protocol
+// and a population size and carrying a stable machine-readable code.  The
+// codes are part of the tool's contract: tests, the CI gate and downstream
+// scripts match on them, so once published a code keeps its meaning.
+//
+// Severities: `error` is a broken guarantee (the paper's claims or an engine
+// contract); `warning` is a suspicious-but-survivable fact that --strict
+// promotes to an error; `note` is informational (e.g. the dead-state audit
+// reports states that only deserialization can reach) and is never
+// promoted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ssr::lint {
+
+enum class finding_code : std::uint8_t {
+  closure_escape,             // L001 delta left the declared state space
+  transition_throw,           // L002 interact threw on a declared state pair
+  nondeterministic,           // L003 repeated transition gave different results
+  change_flag_mismatch,       // L004 interact() return value vs actual diff
+  rank_out_of_range,          // L005 rank_of outside {0..n}
+  ranking_not_permutation,    // L006 stable/designated ranking has collisions
+  state_count_mismatch,       // L007 inventory size vs declared Table-1 count
+  non_silent_terminal,        // L008 silent claim, but a terminal SCC moves
+  not_self_stabilizing,       // L009 incorrect terminal component reachable
+  batch_partition_violation,  // L010 batched-engine inert-key contract broken
+  unreachable_state,          // L011 declared state no transition produces
+  state_bits_bound,           // L012 per-agent memory audit vs Table 1
+  no_convergence,             // L013 designated run failed to converge
+};
+
+inline constexpr std::size_t finding_code_count = 13;
+
+enum class severity : std::uint8_t { note, warning, error };
+
+/// Stable kebab-case code name, e.g. "closure-escape".
+std::string_view to_string(finding_code code);
+/// Stable numeric id, e.g. "L001".
+std::string_view code_id(finding_code code);
+std::string_view to_string(severity sev);
+/// Parses a kebab-case code name; throws std::invalid_argument on unknown
+/// names (test support).
+finding_code parse_finding_code(std::string_view name);
+
+struct finding {
+  finding_code code = finding_code::closure_escape;
+  severity sev = severity::error;
+  std::string protocol;
+  std::uint32_t n = 0;
+  std::string message;
+};
+
+/// One finding as a JSON object {id, code, severity, protocol, n, message}.
+obs::json_value to_json(const finding& f);
+
+/// "error[L001 closure-escape] baseline n=3: ..." -- the line format the
+/// CLI prints and tests grep.
+std::string to_line(const finding& f);
+
+/// True iff `findings` contains at least one entry with `code`.
+bool contains(const std::vector<finding>& findings, finding_code code);
+
+}  // namespace ssr::lint

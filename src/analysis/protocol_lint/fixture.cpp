@@ -1,0 +1,17 @@
+#include "analysis/protocol_lint/fixture.hpp"
+
+namespace ssr::lint {
+
+std::string_view to_string(fixture_defect defect) {
+  switch (defect) {
+    case fixture_defect::escaping_state: return "escaping-state";
+    case fixture_defect::false_silence: return "false-silence";
+    case fixture_defect::duplicate_rank: return "duplicate-rank";
+    case fixture_defect::rank_overflow: return "rank-overflow";
+    case fixture_defect::stale_change_flag: return "stale-change-flag";
+    case fixture_defect::batch_mixing: return "batch-mixing";
+  }
+  return "unknown";
+}
+
+}  // namespace ssr::lint

@@ -1,0 +1,114 @@
+// Deliberately broken protocols, one structural defect each, used to prove
+// the linter actually catches what it claims to catch
+// (tests/protocol_lint_test.cpp; the CLI lists them under --include-broken).
+//
+// Every fixture is the baseline Silent-n-state-SSR with a single seeded
+// defect; the registry registers them as hidden entries so `protocol_lint
+// --strict` over the visible registry stays green while each fixture trips
+// exactly the check its defect targets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pp/protocol.hpp"
+#include "pp/rng.hpp"
+
+namespace ssr::lint {
+
+/// The seeded defect; each maps to the finding code it must trip.
+enum class fixture_defect : std::uint8_t {
+  escaping_state,     // L001: top rank wraps outside the declared space
+  false_silence,      // L008: a rank-0/rank-1 swap keeps terminal configs hot
+  duplicate_rank,     // L006: output map folds ranks 0 and 1 together
+  rank_overflow,      // L005: output map claims ranks up to n+1
+  stale_change_flag,  // L004: mutates states but always reports "null"
+  batch_mixing,       // L010: adjacent ranks interact despite distinct keys
+};
+
+std::string_view to_string(fixture_defect defect);
+
+/// Silent-n-state-SSR with one seeded defect.  Declares the same n-state
+/// inventory and Table-1 count as the baseline, so every emitted finding is
+/// attributable to the defect alone.
+class broken_fixture_protocol {
+ public:
+  struct agent_state {
+    std::uint32_t rank = 0;  // declared range {0..n-1}
+
+    friend bool operator==(const agent_state&, const agent_state&) = default;
+  };
+
+  broken_fixture_protocol(std::uint32_t n, fixture_defect defect)
+      : n_(n), defect_(defect) {}
+
+  std::uint32_t population_size() const { return n_; }
+  fixture_defect defect() const { return defect_; }
+
+  bool interact(agent_state& a, agent_state& b, rng_t&) const {
+    switch (defect_) {
+      case fixture_defect::escaping_state:
+        if (a.rank != b.rank) return false;
+        b.rank = b.rank + 1 == n_ ? n_ + 7 : b.rank + 1;
+        return true;
+      case fixture_defect::false_silence:
+        if (a.rank == 0 && b.rank == 1) {
+          a.rank = 1;
+          b.rank = 0;
+          return true;
+        }
+        return baseline(a, b);
+      case fixture_defect::stale_change_flag:
+        baseline(a, b);
+        return false;
+      case fixture_defect::batch_mixing:
+        if (a.rank + 1 == b.rank) {
+          b.rank = b.rank + 1 == n_ ? 0 : b.rank + 1;
+          return true;
+        }
+        return baseline(a, b);
+      case fixture_defect::duplicate_rank:
+      case fixture_defect::rank_overflow:
+        return baseline(a, b);
+    }
+    return false;
+  }
+
+  std::uint32_t rank_of(const agent_state& s) const {
+    switch (defect_) {
+      case fixture_defect::duplicate_rank:
+        return s.rank == 0 ? 1 : s.rank;  // folds states 0 and 1 onto rank 1
+      case fixture_defect::rank_overflow:
+        return s.rank + 2;  // top state claims rank n+1
+      default:
+        return s.rank + 1;
+    }
+  }
+
+  std::uint32_t batch_key_count() const { return n_; }
+  std::uint32_t batch_key(const agent_state& s) const {
+    return s.rank < n_ ? s.rank : batch_volatile_key;
+  }
+
+  static std::uint64_t state_count(std::uint32_t n) { return n; }
+
+  std::vector<agent_state> all_states() const {
+    std::vector<agent_state> states(n_);
+    for (std::uint32_t r = 0; r < n_; ++r) states[r].rank = r;
+    return states;
+  }
+
+ private:
+  // The unmodified baseline rule: equal ranks bump the responder (mod n).
+  bool baseline(agent_state& a, agent_state& b) const {
+    if (a.rank != b.rank) return false;
+    b.rank = b.rank + 1 == n_ ? 0 : b.rank + 1;
+    return true;
+  }
+
+  std::uint32_t n_;
+  fixture_defect defect_;
+};
+
+}  // namespace ssr::lint

@@ -1,0 +1,125 @@
+#include "analysis/protocol_lint/lint.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "analysis/table.hpp"
+#include "util/edit_distance.hpp"
+
+namespace ssr::lint {
+namespace {
+
+// "unknown protocol 'basline'; did you mean 'baseline'?" -- shared with the
+// CLIs through resolve_protocols().
+[[noreturn]] void throw_unknown_protocol(const std::string& name) {
+  const std::vector<std::string> names = registry_names(/*include_hidden=*/true);
+  std::vector<std::string_view> views(names.begin(), names.end());
+  const std::string_view near = nearest_candidate(name, views);
+  std::string message = "unknown protocol '" + name + "'";
+  if (!near.empty()) {
+    message += "; did you mean '" + std::string(near) + "'?";
+  }
+  throw std::invalid_argument(message);
+}
+
+std::vector<const protocol_entry*> resolve_protocols(
+    const lint_options& options) {
+  std::vector<const protocol_entry*> entries;
+  if (options.protocols.empty()) {
+    for (const protocol_entry& e : lint_registry()) {
+      if (e.hidden && !options.include_hidden) continue;
+      entries.push_back(&e);
+    }
+    return entries;
+  }
+  for (const std::string& name : options.protocols) {
+    const protocol_entry* e = find_protocol(name);
+    if (e == nullptr) throw_unknown_protocol(name);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace
+
+lint_report run_lint(const lint_options& options) {
+  const std::vector<const protocol_entry*> entries =
+      resolve_protocols(options);
+  lint_report report;
+  report.n_values = options.n_values;
+  for (const protocol_entry* entry : entries) {
+    report.protocols.push_back(entry->name);
+    for (const std::uint32_t n : options.n_values) {
+      lint_context ctx(entry->name, n, &report.findings,
+                       options.cap_per_code);
+      entry->run(n, ctx);
+    }
+  }
+  for (const finding& f : report.findings) {
+    switch (f.sev) {
+      case severity::error: ++report.errors; break;
+      case severity::warning: ++report.warnings; break;
+      case severity::note: ++report.notes; break;
+    }
+  }
+  return report;
+}
+
+obs::json_value to_json(const lint_report& report, bool strict) {
+  obs::json_value root = obs::json_value::object();
+  root["tool"] = "protocol_lint";
+  root["strict"] = strict;
+  obs::json_value protocols = obs::json_value::array();
+  for (const std::string& p : report.protocols) protocols.push_back(p);
+  root["protocols"] = std::move(protocols);
+  obs::json_value sizes = obs::json_value::array();
+  for (const std::uint32_t n : report.n_values) {
+    sizes.push_back(static_cast<std::uint64_t>(n));
+  }
+  root["n"] = std::move(sizes);
+  obs::json_value findings = obs::json_value::array();
+  for (const finding& f : report.findings) findings.push_back(to_json(f));
+  root["findings"] = std::move(findings);
+  obs::json_value summary = obs::json_value::object();
+  summary["errors"] = static_cast<std::uint64_t>(report.errors);
+  summary["warnings"] = static_cast<std::uint64_t>(report.warnings);
+  summary["notes"] = static_cast<std::uint64_t>(report.notes);
+  summary["violations"] =
+      static_cast<std::uint64_t>(report.violations(strict));
+  summary["passed"] = report.passed(strict);
+  root["summary"] = std::move(summary);
+  return root;
+}
+
+std::string render_report(const lint_report& report, bool strict) {
+  std::ostringstream os;
+  text_table table({"protocol", "errors", "warnings", "notes", "verdict"});
+  for (const std::string& name : report.protocols) {
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    for (const finding& f : report.findings) {
+      if (f.protocol != name) continue;
+      switch (f.sev) {
+        case severity::error: ++errors; break;
+        case severity::warning: ++warnings; break;
+        case severity::note: ++notes; break;
+      }
+    }
+    const bool failed = errors > 0 || (strict && warnings > 0);
+    table.add_row({name, std::to_string(errors), std::to_string(warnings),
+                   std::to_string(notes), failed ? "FAIL" : "ok"});
+  }
+  table.print(os);
+  if (!report.findings.empty()) {
+    os << '\n';
+    for (const finding& f : report.findings) os << to_line(f) << '\n';
+  }
+  os << '\n'
+     << (report.passed(strict) ? "PASS" : "FAIL") << ": "
+     << report.violations(strict) << " violation(s), " << report.errors
+     << " error(s), " << report.warnings << " warning(s), " << report.notes
+     << " note(s)\n";
+  return os.str();
+}
+
+}  // namespace ssr::lint

@@ -1,0 +1,52 @@
+// The linted-protocol registry: every protocol the library ships, under a
+// stable CLI name, with its documented claims and the check composition
+// that machine-verifies them (docs/static_analysis.md).
+//
+// Visible entries are the nine protocols the CI gate runs `protocol_lint
+// --strict` over.  Hidden entries are the deliberately broken fixtures
+// (fixture.hpp) that prove each check fires; they are excluded from default
+// runs and selectable with --protocol <name> or --include-broken.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/protocol_lint/checks.hpp"
+
+namespace ssr::lint {
+
+/// What the protocol's documentation claims; drives which checks apply and
+/// is printed by `protocol_lint --list`.
+struct protocol_claims {
+  bool deterministic = false;    // interact() never consults the rng
+  bool enumerable = false;       // all_states() covers the state space
+  bool ranking = false;          // exposes a 1..n rank output map
+  bool batch_countable = false;  // declares the batched-engine partition
+  bool self_stabilizing = false;
+  bool silent = false;
+};
+
+struct protocol_entry {
+  std::string name;     // stable CLI name
+  std::string summary;  // one line for --list
+  protocol_claims claims;
+  bool hidden = false;  // broken fixtures; excluded from default runs
+  /// Runs every applicable check at population size n, emitting findings
+  /// into ctx.
+  std::function<void(std::uint32_t n, lint_context& ctx)> run;
+};
+
+/// The full registry, visible entries first.  Order is stable output order.
+const std::vector<protocol_entry>& lint_registry();
+
+/// Entry lookup by CLI name; nullptr when unknown.
+const protocol_entry* find_protocol(std::string_view name);
+
+/// All registry names in order (visible only unless include_hidden), for
+/// --list and the nearest-name suggestion on unknown protocols.
+std::vector<std::string> registry_names(bool include_hidden);
+
+}  // namespace ssr::lint

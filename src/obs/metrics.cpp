@@ -80,8 +80,8 @@ json_value histogram::to_json() const {
   out["sum"] = json_value{data_.sum};
   out["min"] = json_value{data_.min};
   out["max"] = json_value{data_.max};
-  out["mean"] =
-      json_value{data_.count > 0 ? data_.sum / data_.count : 0.0};
+  out["mean"] = json_value{
+      data_.count > 0 ? data_.sum / static_cast<double>(data_.count) : 0.0};
   out["p50"] = json_value{sketch_.quantile(0.50)};
   out["p90"] = json_value{sketch_.quantile(0.90)};
   out["p99"] = json_value{sketch_.quantile(0.99)};

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "pp/assert.hpp"
 #include "pp/rng.hpp"
 
 namespace ssr {
@@ -87,6 +88,43 @@ bool is_valid_ranking(const P& p,
     seen[r] = true;
   }
   return true;
+}
+
+/// Registration-time spot check, compiled out in release builds (see
+/// SSR_ASSERT): rank range over the declared inventory plus transition
+/// closure on a bounded sample of ordered state pairs.  The protocol linter
+/// (analysis/protocol_lint) is the exhaustive wall; this assert catches
+/// gross protocol/inventory mismatches at the moment a protocol is wired
+/// into a registry or tool, at O(min(k, 24)^2) transition probes.
+template <ranking_protocol P>
+void debug_assert_protocol_registration(
+    const P& p, const std::vector<typename P::agent_state>& all_states) {
+#if defined(SSR_ENABLE_ASSERTS) || !defined(NDEBUG)
+  using state_t = typename P::agent_state;
+  const std::uint32_t n = p.population_size();
+  for (const state_t& s : all_states) SSR_ASSERT(p.rank_of(s) <= n);
+  const std::size_t k = all_states.size();
+  const std::size_t stride = k <= 24 ? 1 : k / 24;
+  auto member = [&](const state_t& s) {
+    for (const state_t& t : all_states) {
+      if (t == s) return true;
+    }
+    return false;
+  };
+  rng_t rng(0x11e97ULL);
+  for (std::size_t a = 0; a < k; a += stride) {
+    for (std::size_t b = 0; b < k; b += stride) {
+      state_t x = all_states[a];
+      state_t y = all_states[b];
+      p.interact(x, y, rng);
+      SSR_ASSERT(member(x));
+      SSR_ASSERT(member(y));
+    }
+  }
+#else
+  (void)p;
+  (void)all_states;
+#endif
 }
 
 /// Leader-election view of a ranking protocol (Section 2, "Leader election

@@ -58,6 +58,11 @@ class initialized_leader_election {
 
   static std::uint64_t state_count(std::uint32_t) { return 2; }
 
+  /// Both states, for exhaustive verification and the protocol linter.
+  std::vector<agent_state> all_states() const {
+    return {agent_state{false}, agent_state{true}};
+  }
+
  private:
   std::uint32_t n_;
 };

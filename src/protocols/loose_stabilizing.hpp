@@ -57,6 +57,19 @@ class loose_stabilizing_le {
     return 2ull * (t_max + 1);
   }
 
+  /// The full state inventory (leader x timer), for exhaustive
+  /// verification and the protocol linter.  Size = state_count(t_max()).
+  std::vector<agent_state> all_states() const {
+    std::vector<agent_state> states;
+    states.reserve(state_count(t_max_));
+    for (const bool leader : {false, true}) {
+      for (std::uint32_t t = 0; t <= t_max_; ++t) {
+        states.push_back({leader, t});
+      }
+    }
+    return states;
+  }
+
   /// All-followers with zero timers: the worst case (no heartbeat anywhere).
   std::vector<agent_state> dead_configuration() const {
     return std::vector<agent_state>(n_);

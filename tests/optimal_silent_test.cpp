@@ -175,7 +175,7 @@ TEST(OptimalSilent, StateCountIsLinear) {
   const auto s32 = optimal_silent_ssr::state_count(32, t32);
   EXPECT_GT(s16, 16u);
   // O(n): doubling n at most ~doubles the state count (log terms aside).
-  EXPECT_LT(static_cast<double>(s32) / s16, 2.5);
+  EXPECT_LT(static_cast<double>(s32) / static_cast<double>(s16), 2.5);
 }
 
 TEST(OptimalSilent, RejectsBadTuning) {

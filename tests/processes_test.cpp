@@ -15,7 +15,8 @@ namespace {
 TEST(Epidemic, CompletesAndCountsInteractions) {
   const epidemic_result r = run_epidemic(64, 1);
   EXPECT_GT(r.interactions, 63u);  // at least n-1 infecting interactions
-  EXPECT_DOUBLE_EQ(r.completion_time, r.interactions / 64.0);
+  EXPECT_DOUBLE_EQ(r.completion_time,
+                   static_cast<double>(r.interactions) / 64.0);
 }
 
 TEST(Epidemic, LogarithmicGrowth) {

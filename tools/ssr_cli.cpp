@@ -27,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/protocol_lint/lint.hpp"
 #include "analysis/trace_stats.hpp"
 #include "obs/engine_counters.hpp"
 #include "obs/json.hpp"
@@ -64,6 +65,7 @@ struct options {
   std::uint64_t trace_sample_every = 1;  // keep every k-th phase transition
   std::size_t trace_cap = 1u << 20;      // trace event buffer cap
   bool progress = false;   // heartbeat on stderr for long runs
+  bool lint = false;       // run the protocol linter before simulating
   bool profile = false;    // hierarchical section profiling (wall + perf)
   std::string profile_out;     // folded-stack output path (implies profile)
   std::string profile_chrome;  // chrome trace output path (implies profile)
@@ -82,8 +84,15 @@ constexpr std::string_view cli_flags[] = {
     "--dump",           "--load",        "--json",
     "--trace-out",      "--trace-sample-every",
     "--trace-cap",      "--progress",    "--profile",
-    "--profile-out",    "--profile-chrome",
+    "--profile-out",    "--profile-chrome", "--lint",
     "--list-protocols", "--list-scenarios", "--help",
+};
+
+constexpr std::string_view protocol_names[] = {
+    "baseline",
+    "optimal",
+    "sublinear",
+    "loose",
 };
 
 constexpr std::pair<std::string_view, optimal_silent_scenario>
@@ -145,6 +154,9 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "                         excess events are counted as dropped)\n"
       "  --progress             print a heartbeat line to stderr every few\n"
       "                         seconds (parallel time, interactions/s, ETA)\n"
+      "  --lint                 run the protocol model linter (strict) on\n"
+      "                         the selected protocol before simulating;\n"
+      "                         exits 1 without simulating on violations\n"
       "  --profile              hierarchical section profiling: hardware\n"
       "                         counters when available, wall time always;\n"
       "                         the section table lands in the --json summary\n"
@@ -201,63 +213,109 @@ options parse(int argc, char** argv) {
     if (arg == "--list-scenarios") list_scenarios();
     if (arg == "--show-agents") {
       opt.show_agents = true;
-    } else if (auto v = value_of("--protocol")) {
+      continue;
+    }
+    if (auto v = value_of("--protocol")) {
       opt.protocol = *v;
-    } else if (auto v = value_of("--n")) {
+      continue;
+    }
+    if (auto v = value_of("--n")) {
       opt.n = static_cast<std::uint32_t>(std::stoul(*v));
-    } else if (auto v = value_of("--h")) {
+      continue;
+    }
+    if (auto v = value_of("--h")) {
       opt.h = static_cast<std::uint32_t>(std::stoul(*v));
-    } else if (auto v = value_of("--t-max")) {
+      continue;
+    }
+    if (auto v = value_of("--t-max")) {
       opt.t_max = static_cast<std::uint32_t>(std::stoul(*v));
-    } else if (auto v = value_of("--scenario")) {
+      continue;
+    }
+    if (auto v = value_of("--scenario")) {
       opt.scenario = *v;
-    } else if (auto v = value_of("--graph")) {
+      continue;
+    }
+    if (auto v = value_of("--graph")) {
       opt.graph = *v;
-    } else if (auto v = value_of("--graph-p")) {
+      continue;
+    }
+    if (auto v = value_of("--graph-p")) {
       opt.graph_p = std::stod(*v);
-    } else if (auto v = value_of("--engine")) {
+      continue;
+    }
+    if (auto v = value_of("--engine")) {
       const auto parsed = parse_engine(*v);
       if (!parsed) usage("unknown engine: " + *v);
       opt.engine = *parsed;
-    } else if (auto v = value_of("--seed")) {
+      continue;
+    }
+    if (auto v = value_of("--seed")) {
       opt.seed = std::stoull(*v);
-    } else if (auto v = value_of("--max-time")) {
+      continue;
+    }
+    if (auto v = value_of("--max-time")) {
       opt.max_time = std::stod(*v);
-    } else if (auto v = value_of("--trace-every")) {
+      continue;
+    }
+    if (auto v = value_of("--trace-every")) {
       opt.trace_every = std::stod(*v);
-    } else if (auto v = value_of("--dump")) {
+      continue;
+    }
+    if (auto v = value_of("--dump")) {
       opt.dump_path = *v;
-    } else if (auto v = value_of("--load")) {
+      continue;
+    }
+    if (auto v = value_of("--load")) {
       opt.load_path = *v;
-    } else if (auto v = value_of("--json")) {
+      continue;
+    }
+    if (auto v = value_of("--json")) {
       opt.json_path = *v;
-    } else if (auto v = value_of("--trace-out")) {
+      continue;
+    }
+    if (auto v = value_of("--trace-out")) {
       opt.trace_path = *v;
-    } else if (auto v = value_of("--trace-sample-every")) {
+      continue;
+    }
+    if (auto v = value_of("--trace-sample-every")) {
       opt.trace_sample_every = std::stoull(*v);
       if (opt.trace_sample_every == 0)
         usage("--trace-sample-every must be >= 1");
-    } else if (auto v = value_of("--trace-cap")) {
+      continue;
+    }
+    if (auto v = value_of("--trace-cap")) {
       opt.trace_cap = static_cast<std::size_t>(std::stoull(*v));
-    } else if (arg == "--progress") {
+      continue;
+    }
+    if (arg == "--progress") {
       opt.progress = true;
       obs::set_progress_default(true);
-    } else if (arg == "--profile") {
+      continue;
+    }
+    if (arg == "--lint") {
+      opt.lint = true;
+      continue;
+    }
+    if (arg == "--profile") {
       opt.profile = true;
-    } else if (auto v = value_of("--profile-out")) {
+      continue;
+    }
+    if (auto v = value_of("--profile-out")) {
       opt.profile = true;
       opt.profile_out = *v;
-    } else if (auto v = value_of("--profile-chrome")) {
+      continue;
+    }
+    if (auto v = value_of("--profile-chrome")) {
       opt.profile = true;
       opt.profile_chrome = *v;
-    } else {
-      const std::string name = arg.substr(0, arg.find('='));
-      std::string message = "unknown argument '" + name + "'";
-      const std::string_view suggestion = nearest_candidate(name, cli_flags);
-      if (!suggestion.empty())
-        message += " (did you mean " + std::string(suggestion) + "?)";
-      usage(message);
+      continue;
     }
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string message = "unknown argument '" + name + "'";
+    const std::string_view suggestion = nearest_candidate(name, cli_flags);
+    if (!suggestion.empty())
+      message += " (did you mean " + std::string(suggestion) + "?)";
+    usage(message);
   }
   if (opt.engine == engine_kind::batched && opt.graph != "complete")
     usage("--engine=batched requires --graph=complete");
@@ -707,10 +765,38 @@ int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
   return done ? 0 : 1;
 }
 
+// Maps the CLI protocol name to the lint-registry entries covering it; the
+// sublinear entries are per history depth, so pick the one matching --h
+// (the linter's sampled checks only run at h <= 2).
+std::vector<std::string> lint_entries_for(const options& opt) {
+  if (opt.protocol == "baseline") return {"baseline"};
+  if (opt.protocol == "optimal") return {"optimal", "optimal-default"};
+  if (opt.protocol == "sublinear")
+    return {"sublinear-h" + std::to_string(std::min<std::uint32_t>(opt.h, 2))};
+  if (opt.protocol == "loose") return {"loose"};
+  return {};
+}
+
+// --lint: run the strict model lint for the selected protocol before
+// simulating; on violations print the findings and refuse to simulate.
+void run_lint_gate(const options& opt) {
+  lint::lint_options lo;
+  lo.protocols = lint_entries_for(opt);
+  if (lo.protocols.empty()) return;  // unknown protocol: reported below
+  const lint::lint_report report = lint::run_lint(lo);
+  if (!report.passed(/*strict=*/true)) {
+    std::cerr << lint::render_report(report, /*strict=*/true);
+    std::cerr << "lint: model violations; refusing to simulate\n";
+    std::exit(1);
+  }
+  std::cout << "lint: PASS (" << report.notes << " note(s))\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const options opt = parse(argc, argv);
+  if (opt.lint) run_lint_gate(opt);
   rng_t scenario_rng(opt.seed ^ 0xabcdef123456ULL);
   const interaction_graph graph = make_graph(opt);
 
@@ -784,5 +870,10 @@ int main(int argc, char** argv) {
                   nullptr, nullptr);
     return done ? 0 : 1;
   }
-  usage("unknown protocol: " + opt.protocol);
+  std::string message = "unknown protocol: " + opt.protocol;
+  const std::string_view suggestion =
+      nearest_candidate(opt.protocol, protocol_names);
+  if (!suggestion.empty())
+    message += " (did you mean " + std::string(suggestion) + "?)";
+  usage(message);
 }

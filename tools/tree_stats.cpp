@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
             << " (" << steps << " steps), still-valid=" << is_valid_ranking(p, sim.agents())
             << "\nmax total nodes " << max_nodes
             << " (avg/agent " << max_nodes / n << "), steady nodes " << cur_nodes
-            << "\nwall " << wall << " s, " << wall / (steps + confirm_steps) * 1e6 << " us/step\n";
+            << "\nwall " << wall << " s, "
+            << wall / static_cast<double>(steps + confirm_steps) * 1e6
+            << " us/step\n";
   return 0;
 }
