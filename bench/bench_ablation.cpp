@@ -43,7 +43,7 @@ optimal_run optimal_run_with(std::uint32_t n,
                              const optimal_silent_ssr::tuning& t,
                              optimal_silent_scenario scenario,
                              std::size_t trials, std::uint64_t seed,
-                             engine_kind engine) {
+                             engine_spec engine) {
   std::vector<double> times(trials), losses(trials);
   parallel_for_index(trials, [&](std::size_t i) {
     optimal_silent_ssr p(n, t);
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   banner("E8: bench_ablation", "design-choice ablations (DESIGN.md §2)",
          "constants hidden in the paper's Theta() terms, made explicit");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E8", "Design-choice ablations");
 
   const std::uint32_t n = 64;

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
          "Theta(n^2) from the lower-bound configuration and from random "
          "configurations");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E5", "Section 2: baseline Theta(n^2) analysis");
 
   std::vector<double> ns, lb_means, rnd_means;

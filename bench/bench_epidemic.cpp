@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
          "E[tau_k] = O(k n^{1/k})");
   const bench_args args = parse_bench_args(argc, argv);
   reporter rep(args, "E6", "Section 2: epidemic / roll call / bounded epidemic");
-  if (args.engine == engine_kind::batched) {
+  if (args.engine.kind != engine_kind::direct) {
     std::cout << "(note: the tool processes have their own specialized "
                  "simulators; the flag\n selects nothing here)\n";
   }

@@ -16,6 +16,7 @@
 #include "analysis/table.hpp"
 #include "common.hpp"
 #include "pp/scheduler.hpp"
+#include "pp/sharded_scheduler.hpp"
 #include "pp/trial.hpp"
 #include "protocols/loose_stabilizing.hpp"
 
@@ -32,7 +33,7 @@ struct loose_outcome {
 
 loose_outcome run_once(std::uint32_t n, std::uint32_t t_max,
                        std::uint64_t seed, double holding_cap,
-                       engine_kind kind) {
+                       engine_spec spec) {
   loose_stabilizing_le p(n, t_max);
 
   const auto drive = [&](auto& eng) {
@@ -63,8 +64,13 @@ loose_outcome run_once(std::uint32_t n, std::uint32_t t_max,
     return out;
   };
 
-  if (kind == engine_kind::direct) {
+  if (spec.kind == engine_kind::direct) {
     direct_engine<loose_stabilizing_le> eng(p, p.dead_configuration(), seed);
+    return drive(eng);
+  }
+  if (spec.kind == engine_kind::sharded) {
+    sharded_engine<loose_stabilizing_le> eng(p, p.dead_configuration(), seed,
+                                             {.shards = spec.shards});
     return drive(eng);
   }
   batched_engine<loose_stabilizing_le> eng(p, p.dead_configuration(), seed);
@@ -79,7 +85,7 @@ int main(int argc, char** argv) {
          "Theta(log n) states buy fast convergence but only a finite "
          "holding time, exponential in the timeout constant");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E11", "Loose stabilization: states vs holding time");
 
   const std::uint32_t n = 64;

@@ -39,7 +39,7 @@ struct phase_breakdown {
 };
 
 phase_breakdown run_phases(std::uint32_t n, optimal_silent_scenario scenario,
-                           std::uint64_t seed, engine_kind kind) {
+                           std::uint64_t seed, engine_spec spec) {
   optimal_silent_ssr p(n);
   rng_t scenario_rng(seed ^ 0x1234);
   std::vector<state_t> agents = adversarial_configuration(p, scenario,
@@ -114,8 +114,12 @@ phase_breakdown run_phases(std::uint32_t n, optimal_silent_scenario scenario,
     out.total = eng.parallel_time();
   };
 
-  if (kind == engine_kind::direct) {
+  if (spec.kind == engine_kind::direct) {
     direct_engine<optimal_silent_ssr> eng(p, std::move(agents), seed);
+    drive(eng);
+  } else if (spec.kind == engine_kind::sharded) {
+    sharded_engine<optimal_silent_ssr> eng(p, std::move(agents), seed,
+                                           {.shards = spec.shards});
     drive(eng);
   } else {
     batched_engine<optimal_silent_ssr> eng(p, std::move(agents), seed);
@@ -145,7 +149,7 @@ int main(int argc, char** argv) {
          "detect O(n) + drain O(log n) + dormant O(n) + rank O(n), with a "
          "constant expected number of reset rounds");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E13", "Section 4 proof-stage decomposition");
 
   for (const auto scenario : {optimal_silent_scenario::duplicated_ranks,

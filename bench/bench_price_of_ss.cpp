@@ -53,7 +53,7 @@ double optimal_clean_mean(std::uint32_t n, std::size_t trials,
 }
 
 double optimal_adversarial_mean(std::uint32_t n, std::size_t trials,
-                                std::uint64_t seed, engine_kind engine) {
+                                std::uint64_t seed, engine_spec engine) {
   const auto times = optimal_silent_times(
       n, trials, seed, optimal_silent_scenario::uniform_random, engine);
   return summarize(times).mean;
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
          "the same Theta(n) tree ranking, with and without the "
          "self-stabilization machinery");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E12", "Price of self-stabilization");
 
   text_table t({"n", "initialized (3n+1 states)", "t/n",

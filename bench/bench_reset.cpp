@@ -14,6 +14,7 @@
 #include "analysis/table.hpp"
 #include "common.hpp"
 #include "pp/scheduler.hpp"
+#include "pp/sharded_scheduler.hpp"
 #include "pp/trial.hpp"
 #include "protocols/propagate_reset.hpp"
 
@@ -63,7 +64,7 @@ struct reset_run {
   bool clean = true;          // every agent reset exactly once
 };
 
-reset_run run_reset(std::uint32_t n, std::uint64_t seed, engine_kind kind) {
+reset_run run_reset(std::uint32_t n, std::uint64_t seed, engine_spec spec) {
   std::vector<toy_agent> agents(n);
   const reset_params params{default_r_max(n), default_r_max(n) + 8};
   trigger_reset(agents[0], params, toy_hooks{});
@@ -108,8 +109,12 @@ reset_run run_reset(std::uint32_t n, std::uint64_t seed, engine_kind kind) {
     for (const auto& a : eng.agents()) out.clean &= a.resets == 1;
   };
 
-  if (kind == engine_kind::direct) {
+  if (spec.kind == engine_kind::direct) {
     direct_engine<toy_reset_protocol> eng(p, std::move(agents), seed);
+    drive(eng);
+  } else if (spec.kind == engine_kind::sharded) {
+    sharded_engine<toy_reset_protocol> eng(p, std::move(agents), seed,
+                                           {.shards = spec.shards});
     drive(eng);
   } else {
     batched_engine<toy_reset_protocol> eng(p, std::move(agents), seed);
@@ -124,7 +129,7 @@ int main(int argc, char** argv) {
   banner("E7: bench_reset", "Section 3 (Propagate-Reset)",
          "completes in O(log n) time; every agent resets exactly once");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E7", "Section 3: Propagate-Reset completion");
 
   text_table t({"n", "trials", "completion mean ± ci", "t/ln n",

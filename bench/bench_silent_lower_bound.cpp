@@ -28,16 +28,16 @@ using namespace ssr::bench;
 std::vector<double> planted_duplicate_times(std::uint32_t n,
                                             std::size_t trials,
                                             std::uint64_t seed,
-                                            engine_kind engine) {
+                                            engine_spec engine) {
   return run_trials(
       trials, seed,
-      [n](std::uint64_t s, engine_kind kind) {
+      [n, engine](std::uint64_t s, engine_kind) {
         silent_n_state_ssr p(n);
         std::vector<silent_n_state_ssr::agent_state> config(n);
         for (std::uint32_t i = 0; i < n; ++i) config[i].rank = i;
         config[1].rank = 0;  // duplicate leader; rank 1 now vacant
-        const auto r = measure_convergence_with(kind, p, std::move(config), s,
-                                                {.max_parallel_time = 1e9});
+        const auto r = measure_convergence_with(engine, p, std::move(config),
+                                                s, {.max_parallel_time = 1e9});
         return r.convergence_time;
       },
       {.parallel = true, .engine = engine});
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
          "silent SSLE: expected >= ~n/3 time; P[time >= alpha n ln n] >= "
          "0.5 n^(-3 alpha)");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E4", "Observation 2.2: silent SSLE lower bound");
 
   {

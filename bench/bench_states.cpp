@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
          "Sublinear exp(O(n^H) log n)");
   const bench_args args = parse_bench_args(argc, argv);
   reporter rep(args, "E3", "Table 1, states column");
-  if (args.engine == engine_kind::batched) {
+  if (args.engine.kind != engine_kind::direct) {
     std::cout << "(note: state counting is arithmetic, no simulation runs; "
                  "the flag selects nothing here)\n";
   }

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   banner("E1: bench_table1", "Table 1, rows 1-3 (time columns)",
          "Theta(n^2) vs Theta(n) [Theta(n log n) WHP] vs Theta(log n)");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E1", "Table 1, rows 1-3 (time columns)");
 
   // -- Silent-n-state-SSR (accelerated exact simulation) -------------------

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
          "agents that are not adjacent can never be detected");
   const bench_args args = parse_bench_args(argc, argv);
   reporter rep(args, "E9", "Complete-graph assumption, quantified");
-  if (args.engine == engine_kind::batched) {
+  if (args.engine.kind != engine_kind::direct) {
     std::cout << "(note: this bench samples interactions from non-complete "
                  "graphs, which only the\n graph simulator supports -- the "
                  "engines assume the uniform complete-graph\n scheduler, so "

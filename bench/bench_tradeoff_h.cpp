@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
          "detection Theta(H n^{1/(H+1)}) for constant H, Theta(log n) at "
          "H=Theta(log n); states exp(O(n^H) log n)");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E2", "Table 1, row 4: H time/space tradeoff");
 
   struct point {

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
          "tail quantiles: baseline collapses under n^2 scaling; "
          "optimal-silent's extreme quantiles stay O(n log n)");
   const bench_args args = parse_bench_args(argc, argv);
-  const engine_kind engine = args.engine;
+  const engine_spec engine = args.engine;
   reporter rep(args, "E14", "Table 1 WHP columns + Corollary 4.2");
 
   {

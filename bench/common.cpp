@@ -18,8 +18,8 @@ namespace ssr::bench {
 namespace {
 
 constexpr std::string_view bench_flags[] = {
-    "--engine",   "--trials",      "--seed",     "--out-dir",
-    "--no-json",  "--history-dir", "--progress", "--profile",
+    "--engine",   "--trials",      "--seed",     "--out-dir",  "--no-json",
+    "--history-dir", "--progress", "--profile",  "--shards",   "--max-n",
 };
 
 [[noreturn]] void reject_flag(std::string_view arg) {
@@ -27,9 +27,9 @@ constexpr std::string_view bench_flags[] = {
   std::cerr << "error: unknown argument '" << name << "'";
   const std::string_view suggestion = nearest_candidate(name, bench_flags);
   if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion << "?)";
-  std::cerr << "\nbenches accept --engine=direct|batched --trials=N --seed=S"
-               " --out-dir=DIR --no-json --history-dir=DIR --progress"
-               " --profile\n";
+  std::cerr << "\nbenches accept --engine=direct|batched|sharded --shards=N"
+               " --trials=N --seed=S --out-dir=DIR --no-json"
+               " --history-dir=DIR --progress --profile --max-n=N\n";
   std::exit(2);
 }
 
@@ -78,10 +78,19 @@ bench_args parse_bench_args(int argc, char** argv) {
       const auto parsed = parse_engine(*v);
       if (!parsed) {
         std::cerr << "error: unknown engine '" << *v
-                  << "' (use --engine=direct|batched)\n";
+                  << "' (use --engine=direct|batched|sharded)\n";
         std::exit(2);
       }
-      args.engine = *parsed;
+      args.engine.kind = *parsed;
+      continue;
+    }
+    if (const auto v = value_of("--shards=")) {
+      args.engine.shards =
+          static_cast<std::uint32_t>(parse_u64_value("--shards", *v));
+      continue;
+    }
+    if (const auto v = value_of("--max-n=")) {
+      args.max_n = parse_u64_value("--max-n", *v);
       continue;
     }
     if (const auto v = value_of("--trials=")) {
@@ -118,7 +127,15 @@ bench_args parse_bench_args(int argc, char** argv) {
     }
     reject_flag(arg);
   }
-  std::cout << "engine: " << to_string(args.engine) << "\n";
+  std::cout << "engine: " << to_string(args.engine.kind);
+  if (args.engine.kind == engine_kind::sharded) {
+    if (args.engine.shards == 0) {
+      std::cout << " (shards: hardware)";
+    } else {
+      std::cout << " (shards: " << args.engine.shards << ")";
+    }
+  }
+  std::cout << "\n";
   return args;
 }
 
@@ -128,7 +145,7 @@ reporter::reporter(const bench_args& args, std::string experiment,
   report_.experiment = std::move(experiment);
   report_.title = std::move(title);
   report_.binary = args_.binary.empty() ? "bench" : args_.binary;
-  report_.engine = std::string(to_string(args_.engine));
+  report_.engine = std::string(to_string(args_.engine.kind));
   report_.argv = args_.argv;
   if (args_.profile) {
     perf_.emplace();
@@ -238,11 +255,14 @@ std::string reporter::finish() {
 }
 
 std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
-                                   std::uint64_t seed, engine_kind engine) {
+                                   std::uint64_t seed, engine_spec engine) {
   obs::timeline_scope phase(obs::profiler_default(), "phase.baseline");
+  // The lambdas receive the engine *kind* through run_trials (its signature
+  // predates engine_spec); the full spec -- shard count included -- rides in
+  // via capture, and kind stays useful for the direct fast path.
   return run_trials(
       trials, seed,
-      [n](std::uint64_t s, engine_kind kind) -> double {
+      [n, engine](std::uint64_t s, engine_kind kind) -> double {
         if (kind == engine_kind::direct) {
           // Seed behavior: the Protocol 1-specialized exact jump simulator.
           rng_t rng(s);
@@ -255,7 +275,7 @@ std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
         silent_n_state_ssr p(n);
         rng_t rng(s);
         auto init = adversarial_configuration(p, rng);
-        const auto r = measure_convergence_with(kind, p, std::move(init),
+        const auto r = measure_convergence_with(engine, p, std::move(init),
                                                 s ^ 0x5bd1e995);
         if (!r.converged)
           throw std::runtime_error("baseline did not converge");
@@ -267,7 +287,7 @@ std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
 std::vector<double> baseline_lower_bound_times(std::uint32_t n,
                                                std::size_t trials,
                                                std::uint64_t seed,
-                                               engine_kind engine) {
+                                               engine_spec engine) {
   obs::timeline_scope phase(obs::profiler_default(),
                             "phase.baseline_lower_bound");
   silent_n_state_ssr p(n);
@@ -276,12 +296,12 @@ std::vector<double> baseline_lower_bound_times(std::uint32_t n,
   for (std::uint32_t i = 0; i < n; ++i) ranks[i] = config[i].rank;
   return run_trials(
       trials, seed,
-      [n, ranks, config](std::uint64_t s, engine_kind kind) -> double {
+      [n, ranks, config, engine](std::uint64_t s, engine_kind kind) -> double {
         if (kind == engine_kind::direct) {
           accelerated_silent_n_state sim(n, ranks, s);
           return sim.run_to_stabilization();
         }
-        const auto r = measure_convergence_with(kind, silent_n_state_ssr(n),
+        const auto r = measure_convergence_with(engine, silent_n_state_ssr(n),
                                                 config, s);
         if (!r.converged)
           throw std::runtime_error("baseline did not converge");
@@ -293,17 +313,17 @@ std::vector<double> baseline_lower_bound_times(std::uint32_t n,
 std::vector<double> optimal_silent_times(std::uint32_t n, std::size_t trials,
                                          std::uint64_t seed,
                                          optimal_silent_scenario scenario,
-                                         engine_kind engine) {
+                                         engine_spec engine) {
   obs::timeline_scope phase(obs::profiler_default(), "phase.optimal_silent");
   return run_trials(
       trials, seed,
-      [=](std::uint64_t s, engine_kind kind) {
+      [=](std::uint64_t s, engine_kind) {
         optimal_silent_ssr p(n);
         rng_t rng(s);
         auto init = adversarial_configuration(p, scenario, rng);
         convergence_options opt;
         opt.max_parallel_time = 1e9;
-        const auto r = measure_convergence_with(kind, p, std::move(init),
+        const auto r = measure_convergence_with(engine, p, std::move(init),
                                                 s ^ 0x9747b28c, opt);
         if (!r.converged)
           throw std::runtime_error("optimal-silent did not converge");
@@ -316,18 +336,18 @@ std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
                                     std::size_t trials, std::uint64_t seed,
                                     sublinear_scenario scenario,
                                     double confirm, bool parallel,
-                                    engine_kind engine) {
+                                    engine_spec engine) {
   obs::timeline_scope phase(obs::profiler_default(), "phase.sublinear");
   return run_trials(
       trials, seed,
-      [=](std::uint64_t s, engine_kind kind) {
+      [=](std::uint64_t s, engine_kind) {
         sublinear_time_ssr p(n, h);
         rng_t rng(s);
         auto init = adversarial_configuration(p, scenario, rng);
         convergence_options opt;
         opt.max_parallel_time = 1e8;
         opt.confirm_parallel_time = confirm;
-        const auto r = measure_convergence_with(kind, p, std::move(init),
+        const auto r = measure_convergence_with(engine, p, std::move(init),
                                                 s ^ 0x85ebca6b, opt);
         if (!r.converged)
           throw std::runtime_error("sublinear did not converge");
@@ -339,7 +359,7 @@ std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
 std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
                                         std::size_t trials,
                                         std::uint64_t seed, bool parallel,
-                                        engine_kind engine) {
+                                        engine_spec engine) {
   obs::timeline_scope phase(obs::profiler_default(), "phase.detection");
   return run_trials(
       trials, seed,
@@ -370,6 +390,13 @@ std::vector<double> detection_latencies(std::uint32_t n, std::uint32_t h,
         if (kind == engine_kind::direct) {
           direct_engine<sublinear_time_ssr> eng(p, std::move(init),
                                                 s ^ 0xc2b2ae35);
+          eng.attach_profiler(obs::profiler_default());
+          return detect(eng);
+        }
+        if (kind == engine_kind::sharded) {
+          sharded_engine<sublinear_time_ssr> eng(p, std::move(init),
+                                                 s ^ 0xc2b2ae35,
+                                                 {.shards = engine.shards});
           eng.attach_profiler(obs::profiler_default());
           return detect(eng);
         }

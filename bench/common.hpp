@@ -6,7 +6,7 @@
 // each binary back to the table/figure it reproduces, and the --engine
 // flag every bench accepts.
 //
-// Engine selection (pp/engine.hpp): each trial helper takes an engine_kind.
+// Engine selection (pp/engine.hpp): each trial helper takes an engine_spec.
 // `direct` keeps the seed behavior: per-interaction stepping, except for
 // the Protocol 1 baseline whose "direct" path has always been the
 // protocol-specialized exact jump simulator (accelerated_silent_n_state) --
@@ -14,7 +14,11 @@
 // interactions and infeasible at bench sizes.  `batched` routes through the
 // unified batched engine, which is distribution-equivalent
 // (tests/engine_equivalence_test.cpp) and the only way to the n >= 10^6
-// regime; bench_engine_scaling quantifies the gap.
+// regime; bench_engine_scaling quantifies the gap.  `sharded` (with
+// --shards=N) splits the population across worker shards -- the trial
+// helpers run its sequential hooked mode (bit-identical trajectories, see
+// pp/sharded_scheduler.hpp), while bench_engine_scaling drives the
+// threaded run_parallel path for throughput.
 #pragma once
 
 #include <chrono>
@@ -39,7 +43,12 @@ void banner(const std::string& experiment, const std::string& artifact,
 
 /// The uniform bench command line (parse_bench_args):
 ///
-///   --engine=direct|batched   engine selection (default direct)
+///   --engine=direct|batched|sharded   engine selection (default direct)
+///   --shards=N                sharded engine worker count (0 = hardware
+///                             concurrency; ignored by other engines)
+///   --max-n=N                 cap the n sweep for benches that scale
+///                             (bench_engine_scaling's shard sweep reaches
+///                             1e8 only when asked; 0 = bench default)
 ///   --trials=N                override every row's trial count
 ///   --seed=S                  override every row's base seed
 ///   --out-dir=DIR             where BENCH_<id>.json is written (default .)
@@ -60,13 +69,14 @@ void banner(const std::string& experiment, const std::string& artifact,
 /// the overrides are optional: row code asks args.trials_or(default) /
 /// args.seed_or(default).
 struct bench_args {
-  engine_kind engine = engine_kind::direct;
+  engine_spec engine = engine_kind::direct;
   std::optional<std::uint64_t> trials;
   std::optional<std::uint64_t> seed;
   std::string out_dir;
   std::string history_dir;
   bool write_json = true;
   bool profile = false;
+  std::uint64_t max_n = 0;  // 0 = bench default cap
   std::string binary;             // argv[0] basename, for the report
   std::vector<std::string> argv;  // original arguments, for the report
 
@@ -140,19 +150,19 @@ class reporter {
 /// configurations.
 std::vector<double> baseline_times(std::uint32_t n, std::size_t trials,
                                    std::uint64_t seed,
-                                   engine_kind engine = engine_kind::direct);
+                                   engine_spec engine = engine_kind::direct);
 
 /// Stabilization times of the baseline from the paper's Omega(n^2)
 /// lower-bound configuration.
 std::vector<double> baseline_lower_bound_times(
     std::uint32_t n, std::size_t trials, std::uint64_t seed,
-    engine_kind engine = engine_kind::direct);
+    engine_spec engine = engine_kind::direct);
 
 /// Convergence times of Optimal-Silent-SSR from a scenario.
 std::vector<double> optimal_silent_times(
     std::uint32_t n, std::size_t trials, std::uint64_t seed,
     optimal_silent_scenario scenario,
-    engine_kind engine = engine_kind::direct);
+    engine_spec engine = engine_kind::direct);
 
 /// Convergence times of Sublinear-Time-SSR from a scenario.  `confirm` is
 /// the extra parallel time correctness must hold (the protocol is
@@ -163,7 +173,7 @@ std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
                                     std::size_t trials, std::uint64_t seed,
                                     sublinear_scenario scenario,
                                     double confirm, bool parallel = true,
-                                    engine_kind engine = engine_kind::direct);
+                                    engine_spec engine = engine_kind::direct);
 
 /// Detection latency of Sublinear-Time-SSR: parallel time from the
 /// single_collision configuration until any agent triggers a reset.  This
@@ -171,7 +181,7 @@ std::vector<double> sublinear_times(std::uint32_t n, std::uint32_t h,
 /// re-ranking phases; Section 5.2 predicts Theta(H * n^{1/(H+1)}).
 std::vector<double> detection_latencies(
     std::uint32_t n, std::uint32_t h, std::size_t trials, std::uint64_t seed,
-    bool parallel = true, engine_kind engine = engine_kind::direct);
+    bool parallel = true, engine_spec engine = engine_kind::direct);
 
 /// "mean ± ci  p90  p99" cells for a sample.
 std::vector<std::string> time_cells(const summary& s);

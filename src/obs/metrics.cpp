@@ -13,6 +13,7 @@ json_value to_json(const engine_counters& c) {
   out["geometric_draws"] = json_value{c.geometric_draws};
   out["quiescent_jumps"] = json_value{c.quiescent_jumps};
   out["batches_drawn"] = json_value{c.batches_drawn};
+  out["shard_rounds"] = json_value{c.shard_rounds};
   return out;
 }
 
@@ -142,6 +143,7 @@ void metrics_registry::absorb(const engine_counters& c) {
   get_counter("engine.geometric_draws").add(c.geometric_draws);
   get_counter("engine.quiescent_jumps").add(c.quiescent_jumps);
   get_counter("engine.batches_drawn").add(c.batches_drawn);
+  get_counter("engine.shard_rounds").add(c.shard_rounds);
 }
 
 void metrics_registry::absorb(const metrics_registry& other) {

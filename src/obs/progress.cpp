@@ -139,9 +139,13 @@ void progress_meter::stop() {
     stopping_ = true;
   }
   cv_.notify_all();
-  // Join unconditionally (not gated on a "first stop" flag): stop() must be
-  // safe from destructors running during exception unwinding, and a second
-  // caller must not return while the meter thread is still alive.
+  // Not gated on a "first stop" flag: stop() must be safe from destructors
+  // running during exception unwinding, and a late caller must not return
+  // while the meter thread is still alive.  The joinable/join pair is not
+  // atomic, so concurrent callers (e.g. shard workers draining a shared
+  // meter) serialize on join_mutex_: the first one joins, the rest block
+  // here until the thread is down and then see joinable() == false.
+  const std::scoped_lock join_lock(join_mutex_);
   if (thread_.joinable()) thread_.join();
 }
 

@@ -74,7 +74,9 @@ class progress_meter {
   progress_meter(const progress_meter&) = delete;
   progress_meter& operator=(const progress_meter&) = delete;
 
-  /// Idempotent; prints nothing further once it returns.
+  /// Idempotent and safe to call from multiple threads concurrently; every
+  /// caller returns only after the meter thread has exited, and nothing is
+  /// printed once any call has returned.
   void stop();
 
  private:
@@ -85,6 +87,10 @@ class progress_meter {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  /// Serializes the join in stop(): exactly one caller joins; later and
+  /// concurrent callers block on this mutex until the thread is down.
+  /// (Checking thread_.joinable() while another thread joins is a race.)
+  std::mutex join_mutex_;
   std::thread thread_;
 };
 

@@ -18,6 +18,14 @@
 // distribution), which is what the distribution-equivalence suite
 // (tests/engine_equivalence_test.cpp) and the fuzz test
 // (tests/batch_scheduler_fuzz_test.cpp) pin down.
+//
+// The draw path is vectorized (pp/simd.hpp): raw RNG words are pre-drawn in
+// chunks, mapped through the Lemire accept rule and divide/modulo pair
+// decode with SIMD kernels, and spilled decoded pairs carry over to the
+// next batch.  Because the accept rule and decode are bit-identical to
+// uniform_below + sample_pair, the emitted pair stream equals the scalar
+// stream word for word (tests/simd_test.cpp pins this end to end); only
+// the RNG's read-ahead position differs.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,7 @@
 #include "obs/timeline.hpp"
 #include "pp/rng.hpp"
 #include "pp/scheduler.hpp"
+#include "pp/simd.hpp"
 
 namespace ssr {
 
@@ -63,12 +72,22 @@ class batch_scheduler {
   std::uint64_t collision_truncations() const { return truncations_; }
 
  private:
+  /// Raw words pre-drawn (and SIMD-mapped) per refill of the decoded-pair
+  /// carry; spilled pairs survive across next_batch calls so no accepted
+  /// draw is ever discarded.
+  static constexpr std::size_t chunk_words = 32;
+
+  void refill_carry(rng_t& rng);
+
   std::uint32_t n_;
   std::uint32_t capacity_;
   std::vector<agent_pair> buffer_;
   // Epoch stamps instead of a bool-vector reset: clearing n flags per batch
   // would cost more than the batch itself at large n.
   std::vector<std::uint64_t> stamp_;
+  simd::u64_divider cols_;  // divide-by-(n-1) reciprocal for the decode
+  std::vector<agent_pair> carry_;  // decoded pairs not yet emitted
+  std::size_t carry_pos_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t pairs_ = 0;
   std::uint64_t batches_ = 0;

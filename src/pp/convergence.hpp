@@ -25,6 +25,7 @@
 #include "pp/protocol.hpp"
 #include "pp/random.hpp"
 #include "pp/scheduler.hpp"
+#include "pp/sharded_scheduler.hpp"
 
 namespace ssr {
 
@@ -192,21 +193,35 @@ convergence_result measure_convergence(
 }
 
 /// Engine-selectable variant: runs the measurement on the requested engine.
-/// Both engines sample the same stabilization-time distribution
+/// All engines sample the same stabilization-time distribution
 /// (tests/engine_equivalence_test.cpp); the batched engine is the one that
-/// reaches n >= 10^6 (see docs/protocol_map.md, "Engines").
+/// reaches n >= 10^6 (see docs/protocol_map.md, "Engines"), and the sharded
+/// engine (spec.shards workers) the one that uses more than one core.  The
+/// measurement needs per-interaction hooks, so the sharded engine runs its
+/// sequential hooked mode here -- the trajectory is bit-identical to the
+/// threaded run_parallel (tests/sharded_scheduler_fuzz_test.cpp).
 template <ranking_protocol P>
 convergence_result measure_convergence_with(
-    engine_kind kind, P protocol, std::vector<typename P::agent_state> initial,
+    engine_spec spec, P protocol, std::vector<typename P::agent_state> initial,
     std::uint64_t seed, const convergence_options& opt = {},
     std::vector<typename P::agent_state>* final_config = nullptr) {
   SSR_REQUIRE(initial.size() == protocol.population_size());
   // Profiling hook: when a bench front end installed a default profiler
   // (--profile), every engine constructed here reports into it.
-  if (kind == engine_kind::direct) {
-    direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
-    engine.attach_profiler(obs::profiler_default());
-    return measure_convergence_run(engine, opt, final_config);
+  switch (spec.kind) {
+    case engine_kind::direct: {
+      direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
+      engine.attach_profiler(obs::profiler_default());
+      return measure_convergence_run(engine, opt, final_config);
+    }
+    case engine_kind::sharded: {
+      sharded_engine<P> engine(std::move(protocol), std::move(initial), seed,
+                               {.shards = spec.shards});
+      engine.attach_profiler(obs::profiler_default());
+      return measure_convergence_run(engine, opt, final_config);
+    }
+    case engine_kind::batched:
+      break;
   }
   batched_engine<P> engine(std::move(protocol), std::move(initial), seed);
   engine.attach_profiler(obs::profiler_default());

@@ -61,18 +61,44 @@
 namespace ssr {
 
 /// Runtime engine selector, shared by run_trials, the bench binaries
-/// (--engine=direct|batched) and ssr_cli.
-enum class engine_kind { direct, batched };
+/// (--engine=direct|batched|sharded) and ssr_cli.
+enum class engine_kind { direct, batched, sharded };
 
 inline constexpr std::string_view to_string(engine_kind kind) {
-  return kind == engine_kind::direct ? "direct" : "batched";
+  switch (kind) {
+    case engine_kind::direct:
+      return "direct";
+    case engine_kind::batched:
+      return "batched";
+    case engine_kind::sharded:
+      return "sharded";
+  }
+  return "direct";
 }
 
 inline std::optional<engine_kind> parse_engine(std::string_view name) {
   if (name == "direct") return engine_kind::direct;
   if (name == "batched") return engine_kind::batched;
+  if (name == "sharded") return engine_kind::sharded;
   return std::nullopt;
 }
+
+/// Engine selection plus its tuning knobs.  Implicitly convertible from
+/// engine_kind so existing call sites (and designated initializers like
+/// {.engine = engine_kind::batched}) keep compiling; sharded-aware callers
+/// spell engine_spec{engine_kind::sharded, shards}.
+struct engine_spec {
+  engine_kind kind = engine_kind::direct;
+  /// Worker shard count for engine_kind::sharded; 0 picks the engine
+  /// default (hardware concurrency).  Ignored by the other engines.
+  std::uint32_t shards = 0;
+
+  constexpr engine_spec() = default;
+  constexpr engine_spec(engine_kind k, std::uint32_t s = 0)  // NOLINT
+      : kind(k), shards(s) {}
+
+  friend bool operator==(const engine_spec&, const engine_spec&) = default;
+};
 
 /// The contract shared by all engines; measurement harnesses
 /// (pp/convergence.hpp) are templated over it.

@@ -30,6 +30,21 @@ constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
   return splitmix64(x);
 }
 
+/// Counter-based splittable stream derivation: maps (base, hi, lo) to a
+/// decorrelated child seed.  The sharded engine keys per-task RNG streams on
+/// (run seed, round index, task index), so a task's stream is a pure
+/// function of its coordinates -- independent of thread count, scheduling
+/// order, or which worker happens to execute it.
+constexpr std::uint64_t derive_stream(std::uint64_t base, std::uint64_t hi,
+                                      std::uint64_t lo) {
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ULL * (hi + 0x632be59bd9b4e019ULL));
+  (void)splitmix64(x);
+  x ^= 0xd1b54a32d192ed03ULL * (lo + 1);
+  // Two further rounds fully avalanche both coordinates into the result.
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 /// xoshiro256++ engine.  Satisfies std::uniform_random_bit_generator.
 class xoshiro256pp {
  public:
@@ -57,9 +72,47 @@ class xoshiro256pp {
     return result;
   }
 
+  /// Advances the state by 2^128 steps (Blackman & Vigna's jump
+  /// polynomial): up to 2^128 non-overlapping subsequences for parallel
+  /// workers that partition one logical stream.
+  constexpr void jump() {
+    constexpr std::uint64_t polynomial[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    apply_jump(polynomial);
+  }
+
+  /// Advances the state by 2^192 steps; each long_jump yields a block that
+  /// itself holds 2^64 jump() subsequences.
+  constexpr void long_jump() {
+    constexpr std::uint64_t polynomial[4] = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+        0x39109bb02acbe635ULL};
+    apply_jump(polynomial);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  constexpr void apply_jump(const std::uint64_t (&polynomial)[4]) {
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : polynomial) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (void)(*this)();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
   }
 
   std::uint64_t state_[4]{};

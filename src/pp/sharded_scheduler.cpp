@@ -1,0 +1,192 @@
+#include "pp/sharded_scheduler.hpp"
+
+#include "pp/simd.hpp"
+
+namespace ssr::detail {
+
+shard_layout shard_layout::build(std::uint32_t n, std::uint32_t shards) {
+  SSR_REQUIRE(n >= 2);
+  SSR_REQUIRE(shards >= 1 && shards <= n);
+  shard_layout layout;
+  layout.n = n;
+  layout.shards = shards;
+  layout.offset.resize(shards + 1);
+  const std::uint32_t base = n / shards;
+  const std::uint32_t extra = n % shards;
+  layout.offset[0] = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    layout.offset[s + 1] = layout.offset[s] + base + (s < extra ? 1 : 0);
+  }
+  // Circle-method round-robin tournament: pad to an even player count with
+  // a dummy, fix the last player, rotate the rest.  Each of the s2-1 slots
+  // pairs every shard at most once, pairs are shard-disjoint within a
+  // slot, and every unordered shard pair appears in exactly one slot;
+  // pairs involving the dummy are dropped (a bye for that shard).
+  const std::uint32_t s2 = shards + (shards & 1U);
+  if (s2 >= 2) {
+    layout.cross_slots.assign(s2 - 1, {});
+    for (std::uint32_t r = 0; r < s2 - 1; ++r) {
+      auto add = [&](std::uint32_t x, std::uint32_t y) {
+        if (x >= shards || y >= shards) return;  // dummy bye
+        if (x > y) std::swap(x, y);
+        layout.cross_slots[r].push_back({x, y});
+      };
+      add(s2 - 1, r);
+      for (std::uint32_t k = 1; k < s2 / 2; ++k) {
+        add((r + k) % (s2 - 1), (r + s2 - 1 - k) % (s2 - 1));
+      }
+    }
+  }
+  return layout;
+}
+
+void plan_shard_round(const shard_layout& layout, rng_t& plan_rng,
+                      std::uint64_t total,
+                      std::vector<std::uint64_t>& weight_scratch,
+                      std::vector<std::uint64_t>& count_scratch,
+                      std::vector<std::vector<shard_task>>& slots) {
+  const std::uint32_t shards = layout.shards;
+  const std::size_t classes = std::size_t{shards} * shards;
+  weight_scratch.resize(classes);
+  count_scratch.assign(classes, 0);
+  for (std::uint32_t a = 0; a < shards; ++a) {
+    const std::uint64_t m_a = layout.size_of(a);
+    for (std::uint32_t b = 0; b < shards; ++b) {
+      const std::uint64_t m_b = layout.size_of(b);
+      weight_scratch[std::size_t{a} * shards + b] =
+          a == b ? m_a * (m_a - 1) : m_a * m_b;
+    }
+  }
+  // The class weights partition the n(n-1) ordered distinct pairs exactly.
+  std::uint64_t weight_left =
+      simd::sum_u64(weight_scratch.data(), weight_scratch.size());
+  SSR_ASSERT(weight_left ==
+             std::uint64_t{layout.n} * (layout.n - 1));
+  // Multinomial counts via sequential binomial conditioning:
+  //   count_c ~ Binomial(remaining, w_c / weight_left),
+  // drawn in fixed class order from the dedicated planning stream, so the
+  // plan is deterministic in (seed, shard count) alone.
+  std::uint64_t remaining = total;
+  for (std::size_t c = 0; c < classes && remaining > 0; ++c) {
+    const std::uint64_t w = weight_scratch[c];
+    if (w == 0) continue;
+    std::uint64_t count = 0;
+    if (w == weight_left) {
+      count = remaining;  // last nonzero class takes the exact rest
+    } else {
+      count = binomial_draw(plan_rng, remaining,
+                            static_cast<double>(w) /
+                                static_cast<double>(weight_left));
+    }
+    count_scratch[c] = count;
+    remaining -= count;
+    weight_left -= w;
+  }
+  SSR_ASSERT(remaining == 0);
+
+  slots.clear();
+  slots.emplace_back();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t count = count_scratch[std::size_t{s} * shards + s];
+    if (count == 0) continue;
+    slots.front().push_back({.diagonal = true,
+                             .a = s,
+                             .b = s,
+                             .count_ab = count,
+                             .count_ba = 0,
+                             .stream = s});
+  }
+  for (const auto& tournament_slot : layout.cross_slots) {
+    std::vector<shard_task> slot;
+    for (const auto& [a, b] : tournament_slot) {
+      const std::uint64_t ab = count_scratch[std::size_t{a} * shards + b];
+      const std::uint64_t ba = count_scratch[std::size_t{b} * shards + a];
+      if (ab + ba == 0) continue;
+      slot.push_back({.diagonal = false,
+                      .a = a,
+                      .b = b,
+                      .count_ab = ab,
+                      .count_ba = ba,
+                      .stream = shards + std::uint64_t{a} * shards + b});
+    }
+    if (!slot.empty()) slots.push_back(std::move(slot));
+  }
+}
+
+shard_executor::shard_executor(std::uint32_t workers) {
+  threads_.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+shard_executor::~shard_executor() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void shard_executor::run_tasks(std::size_t count,
+                               const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  std::unique_lock lock(mutex_);
+  task_ = &task;
+  task_count_ = count;
+  next_claim_ = 0;
+  completed_ = 0;
+  start_cv_.notify_all();
+  // The calling thread participates in the claim loop like any worker.
+  while (next_claim_ < task_count_) {
+    const std::size_t index = next_claim_++;
+    lock.unlock();
+    try {
+      task(index);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      ++completed_;
+      continue;
+    }
+    lock.lock();
+    ++completed_;
+  }
+  done_cv_.wait(lock, [this] { return completed_ == task_count_; });
+  task_ = nullptr;
+  task_count_ = 0;
+  next_claim_ = 0;
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void shard_executor::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    start_cv_.wait(lock, [this] {
+      return stopping_ || next_claim_ < task_count_;
+    });
+    if (stopping_) return;
+    const std::size_t index = next_claim_++;
+    const std::function<void(std::size_t)>* task = task_;
+    lock.unlock();
+    try {
+      (*task)(index);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      ++completed_;
+      if (completed_ == task_count_) done_cv_.notify_all();
+      continue;
+    }
+    lock.lock();
+    ++completed_;
+    if (completed_ == task_count_) done_cv_.notify_all();
+  }
+}
+
+}  // namespace ssr::detail

@@ -97,11 +97,11 @@ std::vector<double> run_trials(
       [&](std::size_t i) {
         obs::timeline_scope section(profiler, "trial");
         if (registry == nullptr) {
-          results[i] = trial(derive_seed(base_seed, i), options.engine);
+          results[i] = trial(derive_seed(base_seed, i), options.engine.kind);
           return;
         }
         const auto start = std::chrono::steady_clock::now();
-        results[i] = trial(derive_seed(base_seed, i), options.engine);
+        results[i] = trial(derive_seed(base_seed, i), options.engine.kind);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
         registry->get_histogram("trial.seconds").record(elapsed.count());

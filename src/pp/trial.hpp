@@ -29,10 +29,11 @@ std::vector<double> run_trials(
 
 /// Options for engine-aware sweeps.  The engine choice rides along with the
 /// parallelism flag so every measurement layer (bench/common, ssr_cli,
-/// one-off sweeps) selects --engine=direct|batched uniformly.
+/// one-off sweeps) selects --engine=direct|batched|sharded uniformly;
+/// engine_spec carries the shard count for the sharded engine.
 struct trial_options {
   bool parallel = true;
-  engine_kind engine = engine_kind::direct;
+  engine_spec engine = engine_kind::direct;
   /// When set, run_trials records "trials.completed" (counter) and
   /// "trial.seconds" (histogram of per-trial wall time) into the registry.
   /// The registry is thread-safe, so this works under parallel execution.
@@ -45,9 +46,11 @@ struct trial_options {
 };
 
 /// Engine-aware overload: `trial(seed, engine)` runs one measurement on the
-/// selected engine.  Seeds are derived exactly as in the base overload, so
-/// for a fixed engine the results are bit-identical regardless of the
-/// parallel flag or thread count (tests/determinism_test.cpp).
+/// selected engine kind.  Seeds are derived exactly as in the base overload,
+/// so for a fixed engine the results are bit-identical regardless of the
+/// parallel flag or thread count (tests/determinism_test.cpp).  Callers
+/// whose measurement depends on the full spec (shard count) capture it in
+/// the closure instead -- see bench/common.cpp.
 std::vector<double> run_trials(
     std::size_t count, std::uint64_t base_seed,
     const std::function<double(std::uint64_t, engine_kind)>& trial,

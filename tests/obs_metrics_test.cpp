@@ -367,6 +367,21 @@ TEST(ObsProgress, MeterStopsCleanlyBeforeFirstInterval) {
   meter.stop();  // idempotent
 }
 
+TEST(ObsProgress, ManyThreadsStopConcurrently) {
+  // Shard workers (or any concurrent driver) may race to shut the heartbeat
+  // down; every stop() must return only after the meter thread exited, with
+  // exactly one caller doing the join.  Runs under TSan via the
+  // concurrency_suites target.
+  for (int round = 0; round < 20; ++round) {
+    metrics_registry registry;
+    progress_meter meter(registry, {.interval_seconds = 60.0});
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) stoppers.emplace_back([&] { meter.stop(); });
+    meter.stop();
+    for (auto& t : stoppers) t.join();
+  }
+}
+
 TEST(ObsProgress, DefaultSwitchRoundTrips) {
   set_progress_default(true);
   EXPECT_TRUE(progress_default());

@@ -14,7 +14,11 @@
 // engine counters); --trace-out writes the structured event stream
 // (obs/trace.hpp) as JSONL.  Tracing observes interactions through the
 // engine hook API, so it requires the complete graph and routes the run
-// through direct_engine/batched_engine per --engine.
+// through direct_engine/batched_engine/sharded_engine per --engine.
+// --engine=sharded runs the sharded engine's sequential hooked mode (the
+// CLI's summaries and verdict need per-interaction hooks); its threaded
+// run_parallel twin is exercised by bench_engine_scaling and the TSan test
+// suite and is bit-identical by construction (pp/sharded_scheduler.hpp).
 //
 // Exit code 0 iff the run reached a correct configuration.
 #include <algorithm>
@@ -70,6 +74,7 @@ struct options {
   std::string profile_out;     // folded-stack output path (implies profile)
   std::string profile_chrome;  // chrome trace output path (implies profile)
   engine_kind engine = engine_kind::direct;
+  std::uint32_t shards = 0;  // sharded engine: 0 = hardware concurrency
 
   obs::trace_options trace_options() const {
     return {.sample_every = trace_sample_every, .max_events = trace_cap};
@@ -79,7 +84,8 @@ struct options {
 constexpr std::string_view cli_flags[] = {
     "--protocol",       "--n",           "--h",
     "--t-max",          "--scenario",    "--graph",
-    "--graph-p",        "--engine",      "--seed",
+    "--graph-p",        "--engine",      "--shards",
+    "--seed",
     "--max-time",       "--trace-every", "--show-agents",
     "--dump",           "--load",        "--json",
     "--trace-out",      "--trace-sample-every",
@@ -133,9 +139,13 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "                         see --list-scenarios)\n"
       "  --graph=complete|ring|star|path|gnp   (baseline/optimal only)\n"
       "  --graph-p=<float>      edge probability for gnp (default 0.9)\n"
-      "  --engine=direct|batched  simulation engine (default direct; the\n"
-      "                         batched engine assumes the uniform complete-\n"
-      "                         graph scheduler, so it needs --graph=complete)\n"
+      "  --engine=direct|batched|sharded  simulation engine (default\n"
+      "                         direct; batched and sharded assume the\n"
+      "                         uniform complete-graph scheduler, so they\n"
+      "                         need --graph=complete)\n"
+      "  --shards=<int>         sharded engine worker shard count (default\n"
+      "                         0 = hardware concurrency; 1 degenerates to\n"
+      "                         the batched path)\n"
       "  --seed=<int>           rng seed (default 1)\n"
       "  --max-time=<float>     parallel-time budget (default 1e7)\n"
       "  --trace-every=<float>  summary every T time units\n"
@@ -249,6 +259,10 @@ options parse(int argc, char** argv) {
       opt.engine = *parsed;
       continue;
     }
+    if (auto v = value_of("--shards")) {
+      opt.shards = static_cast<std::uint32_t>(std::stoul(*v));
+      continue;
+    }
     if (auto v = value_of("--seed")) {
       opt.seed = std::stoull(*v);
       continue;
@@ -317,8 +331,9 @@ options parse(int argc, char** argv) {
       message += " (did you mean " + std::string(suggestion) + "?)";
     usage(message);
   }
-  if (opt.engine == engine_kind::batched && opt.graph != "complete")
-    usage("--engine=batched requires --graph=complete");
+  if (opt.engine != engine_kind::direct && opt.graph != "complete")
+    usage("--engine=" + std::string(to_string(opt.engine)) +
+          " requires --graph=complete");
   if (!opt.trace_path.empty() && opt.graph != "complete")
     usage("--trace-out requires --graph=complete (tracing attaches to the "
           "engine hook API)");
@@ -551,7 +566,19 @@ template <class Engine, class P>
 int drive_engine(const options& opt, const P& protocol,
                  std::vector<typename P::agent_state> initial) {
   initial = resolve_initial(opt, protocol, std::move(initial));
-  Engine eng(protocol, std::move(initial), opt.seed);
+  // The sharded engine takes its shard count at construction; the others
+  // keep the uniform three-argument signature.
+  Engine eng = [&] {
+    if constexpr (requires {
+                    Engine(protocol, std::move(initial), opt.seed,
+                           sharded_options{});
+                  }) {
+      return Engine(protocol, std::move(initial), opt.seed,
+                    sharded_options{.shards = opt.shards});
+    } else {
+      return Engine(protocol, std::move(initial), opt.seed);
+    }
+  }();
   obs::engine_counters counters;
   eng.attach_counters(&counters);
   run_profile prof(opt);
@@ -723,7 +750,17 @@ template <class Engine>
 int drive_loose_engine(const options& opt, const loose_stabilizing_le& p,
                        std::vector<loose_stabilizing_le::agent_state>
                            initial) {
-  Engine eng(p, std::move(initial), opt.seed);
+  Engine eng = [&] {
+    if constexpr (requires {
+                    Engine(p, std::move(initial), opt.seed,
+                           sharded_options{});
+                  }) {
+      return Engine(p, std::move(initial), opt.seed,
+                    sharded_options{.shards = opt.shards});
+    } else {
+      return Engine(p, std::move(initial), opt.seed);
+    }
+  }();
   obs::engine_counters counters;
   eng.attach_counters(&counters);
   run_profile prof(opt);
@@ -801,30 +838,40 @@ int main(int argc, char** argv) {
   const interaction_graph graph = make_graph(opt);
 
   const bool batched = opt.engine == engine_kind::batched;
+  const bool sharded = opt.engine == engine_kind::sharded;
   // Tracing and profiling attach to the engine, so either request routes
   // even --engine=direct runs through direct_engine instead of
   // graph_simulation (parse() already pinned --graph=complete for these).
-  const bool engine_path = batched || !opt.trace_path.empty() || opt.profile;
+  const bool engine_path =
+      batched || sharded || !opt.trace_path.empty() || opt.profile;
   if (opt.protocol == "baseline") {
     silent_n_state_ssr p(opt.n);
     auto init = adversarial_configuration(p, scenario_rng);
-    if (engine_path)
+    if (engine_path) {
+      if (sharded)
+        return drive_engine<sharded_engine<silent_n_state_ssr>>(
+            opt, p, std::move(init));
       return batched
                  ? drive_engine<batched_engine<silent_n_state_ssr>>(
                        opt, p, std::move(init))
                  : drive_engine<direct_engine<silent_n_state_ssr>>(
                        opt, p, std::move(init));
+    }
     return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "optimal") {
     optimal_silent_ssr p(opt.n);
     auto init = adversarial_configuration(
         p, parse_optimal_scenario(opt.scenario), scenario_rng);
-    if (engine_path)
+    if (engine_path) {
+      if (sharded)
+        return drive_engine<sharded_engine<optimal_silent_ssr>>(
+            opt, p, std::move(init));
       return batched ? drive_engine<batched_engine<optimal_silent_ssr>>(
                            opt, p, std::move(init))
                      : drive_engine<direct_engine<optimal_silent_ssr>>(
                            opt, p, std::move(init));
+    }
     return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "sublinear") {
@@ -833,11 +880,15 @@ int main(int argc, char** argv) {
     sublinear_time_ssr p(opt.n, opt.h);
     auto init = adversarial_configuration(
         p, parse_sublinear_scenario(opt.scenario), scenario_rng);
-    if (engine_path)
+    if (engine_path) {
+      if (sharded)
+        return drive_engine<sharded_engine<sublinear_time_ssr>>(
+            opt, p, std::move(init));
       return batched ? drive_engine<batched_engine<sublinear_time_ssr>>(
                            opt, p, std::move(init))
                      : drive_engine<direct_engine<sublinear_time_ssr>>(
                            opt, p, std::move(init));
+    }
     return drive(opt, p, std::move(init), graph);
   }
   if (opt.protocol == "loose") {
@@ -849,11 +900,15 @@ int main(int argc, char** argv) {
     loose_stabilizing_le p(opt.n, t_max);
     auto initial =
         resolve_initial(opt, p, p.dead_configuration());  // --dump/--load
-    if (engine_path)
+    if (engine_path) {
+      if (sharded)
+        return drive_loose_engine<sharded_engine<loose_stabilizing_le>>(
+            opt, p, std::move(initial));
       return batched ? drive_loose_engine<batched_engine<loose_stabilizing_le>>(
                            opt, p, std::move(initial))
                      : drive_loose_engine<direct_engine<loose_stabilizing_le>>(
                            opt, p, std::move(initial));
+    }
     graph_simulation<loose_stabilizing_le> sim(p, graph, std::move(initial),
                                                opt.seed);
     std::cout << "t=0.0: " << summarize_configuration(p, sim.agents())
