@@ -13,6 +13,7 @@
 #include "pp/trial.hpp"
 #include "protocols/silent_n_state.hpp"
 #include "util/edit_distance.hpp"
+#include "util/request_spec.hpp"
 
 namespace ssr::bench {
 namespace {
@@ -62,6 +63,11 @@ void banner(const std::string& experiment, const std::string& artifact,
 
 bench_args parse_bench_args(int argc, char** argv) {
   bench_args args;
+  // --engine/--shards validate through the shared request-spec builder
+  // (util/request_spec.hpp), so the benches reject an unknown engine, a
+  // --shards without --engine=sharded, or an explicit --shards=0 with the
+  // same diagnostics as ssr_cli and ssr_serve -- nothing silently clamps.
+  util::spec_builder engine_builder;
   if (argc > 0) {
     const std::string_view program = argv[0];
     args.binary = program.substr(program.find_last_of('/') + 1);
@@ -75,18 +81,11 @@ bench_args parse_bench_args(int argc, char** argv) {
       return std::nullopt;
     };
     if (const auto v = value_of("--engine=")) {
-      const auto parsed = parse_engine(*v);
-      if (!parsed) {
-        std::cerr << "error: unknown engine '" << *v
-                  << "' (use --engine=direct|batched|sharded)\n";
-        std::exit(2);
-      }
-      args.engine.kind = *parsed;
+      engine_builder.set_engine(*v);
       continue;
     }
     if (const auto v = value_of("--shards=")) {
-      args.engine.shards =
-          static_cast<std::uint32_t>(parse_u64_value("--shards", *v));
+      engine_builder.set_u64_text("shards", *v);
       continue;
     }
     if (const auto v = value_of("--max-n=")) {
@@ -127,6 +126,15 @@ bench_args parse_bench_args(int argc, char** argv) {
     }
     reject_flag(arg);
   }
+  const std::vector<util::spec_error> errors = engine_builder.finalize();
+  for (const util::spec_error& e : errors) {
+    // The builder also validates spec fields the benches fix themselves
+    // (n, trials, ...); only the flags routed through it can error here.
+    if (e.field != "engine" && e.field != "shards") continue;
+    std::cerr << "error: --" << e.field << ": " << e.message << '\n';
+    std::exit(2);
+  }
+  args.engine = engine_builder.spec().engine;
   std::cout << "engine: " << to_string(args.engine.kind);
   if (args.engine.kind == engine_kind::sharded) {
     if (args.engine.shards == 0) {

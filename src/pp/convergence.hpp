@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pp/assert.hpp"
+#include "pp/cancellation.hpp"
 #include "pp/engine.hpp"
 #include "pp/protocol.hpp"
 #include "pp/random.hpp"
@@ -35,6 +36,13 @@ struct convergence_options {
   /// Extra parallel time the configuration must remain correct after
   /// (re-)entering the correct set before we declare stabilization.
   double confirm_parallel_time = 0.0;
+  /// Cooperative cancellation (pp/cancellation.hpp).  When set, the engine
+  /// runs in bounded bursts and the token is polled between them; a fired
+  /// token aborts the measurement with cancelled_error.  Burst boundaries
+  /// never change the trajectory -- engines resume their RNG stream
+  /// exactly -- so a cancellable run is bit-identical to an uncancellable
+  /// one up to the abort point.
+  const cancel_token* cancel = nullptr;
 };
 
 struct convergence_result {
@@ -126,7 +134,14 @@ convergence_result measure_convergence_run(
   bool ever_correct = was_correct;
   std::uint32_t pre_ra = 0, pre_rb = 0;  // captured by the pre hook
 
+  // Cancellation polls at burst boundaries: large enough that the poll is
+  // free relative to the burst, small enough that a deadline is noticed
+  // within tens of milliseconds even on the batched engine.
+  const std::uint64_t cancel_burst =
+      std::max<std::uint64_t>(std::uint64_t{n} * 64, std::uint64_t{1} << 22);
+
   while (engine.interactions() < max_interactions) {
+    if (opt.cancel != nullptr) opt.cancel->throw_if_cancelled();
     if (was_correct &&
         (engine.interactions() - last_entry >= confirm_interactions ||
          engine.quiescent())) {
@@ -136,11 +151,14 @@ convergence_result measure_convergence_run(
     // While correct, run only to the end of the confirmation window; the
     // next loop iteration then declares convergence (matching the historical
     // check-before-step order).
-    const std::uint64_t budget =
+    std::uint64_t budget =
         was_correct
             ? std::min<std::uint64_t>(max_interactions,
                                       last_entry + confirm_interactions)
             : max_interactions;
+    if (opt.cancel != nullptr) {
+      budget = std::min(budget, engine.interactions() + cancel_burst);
+    }
     engine.run(
         budget,
         [&](const agent_pair& pair) {

@@ -96,6 +96,7 @@ std::vector<double> run_trials(
       count,
       [&](std::size_t i) {
         obs::timeline_scope section(profiler, "trial");
+        if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
         if (registry == nullptr) {
           results[i] = trial(derive_seed(base_seed, i), options.engine.kind);
           return;

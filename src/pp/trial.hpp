@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "pp/cancellation.hpp"
 #include "pp/engine.hpp"
 
 namespace ssr {
@@ -43,6 +44,11 @@ struct trial_options {
   /// obs::set_progress_default(true) -- the hook behind the --progress
   /// flags -- without touching call sites.
   bool progress = false;
+  /// Cooperative cancellation (pp/cancellation.hpp): polled before every
+  /// trial; a fired token aborts the sweep with cancelled_error.  The
+  /// serve layer wires per-request deadlines through this.  Trial bodies
+  /// that want finer-grained aborts also pass it to convergence_options.
+  const cancel_token* cancel = nullptr;
 };
 
 /// Engine-aware overload: `trial(seed, engine)` runs one measurement on the

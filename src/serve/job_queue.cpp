@@ -1,0 +1,215 @@
+#include "serve/job_queue.hpp"
+
+#include <exception>
+
+namespace ssr::serve {
+
+bool job_handle::wait_for(std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [&] { return state_ != state::pending; });
+}
+
+void job_handle::wait() const {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return state_ != state::pending; });
+}
+
+job_handle::state job_handle::result_state() const {
+  const std::scoped_lock lock(mutex_);
+  return state_;
+}
+
+std::shared_ptr<const obs::json_value> job_handle::result() const {
+  const std::scoped_lock lock(mutex_);
+  return result_;
+}
+
+std::string job_handle::error() const {
+  const std::scoped_lock lock(mutex_);
+  return error_;
+}
+
+bool job_handle::deadline_expired() const {
+  const std::scoped_lock lock(mutex_);
+  return deadline_expired_;
+}
+
+void job_handle::complete(std::shared_ptr<const obs::json_value> result) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (state_ != state::pending) return;
+    state_ = state::done;
+    result_ = std::move(result);
+  }
+  cv_.notify_all();
+}
+
+void job_handle::fail(std::string error) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (state_ != state::pending) return;
+    state_ = state::failed;
+    error_ = std::move(error);
+  }
+  cv_.notify_all();
+}
+
+void job_handle::cancel(std::string error) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (state_ != state::pending) return;
+    state_ = state::cancelled;
+    error_ = std::move(error);
+    deadline_expired_ = token_.deadline_expired();
+  }
+  cv_.notify_all();
+}
+
+job_queue::job_queue(job_queue_options options,
+                     obs::metrics_registry* registry)
+    : options_(options), registry_(registry) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (registry_ != nullptr) {
+    registry_->get_gauge("serve.queue_depth").set(0.0);
+    registry_->get_gauge("serve.active_workers").set(0.0);
+    registry_->get_gauge("serve.worker_pool")
+        .set(static_cast<double>(options_.workers));
+    registry_->get_gauge("serve.queue_capacity")
+        .set(static_cast<double>(options_.max_depth));
+  }
+  threads_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+job_queue::~job_queue() { shutdown(/*drain=*/false); }
+
+std::shared_ptr<job_handle> job_queue::try_submit(job_work work) {
+  auto handle = std::make_shared<job_handle>();
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!accepting_ || queue_.size() >= options_.max_depth) {
+      if (registry_ != nullptr)
+        registry_->get_counter("serve.jobs_rejected").add(1);
+      return nullptr;
+    }
+    queue_.push_back(queued_job{std::move(work), handle});
+    set_depth_gauge(queue_.size());
+  }
+  if (registry_ != nullptr)
+    registry_->get_counter("serve.jobs_submitted").add(1);
+  cv_.notify_one();
+  return handle;
+}
+
+void job_queue::shutdown(bool drain) {
+  std::deque<queued_job> dropped;
+  {
+    const std::scoped_lock lock(mutex_);
+    accepting_ = false;
+    if (!drain) {
+      dropped.swap(queue_);
+      set_depth_gauge(0);
+      // Abort in-flight work too: the running jobs poll their tokens and
+      // surface as cancelled; joining below would otherwise block on them.
+      for (const std::shared_ptr<job_handle>& handle : running_)
+        handle->token().request_cancel();
+    }
+  }
+  for (queued_job& job : dropped) {
+    job.handle->token().request_cancel();
+    job.handle->cancel("queue shut down before the job ran");
+    if (registry_ != nullptr)
+      registry_->get_counter("serve.jobs_cancelled").add(1);
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+std::size_t job_queue::depth() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t job_queue::active_workers() const {
+  const std::scoped_lock lock(mutex_);
+  return active_;
+}
+
+void job_queue::set_depth_gauge(std::size_t depth) {
+  if (registry_ != nullptr)
+    registry_->get_gauge("serve.queue_depth")
+        .set(static_cast<double>(depth));
+}
+
+void job_queue::worker_loop() {
+  while (true) {
+    queued_job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      set_depth_gauge(queue_.size());
+      ++active_;
+      running_.push_back(job.handle);
+      if (registry_ != nullptr)
+        registry_->get_gauge("serve.active_workers")
+            .set(static_cast<double>(active_));
+    }
+    const std::shared_ptr<job_handle> finished = job.handle;
+    run_job(std::move(job));
+    {
+      const std::scoped_lock lock(mutex_);
+      std::erase(running_, finished);
+      --active_;
+      if (registry_ != nullptr)
+        registry_->get_gauge("serve.active_workers")
+            .set(static_cast<double>(active_));
+    }
+  }
+}
+
+void job_queue::run_job(queued_job job) {
+  // A token fired while the job sat in the queue (deadline, disconnect)
+  // cancels it without ever starting the work.
+  if (job.handle->token().cancelled()) {
+    job.handle->cancel("cancelled before the job ran");
+    if (registry_ != nullptr)
+      registry_->get_counter("serve.jobs_cancelled").add(1);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    std::shared_ptr<const obs::json_value> result =
+        job.work(job.handle->token());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (registry_ != nullptr) {
+      registry_->get_histogram("serve.job_seconds").record(elapsed.count());
+      registry_->get_counter("serve.jobs_completed").add(1);
+    }
+    job.handle->complete(std::move(result));
+  } catch (const cancelled_error&) {
+    job.handle->cancel("run cancelled");
+    if (registry_ != nullptr)
+      registry_->get_counter("serve.jobs_cancelled").add(1);
+  } catch (const std::exception& e) {
+    job.handle->fail(e.what());
+    if (registry_ != nullptr)
+      registry_->get_counter("serve.jobs_failed").add(1);
+  }
+}
+
+}  // namespace ssr::serve

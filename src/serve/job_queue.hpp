@@ -1,0 +1,139 @@
+// Bounded async job queue with a fixed worker pool and admission control.
+//
+// The serve daemon must survive more concurrent clients than cores: CPU
+// work is confined to `workers` threads, waiting requests sit in a queue
+// bounded at `max_depth`, and a submit against a full queue is *rejected*
+// (admission control) instead of buffered -- the caller turns that into a
+// reject-with-retry-after wire response, which keeps tail latency bounded
+// and sheds load at the edge rather than collapsing under it.
+//
+// Each job carries a shared cancel_token (pp/cancellation.hpp): deadlines
+// and client disconnects cancel queued jobs before they ever run and abort
+// running jobs at their next poll.  shutdown(drain=true) stops admission,
+// lets the workers finish everything already accepted, and joins --
+// the graceful path the daemon takes on SIGTERM or a shutdown request.
+//
+// Completion is exposed through a job_handle future: the submitting
+// (connection) thread blocks in wait_for slices, emitting streamed
+// progress events between slices while the worker computes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pp/cancellation.hpp"
+
+namespace ssr::serve {
+
+/// One submitted job's completion state.  The worker fulfills it exactly
+/// once; any number of threads may wait on it.
+class job_handle {
+ public:
+  enum class state : std::uint8_t { pending, done, failed, cancelled };
+
+  /// Blocks up to `timeout` for completion; true iff the job finished
+  /// (in any terminal state) within the window.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+  void wait() const;
+
+  state result_state() const;
+  /// The worker's result (valid in state::done).
+  std::shared_ptr<const obs::json_value> result() const;
+  /// Human-readable failure reason (state::failed / state::cancelled).
+  std::string error() const;
+  /// True when a cancelled job died to its deadline rather than an
+  /// explicit cancel request.
+  bool deadline_expired() const;
+
+  /// The job's cancellation token; the owner side (connection thread,
+  /// admission controller) fires it to abandon the job.
+  cancel_token& token() { return token_; }
+  const cancel_token& token() const { return token_; }
+
+  /// Worker-side completion (exactly one of these, exactly once).
+  void complete(std::shared_ptr<const obs::json_value> result);
+  void fail(std::string error);
+  void cancel(std::string error);
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  state state_ = state::pending;
+  std::shared_ptr<const obs::json_value> result_;
+  std::string error_;
+  bool deadline_expired_ = false;
+  cancel_token token_;
+};
+
+/// What the queue runs: receives the job's token so the work can poll it.
+using job_work = std::function<std::shared_ptr<const obs::json_value>(
+    const cancel_token&)>;
+
+struct job_queue_options {
+  std::size_t workers = 2;
+  /// Maximum *waiting* jobs (running jobs do not count against the bound).
+  std::size_t max_depth = 16;
+};
+
+class job_queue {
+ public:
+  /// `registry` (optional) receives the queue's service-level telemetry:
+  /// serve.queue_depth / serve.active_workers gauges, serve.jobs_* counters
+  /// and the serve.job_seconds latency histogram (p50/p90/p99 via the
+  /// embedded quantile sketch).
+  job_queue(job_queue_options options, obs::metrics_registry* registry);
+  ~job_queue();
+
+  job_queue(const job_queue&) = delete;
+  job_queue& operator=(const job_queue&) = delete;
+
+  /// Admission control: enqueues `work` and returns its handle, or nullptr
+  /// when the queue is saturated (or shutting down) -- the caller sheds the
+  /// request.  Never blocks.
+  std::shared_ptr<job_handle> try_submit(job_work work);
+
+  /// Stops admission; with drain=true runs everything already queued to
+  /// completion, otherwise cancels the queued jobs (running jobs get their
+  /// tokens fired and are awaited either way).  Idempotent; joins the
+  /// workers before returning.
+  void shutdown(bool drain);
+
+  std::size_t depth() const;
+  std::size_t active_workers() const;
+  std::size_t max_depth() const { return options_.max_depth; }
+  std::size_t workers() const { return options_.workers; }
+
+ private:
+  struct queued_job {
+    job_work work;
+    std::shared_ptr<job_handle> handle;
+  };
+
+  void worker_loop();
+  void run_job(queued_job job);
+  void set_depth_gauge(std::size_t depth);
+
+  job_queue_options options_;
+  obs::metrics_registry* registry_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<queued_job> queue_;
+  /// Handles of jobs currently executing, so an immediate shutdown can
+  /// fire their tokens (drain leaves them to finish).
+  std::vector<std::shared_ptr<job_handle>> running_;
+  std::size_t active_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ssr::serve

@@ -1,0 +1,139 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ssr::serve {
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+tcp_listener::~tcp_listener() { close(); }
+
+bool tcp_listener::listen(std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = errno_message("bind");
+    close();
+    return false;
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    if (error != nullptr) *error = errno_message("listen");
+    close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    if (error != nullptr) *error = errno_message("getsockname");
+    close();
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+int tcp_listener::accept_for(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready =
+      ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void tcp_listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+line_socket::~line_socket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool line_socket::read_line(std::string& line) {
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) {
+      if (buffer_.empty()) return false;
+      line.swap(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool line_socket::write_line(const std::string& text) {
+  std::string out = text;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_local(std::uint16_t port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return -1;
+  }
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = errno_message("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace ssr::serve

@@ -1,0 +1,73 @@
+// Minimal POSIX TCP plumbing for the serve daemon and client.
+//
+// The wire format is line-delimited JSON (one document per '\n'-terminated
+// line), so all either side needs is a listener with a poll-based timed
+// accept -- the hook the server's stop flag interrupts -- and a buffered
+// line reader/writer over a connected socket.  IPv4 loopback only: the
+// daemon is a local measurement service, not an internet-facing one
+// (docs/serving.md, "Transport").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ssr::serve {
+
+/// Listening IPv4 TCP socket bound to 127.0.0.1.
+class tcp_listener {
+ public:
+  tcp_listener() = default;
+  ~tcp_listener();
+
+  tcp_listener(const tcp_listener&) = delete;
+  tcp_listener& operator=(const tcp_listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back with port()).  False + `*error` on failure.
+  bool listen(std::uint16_t port, std::string* error);
+
+  /// The bound port (valid after a successful listen()).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout` for a pending connection; returns the accepted
+  /// fd, or -1 on timeout / closed listener.  The bounded wait is what
+  /// lets the accept loop poll its stop flag.
+  int accept_for(std::chrono::milliseconds timeout);
+
+  void close();
+  bool listening() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connected socket with buffered '\n'-delimited line IO.  Owns the fd.
+class line_socket {
+ public:
+  explicit line_socket(int fd) : fd_(fd) {}
+  ~line_socket();
+
+  line_socket(const line_socket&) = delete;
+  line_socket& operator=(const line_socket&) = delete;
+
+  /// Reads the next line (without the terminator) into `line`; false on
+  /// EOF or error.  A final unterminated chunk before EOF counts as a
+  /// line, so `printf '...' | nc`-style clients work.
+  bool read_line(std::string& line);
+
+  /// Writes `text` plus '\n', retrying short writes; false on error.
+  bool write_line(const std::string& text);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Connects to 127.0.0.1:`port`; returns the fd or -1 (with `*error`).
+int connect_local(std::uint16_t port, std::string* error);
+
+}  // namespace ssr::serve

@@ -1,0 +1,66 @@
+#include "serve/result_cache.hpp"
+
+namespace ssr::serve {
+
+result_cache::result_cache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const obs::json_value> result_cache::get(
+    const std::string& fingerprint) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+void result_cache::put(const std::string& fingerprint,
+                       std::shared_ptr<const obs::json_value> result) {
+  if (capacity_ == 0) return;
+  const std::scoped_lock lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(entry{fingerprint, std::move(result)});
+  index_.emplace(fingerprint, lru_.begin());
+}
+
+std::size_t result_cache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t result_cache::hits() const {
+  const std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t result_cache::misses() const {
+  const std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t result_cache::evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return evictions_;
+}
+
+double result_cache::hit_rate() const {
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace ssr::serve

@@ -1,0 +1,69 @@
+// Fingerprint-keyed LRU cache of completed simulation results.
+//
+// SS-LE runs are pure functions of the canonical request spec
+// (util/request_spec.hpp: protocol, n, seeds, engine, ...): seeds are
+// derived deterministically per trial and every engine's trajectory is a
+// pure function of (spec, seed), so caching by the canonical fingerprint
+// is *exact* -- a hit returns bit-identical samples to re-running the
+// request.  That turns repeated sweeps (parameter frontiers, CI replays,
+// dashboards polling the same points) into O(1) lookups.
+//
+// The cache is a plain mutex-guarded LRU over shared_ptr values: lookups
+// hand out refcounted snapshots, so an entry evicted while a response is
+// being serialized stays alive for that response.  Telemetry (hits,
+// misses, evictions, entries) lands in the service's metrics registry via
+// the counters the owner reads off this class.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace ssr::serve {
+
+class result_cache {
+ public:
+  /// `capacity` = maximum retained entries; 0 disables caching entirely
+  /// (every get() misses, put() is a no-op).
+  explicit result_cache(std::size_t capacity);
+
+  /// Returns the cached result for `fingerprint` (refreshing its recency)
+  /// or nullptr on a miss.  Thread-safe.
+  std::shared_ptr<const obs::json_value> get(const std::string& fingerprint);
+
+  /// Inserts (or refreshes) `result` under `fingerprint`, evicting the
+  /// least-recently-used entry when full.  Thread-safe.
+  void put(const std::string& fingerprint,
+           std::shared_ptr<const obs::json_value> result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  /// hits / (hits + misses); 0 when the cache has not been queried yet.
+  double hit_rate() const;
+
+ private:
+  struct entry {
+    std::string fingerprint;
+    std::shared_ptr<const obs::json_value> result;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ssr::serve

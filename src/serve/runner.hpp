@@ -1,0 +1,46 @@
+// Executes one validated simulation request and renders its result JSON.
+//
+// This is the bridge between the service scheduler and the measurement
+// substrate: a validated util::sim_request_spec maps onto the same
+// protocol constructions, adversarial scenarios, and engine selection the
+// bench helpers use (bench/common.cpp), run through run_trials with
+// sequential per-job execution -- the serve worker pool is the
+// concurrency, so one job never fans out internally.
+//
+// Determinism contract: the result document is a pure function of the
+// spec.  Trial seeds derive from spec.seed exactly as in every bench
+// (derive_seed(seed, i)), engines are pure functions of (spec, seed), and
+// the JSON layout contains no timestamps -- which is what lets the result
+// cache serve bit-identical replays.
+//
+// Cancellation: the token is polled between trials (pp/trial.hpp) and
+// between engine bursts (pp/convergence.hpp); a fired token surfaces as
+// cancelled_error, which the job queue maps to a cancelled job.
+#pragma once
+
+#include <memory>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "pp/cancellation.hpp"
+#include "util/request_spec.hpp"
+
+namespace ssr::serve {
+
+/// Runs `spec` to completion and returns the result document:
+///
+///   { "spec": {...},            // canonical echo, defaults materialized
+///     "unit": "parallel_time",
+///     "samples": [...],         // per-trial stabilization times
+///     "stats": { count, mean, stddev, min, max, median, p90, p99 } }
+///
+/// `metrics`, when non-null, receives live trial accounting
+/// (trials.completed counter, trial.seconds histogram) the service's
+/// progress streaming reads.  Throws cancelled_error when `cancel` fires
+/// and std::runtime_error when a trial fails to converge within
+/// spec.max_time.
+std::shared_ptr<const obs::json_value> run_simulation(
+    const util::sim_request_spec& spec, const cancel_token* cancel,
+    obs::metrics_registry* metrics);
+
+}  // namespace ssr::serve

@@ -1,0 +1,74 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace ssr::serve {
+
+server::server(server_options options)
+    : options_(options), service_(options.service) {}
+
+server::~server() {
+  request_stop();
+  listener_.close();
+  for (std::thread& t : connection_threads_)
+    if (t.joinable()) t.join();
+}
+
+bool server::listen(std::string* error) {
+  return listener_.listen(options_.port, error);
+}
+
+void server::run() {
+  using namespace std::chrono_literals;
+  while (!stop_.load(std::memory_order_acquire) &&
+         !service_.shutdown_requested()) {
+    const int fd = listener_.accept_for(100ms);
+    if (fd < 0) continue;
+    const std::scoped_lock lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  listener_.close();
+  // Graceful drain: no new admissions, everything accepted runs out.
+  service_.drain();
+  // Unblock connection readers parked in recv(); their threads then see
+  // EOF and exit, making the joins below bounded.
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connection_threads_)
+    if (t.joinable()) t.join();
+}
+
+void server::serve_connection(int fd) {
+  line_socket socket(fd);
+  std::string line;
+  while (socket.read_line(line)) {
+    if (line.empty()) continue;
+    const obs::json_value response = service_.handle_line(
+        line, [&socket](const obs::json_value& event) {
+          socket.write_line(event.dump());
+        });
+    if (!socket.write_line(response.dump())) break;
+    // The shutdown acknowledgement is the connection's last word; run()
+    // notices the flag within one accept slice.
+    const obs::json_value* type = response.find("type");
+    if (type != nullptr && type->is_string() &&
+        type->as_string() == "shutdown") {
+      break;
+    }
+  }
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    const auto it = std::find(connection_fds_.begin(), connection_fds_.end(),
+                              fd);
+    if (it != connection_fds_.end()) connection_fds_.erase(it);
+  }
+  // line_socket's destructor closes fd.
+}
+
+}  // namespace ssr::serve

@@ -1,0 +1,65 @@
+// TCP front end for the serve service: accept loop, one thread per
+// connection, graceful drain.
+//
+// The accept loop polls in bounded slices so it notices both external
+// stops (request_stop(), wired to SIGINT/SIGTERM by the daemon) and the
+// in-band {"type":"shutdown"} request.  Shutdown is always graceful:
+// admission stops, in-flight jobs run to completion, open connections are
+// shut down at the socket layer to unblock their readers, and every
+// connection thread is joined before run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/service.hpp"
+
+namespace ssr::serve {
+
+struct server_options {
+  service_options service;
+  /// Listen port; 0 picks an ephemeral port (tests read it via port()).
+  std::uint16_t port = 0;
+};
+
+class server {
+ public:
+  explicit server(server_options options);
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Binds the listener.  False + `*error` on failure.
+  bool listen(std::string* error);
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Serves until a shutdown request arrives or request_stop() is called,
+  /// then drains and joins.  Call from a dedicated thread in tests.
+  void run();
+
+  /// Asynchronously asks run() to stop (atomic store only, so a signal
+  /// handler may call it).
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+  service& svc() { return service_; }
+
+ private:
+  void serve_connection(int fd);
+
+  server_options options_;
+  service service_;
+  tcp_listener listener_;
+  std::atomic<bool> stop_{false};
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace ssr::serve

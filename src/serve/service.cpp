@@ -1,0 +1,325 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/progress.hpp"
+#include "serve/runner.hpp"
+#include "util/request_spec.hpp"
+
+namespace ssr::serve {
+namespace {
+
+constexpr std::string_view k_request_types[] = {"run", "stats", "ping",
+                                                "shutdown"};
+
+// Every field a "run" request may carry; anything else is rejected with a
+// nearest-name suggestion so typos ("trails") fail loudly instead of
+// silently running with the default.
+constexpr std::string_view k_run_fields[] = {
+    "type",     "id",    "protocol", "scenario",    "n",
+    "h",        "t_max", "trials",   "seed",        "max_time",
+    "engine",   "shards", "deadline_ms", "progress", "no_cache",
+};
+
+/// Non-negative integral JSON number, exact in a double.
+std::optional<std::uint64_t> as_u64(const obs::json_value& v) {
+  if (!v.is_number()) return std::nullopt;
+  const double d = v.as_double();
+  if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15)
+    return std::nullopt;
+  return static_cast<std::uint64_t>(d);
+}
+
+obs::json_value base_response(const obs::json_value& request,
+                              std::string_view type) {
+  obs::json_value doc = obs::json_value::object();
+  const obs::json_value* id = request.find("id");
+  doc["id"] = id != nullptr ? *id : obs::json_value();
+  doc["type"] = type;
+  return doc;
+}
+
+obs::json_value error_response(const obs::json_value& request,
+                               std::string_view kind, std::string message) {
+  obs::json_value doc = base_response(request, "error");
+  doc["ok"] = false;
+  doc["error"] = kind;
+  doc["message"] = std::move(message);
+  return doc;
+}
+
+obs::json_value field_errors_json(
+    const std::vector<util::spec_error>& errors) {
+  obs::json_value arr = obs::json_value::array();
+  for (const util::spec_error& e : errors) {
+    obs::json_value item = obs::json_value::object();
+    item["field"] = e.field;
+    item["message"] = e.message;
+    arr.push_back(std::move(item));
+  }
+  return arr;
+}
+
+}  // namespace
+
+service::service(service_options options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      queue_(job_queue_options{.workers = options.workers,
+                               .max_depth = options.max_queue_depth},
+             &metrics_) {}
+
+service::~service() { queue_.shutdown(/*drain=*/false); }
+
+obs::json_value service::handle_line(std::string_view line,
+                                     const event_sink& sink) {
+  std::string parse_error;
+  const std::optional<obs::json_value> request =
+      obs::json_value::parse(line, &parse_error);
+  if (!request.has_value()) {
+    return error_response(obs::json_value::object(), "invalid_request",
+                          "malformed JSON: " + parse_error);
+  }
+  return handle(*request, sink);
+}
+
+obs::json_value service::handle(const obs::json_value& request,
+                                const event_sink& sink) {
+  if (!request.is_object()) {
+    return error_response(obs::json_value::object(), "invalid_request",
+                          "request must be a JSON object");
+  }
+  const obs::json_value* type = request.find("type");
+  if (type == nullptr || !type->is_string()) {
+    return error_response(request, "invalid_request",
+                          "request needs a string \"type\" field");
+  }
+  const std::string& name = type->as_string();
+  if (name == "run") return handle_run(request, sink);
+  if (name == "stats") {
+    obs::json_value doc = base_response(request, "stats");
+    doc["ok"] = true;
+    doc["stats"] = stats_document();
+    return doc;
+  }
+  if (name == "ping") {
+    obs::json_value doc = base_response(request, "pong");
+    doc["ok"] = true;
+    return doc;
+  }
+  if (name == "shutdown") {
+    shutdown_requested_.store(true, std::memory_order_release);
+    obs::json_value doc = base_response(request, "shutdown");
+    doc["ok"] = true;
+    doc["draining"] = true;
+    return doc;
+  }
+  return error_response(
+      request, "invalid_request",
+      util::unknown_name_message("request type", name, k_request_types));
+}
+
+obs::json_value service::handle_run(const obs::json_value& request,
+                                    const event_sink& sink) {
+  util::spec_builder builder;
+  std::vector<util::spec_error> errors;
+  bool want_progress = false;
+  bool no_cache = false;
+  std::optional<std::uint64_t> deadline_ms;
+
+  for (const auto& [field, value] : request.members()) {
+    const auto bad_u64 = [&] {
+      errors.push_back({field, "must be a non-negative integer"});
+    };
+    if (field == "type" || field == "id") continue;
+    if (field == "protocol" || field == "scenario" || field == "engine") {
+      if (!value.is_string()) {
+        errors.push_back({field, "must be a string"});
+        continue;
+      }
+      if (field == "protocol") builder.set_protocol(value.as_string());
+      if (field == "scenario") builder.set_scenario(value.as_string());
+      if (field == "engine") builder.set_engine(value.as_string());
+      continue;
+    }
+    if (field == "n" || field == "h" || field == "t_max" ||
+        field == "trials" || field == "seed" || field == "shards" ||
+        field == "deadline_ms") {
+      const std::optional<std::uint64_t> u = as_u64(value);
+      if (!u.has_value()) {
+        bad_u64();
+        continue;
+      }
+      if (field == "n") builder.set_n(*u);
+      if (field == "h") builder.set_h(*u);
+      if (field == "t_max") builder.set_t_max(*u);
+      if (field == "trials") builder.set_trials(*u);
+      if (field == "seed") builder.set_seed(*u);
+      if (field == "shards") builder.set_shards(*u);
+      if (field == "deadline_ms") deadline_ms = *u;
+      continue;
+    }
+    if (field == "max_time") {
+      if (!value.is_number()) {
+        errors.push_back({field, "must be a number"});
+        continue;
+      }
+      builder.set_max_time(value.as_double());
+      continue;
+    }
+    if (field == "progress" || field == "no_cache") {
+      if (!value.is_bool()) {
+        errors.push_back({field, "must be a boolean"});
+        continue;
+      }
+      if (field == "progress") want_progress = value.as_bool();
+      if (field == "no_cache") no_cache = value.as_bool();
+      continue;
+    }
+    errors.push_back(
+        {field, util::unknown_name_message("request field", field,
+                                           k_run_fields)});
+  }
+
+  std::vector<util::spec_error> spec_errors = builder.finalize();
+  errors.insert(errors.end(), spec_errors.begin(), spec_errors.end());
+  if (!errors.empty()) {
+    obs::json_value doc =
+        error_response(request, "invalid_request",
+                       "invalid request: " + util::render_errors(errors));
+    doc["field_errors"] = field_errors_json(errors);
+    return doc;
+  }
+
+  const util::sim_request_spec spec = builder.spec();
+  const std::string fingerprint = spec.canonical();
+
+  if (!no_cache) {
+    if (std::shared_ptr<const obs::json_value> cached =
+            cache_.get(fingerprint)) {
+      metrics_.get_counter("serve.cache_hits").add(1);
+      obs::json_value doc = base_response(request, "result");
+      doc["ok"] = true;
+      doc["cached"] = true;
+      doc["fingerprint"] = fingerprint;
+      doc["result"] = *cached;
+      return doc;
+    }
+    metrics_.get_counter("serve.cache_misses").add(1);
+  }
+
+  // Per-job registry: the worker's run_trials accounting lands here, and
+  // the connection thread reads it back out for progress events without
+  // mixing trials across concurrent jobs.
+  auto job_metrics = std::make_shared<obs::metrics_registry>();
+  std::shared_ptr<job_handle> handle =
+      queue_.try_submit([spec, job_metrics](const cancel_token& token) {
+        return run_simulation(spec, &token, job_metrics.get());
+      });
+  if (handle == nullptr) {
+    obs::json_value doc = error_response(
+        request, "saturated",
+        "job queue is full; retry after the suggested backoff");
+    doc["retry_after_ms"] =
+        static_cast<std::uint64_t>(options_.retry_after.count());
+    return doc;
+  }
+  if (deadline_ms.has_value()) {
+    handle->token().set_deadline_after(
+        std::chrono::milliseconds(*deadline_ms));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!handle->wait_for(options_.poll_interval)) {
+    if (want_progress && sink) {
+      const obs::progress_sample sample =
+          obs::read_progress_sample(job_metrics->snapshot());
+      obs::json_value event = base_response(request, "progress");
+      event["trials_completed"] =
+          static_cast<std::uint64_t>(sample.trials_completed);
+      event["trials_total"] = spec.trials;
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      event["elapsed_ms"] = std::floor(elapsed.count());
+      sink(event);
+    }
+  }
+
+  switch (handle->result_state()) {
+    case job_handle::state::done: {
+      std::shared_ptr<const obs::json_value> result = handle->result();
+      if (!no_cache) cache_.put(fingerprint, result);
+      obs::json_value doc = base_response(request, "result");
+      doc["ok"] = true;
+      doc["cached"] = false;
+      doc["fingerprint"] = fingerprint;
+      doc["result"] = *result;
+      return doc;
+    }
+    case job_handle::state::cancelled:
+      return error_response(request,
+                            handle->deadline_expired() ? "deadline_exceeded"
+                                                       : "cancelled",
+                            handle->error());
+    case job_handle::state::failed:
+    case job_handle::state::pending:
+      break;
+  }
+  return error_response(request, "run_failed", handle->error());
+}
+
+obs::json_value service::stats_document() {
+  obs::json_value stats = obs::json_value::object();
+
+  obs::json_value queue = obs::json_value::object();
+  queue["depth"] = static_cast<std::uint64_t>(queue_.depth());
+  queue["capacity"] = static_cast<std::uint64_t>(queue_.max_depth());
+  queue["active_workers"] =
+      static_cast<std::uint64_t>(queue_.active_workers());
+  queue["worker_pool"] = static_cast<std::uint64_t>(queue_.workers());
+  stats["queue"] = std::move(queue);
+
+  obs::json_value jobs = obs::json_value::object();
+  for (const std::string_view name :
+       {"submitted", "completed", "failed", "cancelled", "rejected"}) {
+    jobs[name] = metrics_
+                     .get_counter(std::string("serve.jobs_") +
+                                  std::string(name))
+                     .value();
+  }
+  stats["jobs"] = std::move(jobs);
+
+  const obs::histogram::snapshot_data lat =
+      metrics_.get_histogram("serve.job_seconds").snapshot();
+  obs::json_value latency = obs::json_value::object();
+  latency["count"] = lat.count;
+  latency["mean"] = lat.count == 0
+                        ? 0.0
+                        : lat.sum / static_cast<double>(lat.count);
+  latency["p50"] = lat.p50;
+  latency["p90"] = lat.p90;
+  latency["p99"] = lat.p99;
+  stats["job_seconds"] = std::move(latency);
+
+  obs::json_value cache = obs::json_value::object();
+  cache["size"] = static_cast<std::uint64_t>(cache_.size());
+  cache["capacity"] = static_cast<std::uint64_t>(cache_.capacity());
+  cache["hits"] = cache_.hits();
+  cache["misses"] = cache_.misses();
+  cache["evictions"] = cache_.evictions();
+  cache["hit_rate"] = cache_.hit_rate();
+  stats["cache"] = std::move(cache);
+  return stats;
+}
+
+bool service::shutdown_requested() const {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+
+void service::drain() { queue_.shutdown(/*drain=*/true); }
+
+}  // namespace ssr::serve

@@ -1,0 +1,113 @@
+// The serve request handler: one JSON request line in, one (or more, with
+// progress streaming) JSON documents out.
+//
+// This layer is deliberately transport-free -- it never sees a socket --
+// so the whole wire behavior (validation errors, admission control,
+// deadline handling, cache semantics, stats) is unit-testable in-process;
+// serve/server.hpp glues it to TCP connections.  docs/serving.md is the
+// schema reference.
+//
+// Request documents (line-delimited JSON objects):
+//
+//   {"type":"run", "id":..., "protocol":..., "scenario":..., "n":...,
+//    "h":..., "t_max":..., "trials":..., "seed":..., "max_time":...,
+//    "engine":..., "shards":..., "deadline_ms":..., "progress":bool,
+//    "no_cache":bool}
+//   {"type":"stats", "id":...} | {"type":"ping", "id":...}
+//   {"type":"shutdown", "id":...}
+//
+// Response documents (the request's "id" is echoed verbatim):
+//
+//   {"id":..., "type":"result", "ok":true, "cached":bool,
+//    "fingerprint":..., "result":{...}}           -- runner.hpp layout
+//   {"id":..., "type":"error", "ok":false, "error":<kind>, "message":...,
+//    "field_errors":[{"field","message"},...],    -- kind=invalid_request
+//    "retry_after_ms":N}                          -- kind=saturated
+//   {"id":..., "type":"progress", "trials_completed":N, "trials_total":N,
+//    "elapsed_ms":N}                              -- interim, progress=true
+//   {"id":..., "type":"stats", "ok":true, "stats":{...}}
+//   {"id":..., "type":"pong", "ok":true}
+//   {"id":..., "type":"shutdown", "ok":true, "draining":true}
+//
+// Error kinds: invalid_request, saturated, deadline_exceeded, cancelled,
+// run_failed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/result_cache.hpp"
+
+namespace ssr::serve {
+
+struct service_options {
+  /// Worker threads executing simulations.
+  std::size_t workers = 2;
+  /// Waiting jobs admitted before submits are shed with `saturated`.
+  std::size_t max_queue_depth = 16;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 128;
+  /// Suggested client backoff carried in `saturated` responses.
+  std::chrono::milliseconds retry_after{250};
+  /// Completion poll slice; also the progress-event emission period.
+  std::chrono::milliseconds poll_interval{200};
+};
+
+class service {
+ public:
+  explicit service(service_options options = {});
+  ~service();
+
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  /// Receives interim documents (progress events) while a run executes.
+  using event_sink = std::function<void(const obs::json_value&)>;
+
+  /// Handles one parsed request document and returns the final response.
+  /// Blocks for the duration of a "run" job; progress events stream
+  /// through `sink` when the request set "progress": true.
+  obs::json_value handle(const obs::json_value& request,
+                         const event_sink& sink = {});
+
+  /// Parses one request line first; malformed JSON yields an
+  /// invalid_request error response.
+  obs::json_value handle_line(std::string_view line,
+                              const event_sink& sink = {});
+
+  /// The stats document served for {"type":"stats"} (queue, workers, job
+  /// latency quantiles, job counters, cache counters).  Non-const only
+  /// because reading a metric creates it on first use, which is also what
+  /// makes a fresh service report explicit zeros.
+  obs::json_value stats_document();
+
+  /// Set once a {"type":"shutdown"} request is handled; the server's
+  /// accept loop polls this to begin the graceful drain.
+  bool shutdown_requested() const;
+
+  /// Stops admission and runs every already-accepted job to completion.
+  void drain();
+
+  result_cache& cache() { return cache_; }
+  obs::metrics_registry& metrics() { return metrics_; }
+  const service_options& options() const { return options_; }
+
+ private:
+  obs::json_value handle_run(const obs::json_value& request,
+                             const event_sink& sink);
+
+  service_options options_;
+  obs::metrics_registry metrics_;
+  result_cache cache_;
+  job_queue queue_;
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace ssr::serve

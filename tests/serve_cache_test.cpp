@@ -1,0 +1,111 @@
+// serve/result_cache.hpp: the fingerprint-keyed LRU behind ssr_serve.
+// Exactness is carried by the fingerprint (request_spec_test.cpp); these
+// tests pin the LRU mechanics -- hit/miss accounting, recency refresh on
+// both get and put, eviction order, the capacity-0 kill switch, and the
+// shared_ptr contract that keeps an evicted entry alive while a response
+// still holds it.
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace ssr::serve {
+namespace {
+
+std::shared_ptr<const obs::json_value> payload(double v) {
+  auto doc = std::make_shared<obs::json_value>(obs::json_value::object());
+  (*doc)["value"] = v;
+  return doc;
+}
+
+double value_of(const std::shared_ptr<const obs::json_value>& doc) {
+  return doc->find("value")->as_double();
+}
+
+TEST(ServeCache, MissThenHit) {
+  result_cache cache(4);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", payload(1.0));
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(value_of(hit), 1.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed) {
+  result_cache cache(2);
+  cache.put("a", payload(1.0));
+  cache.put("b", payload(2.0));
+  cache.put("c", payload(3.0));
+  EXPECT_EQ(cache.get("a"), nullptr);  // oldest insert went first
+  EXPECT_NE(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCache, GetRefreshesRecency) {
+  result_cache cache(2);
+  cache.put("a", payload(1.0));
+  cache.put("b", payload(2.0));
+  ASSERT_NE(cache.get("a"), nullptr);  // a is now the most recent
+  cache.put("c", payload(3.0));
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+}
+
+TEST(ServeCache, PutRefreshesExistingEntry) {
+  result_cache cache(2);
+  cache.put("a", payload(1.0));
+  cache.put("b", payload(2.0));
+  cache.put("a", payload(10.0));  // refresh, not a growth
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.put("c", payload(3.0));  // b is now the LRU entry
+  EXPECT_EQ(cache.get("b"), nullptr);
+  const auto a = cache.get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(value_of(a), 10.0);
+}
+
+TEST(ServeCache, ZeroCapacityDisablesCaching) {
+  result_cache cache(0);
+  cache.put("a", payload(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(ServeCache, EvictedEntrySurvivesThroughSharedPtr) {
+  result_cache cache(1);
+  cache.put("a", payload(1.0));
+  const auto held = cache.get("a");
+  ASSERT_NE(held, nullptr);
+  cache.put("b", payload(2.0));  // evicts a while we still hold it
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(value_of(held), 1.0);  // snapshot stays valid
+}
+
+TEST(ServeCache, HitRateMath) {
+  result_cache cache(4);
+  EXPECT_EQ(cache.hit_rate(), 0.0);  // no queries yet
+  cache.put("a", payload(1.0));
+  (void)cache.get("a");
+  (void)cache.get("a");
+  (void)cache.get("missing");
+  (void)cache.get("also-missing");
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace ssr::serve

@@ -1,0 +1,104 @@
+#!/bin/sh
+# End-to-end serve smoke: boot the daemon on an ephemeral port, drive it
+# with ssr_client (single run, concurrent sweep, cached replay, 8-client
+# hammer), check the cache actually served the replay, validate the
+# emitted BENCH_SERVE.json, and shut down cleanly.
+#
+#   serve_smoke.sh <ssr_serve> <ssr_client> <report_diff>
+#
+# Run by ctest (serve_e2e) and by the CI serve leg; exits non-zero on the
+# first failed step.  SERVE_SMOKE_OUT_DIR / SERVE_SMOKE_HISTORY_DIR, when
+# set, redirect the hammer's BENCH_SERVE.json into the caller's report and
+# bench-history directories (CI does this so report_trend gates the serve
+# latency and cache-hit-rate rows); by default everything stays in a
+# scratch directory that is removed on exit.
+set -eu
+
+SERVE=$1
+CLIENT=$2
+REPORT_DIFF=$3
+
+WORK=$(mktemp -d serve_smoke.XXXXXX)
+PORT_FILE=$WORK/port
+DAEMON_LOG=$WORK/daemon.log
+DAEMON_PID=
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVE" --port=0 --workers=4 --queue-depth=32 --cache=64 \
+  --port-file="$PORT_FILE" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait (up to ~5s) for the daemon to publish its port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 50 ]; then
+    echo "FAIL: daemon never wrote $PORT_FILE" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "FAIL: daemon exited early" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+
+echo "== ping"
+"$CLIENT" --port-file="$PORT_FILE" --ping
+
+echo "== single run"
+"$CLIENT" --port-file="$PORT_FILE" --protocol=optimal --n=32 --trials=2 \
+  --seed=7 >"$WORK/run1.json"
+grep -q '"ok": true' "$WORK/run1.json"
+grep -q '"cached": false' "$WORK/run1.json"
+
+echo "== cached replay must be served from the cache, bit-identical"
+"$CLIENT" --port-file="$PORT_FILE" --protocol=optimal --n=32 --trials=2 \
+  --seed=7 >"$WORK/run2.json"
+grep -q '"cached": true' "$WORK/run2.json"
+# Strip the only legitimately differing field and compare the rest.
+sed 's/"cached": [a-z]*//' "$WORK/run1.json" >"$WORK/run1.stripped"
+sed 's/"cached": [a-z]*//' "$WORK/run2.json" >"$WORK/run2.stripped"
+cmp "$WORK/run1.stripped" "$WORK/run2.stripped"
+
+echo "== concurrent sweep fan-out"
+"$CLIENT" --port-file="$PORT_FILE" --sweep-n=16,24,32 --trials=2 --seed=7
+
+echo "== hammer: 8 concurrent clients, BENCH_SERVE.json emitted"
+OUT_DIR=${SERVE_SMOKE_OUT_DIR:-$WORK/reports}
+if [ -n "${SERVE_SMOKE_HISTORY_DIR:-}" ]; then
+  "$CLIENT" --port-file="$PORT_FILE" --hammer=8 --requests=4 \
+    --protocol=optimal --n=32 --trials=2 --seed=7 \
+    --out-dir="$OUT_DIR" --history-dir="$SERVE_SMOKE_HISTORY_DIR"
+else
+  "$CLIENT" --port-file="$PORT_FILE" --hammer=8 --requests=4 \
+    --protocol=optimal --n=32 --trials=2 --seed=7 --out-dir="$OUT_DIR"
+fi
+"$REPORT_DIFF" --validate "$OUT_DIR/BENCH_SERVE.json"
+
+echo "== stats: the cache must have served hits by now"
+"$CLIENT" --port-file="$PORT_FILE" --stats >"$WORK/stats.json"
+grep -q '"hits"' "$WORK/stats.json"
+if grep -q '"hits": 0,' "$WORK/stats.json"; then
+  echo "FAIL: cache never hit" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+fi
+
+echo "== graceful shutdown drains"
+"$CLIENT" --port-file="$PORT_FILE" --shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=
+grep -q "drained; bye" "$DAEMON_LOG"
+
+echo "serve smoke: PASS"

@@ -45,6 +45,7 @@
 #include "protocols/describe.hpp"
 #include "ssr.hpp"
 #include "util/edit_distance.hpp"
+#include "util/request_spec.hpp"
 
 namespace {
 
@@ -94,13 +95,6 @@ constexpr std::string_view cli_flags[] = {
     "--list-protocols", "--list-scenarios", "--help",
 };
 
-constexpr std::string_view protocol_names[] = {
-    "baseline",
-    "optimal",
-    "sublinear",
-    "loose",
-};
-
 constexpr std::pair<std::string_view, optimal_silent_scenario>
     optimal_scenarios[] = {
         {"uniform_random", optimal_silent_scenario::uniform_random},
@@ -143,9 +137,9 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "                         direct; batched and sharded assume the\n"
       "                         uniform complete-graph scheduler, so they\n"
       "                         need --graph=complete)\n"
-      "  --shards=<int>         sharded engine worker shard count (default\n"
-      "                         0 = hardware concurrency; 1 degenerates to\n"
-      "                         the batched path)\n"
+      "  --shards=<int>         sharded engine worker shard count (>= 1;\n"
+      "                         requires --engine=sharded; omit the flag\n"
+      "                         for hardware concurrency)\n"
       "  --seed=<int>           rng seed (default 1)\n"
       "  --max-time=<float>     parallel-time budget (default 1e7)\n"
       "  --trace-every=<float>  summary every T time units\n"
@@ -198,19 +192,24 @@ constexpr std::pair<std::string_view, sublinear_scenario>
 }
 
 [[noreturn]] void list_scenarios() {
-  std::cout << "baseline: uniform_random (ranks drawn uniformly; the only "
-               "scenario)\n";
-  std::cout << "optimal:";
-  for (const auto& [name, _] : optimal_scenarios) std::cout << ' ' << name;
-  std::cout << "\nsublinear:";
-  for (const auto& [name, _] : sublinear_scenarios) std::cout << ' ' << name;
-  std::cout << "\nloose: dead_configuration (all agents dead; the only "
-               "scenario)\n";
+  // One source of truth for names: the shared request-spec tables the
+  // benches and ssr_serve validate against (util/request_spec.hpp).
+  for (const std::string_view protocol : util::protocol_names()) {
+    std::cout << protocol << ':';
+    for (const std::string_view name : util::scenario_names(protocol))
+      std::cout << ' ' << name;
+    std::cout << '\n';
+  }
   std::exit(0);
 }
 
 options parse(int argc, char** argv) {
   options opt;
+  // Spec-shaped flags (protocol, scenario, n, h, t-max, seed, max-time,
+  // engine, shards) funnel through the shared builder so the CLI rejects
+  // bad specs with exactly the diagnostics the benches and ssr_serve
+  // produce (util/request_spec.hpp).
+  util::spec_builder builder;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* key) -> std::optional<std::string> {
@@ -226,23 +225,23 @@ options parse(int argc, char** argv) {
       continue;
     }
     if (auto v = value_of("--protocol")) {
-      opt.protocol = *v;
+      builder.set_protocol(*v);
       continue;
     }
     if (auto v = value_of("--n")) {
-      opt.n = static_cast<std::uint32_t>(std::stoul(*v));
+      builder.set_u64_text("n", *v);
       continue;
     }
     if (auto v = value_of("--h")) {
-      opt.h = static_cast<std::uint32_t>(std::stoul(*v));
+      builder.set_u64_text("h", *v);
       continue;
     }
     if (auto v = value_of("--t-max")) {
-      opt.t_max = static_cast<std::uint32_t>(std::stoul(*v));
+      builder.set_u64_text("t_max", *v);
       continue;
     }
     if (auto v = value_of("--scenario")) {
-      opt.scenario = *v;
+      builder.set_scenario(*v);
       continue;
     }
     if (auto v = value_of("--graph")) {
@@ -254,21 +253,19 @@ options parse(int argc, char** argv) {
       continue;
     }
     if (auto v = value_of("--engine")) {
-      const auto parsed = parse_engine(*v);
-      if (!parsed) usage("unknown engine: " + *v);
-      opt.engine = *parsed;
+      builder.set_engine(*v);
       continue;
     }
     if (auto v = value_of("--shards")) {
-      opt.shards = static_cast<std::uint32_t>(std::stoul(*v));
+      builder.set_u64_text("shards", *v);
       continue;
     }
     if (auto v = value_of("--seed")) {
-      opt.seed = std::stoull(*v);
+      builder.set_u64_text("seed", *v);
       continue;
     }
     if (auto v = value_of("--max-time")) {
-      opt.max_time = std::stod(*v);
+      builder.set_max_time_text(*v);
       continue;
     }
     if (auto v = value_of("--trace-every")) {
@@ -331,6 +328,18 @@ options parse(int argc, char** argv) {
       message += " (did you mean " + std::string(suggestion) + "?)";
     usage(message);
   }
+  const std::vector<util::spec_error> errors = builder.finalize();
+  if (!errors.empty()) usage(util::render_errors(errors));
+  const util::sim_request_spec& spec = builder.spec();
+  opt.protocol = spec.protocol;
+  opt.scenario = spec.scenario;
+  opt.n = spec.n;
+  opt.h = spec.h;
+  opt.t_max = spec.t_max;
+  opt.seed = spec.seed;
+  opt.max_time = spec.max_time;
+  opt.engine = spec.engine.kind;
+  opt.shards = spec.engine.shards;
   if (opt.engine != engine_kind::direct && opt.graph != "complete")
     usage("--engine=" + std::string(to_string(opt.engine)) +
           " requires --graph=complete");
@@ -925,10 +934,7 @@ int main(int argc, char** argv) {
                   nullptr, nullptr);
     return done ? 0 : 1;
   }
-  std::string message = "unknown protocol: " + opt.protocol;
-  const std::string_view suggestion =
-      nearest_candidate(opt.protocol, protocol_names);
-  if (!suggestion.empty())
-    message += " (did you mean " + std::string(suggestion) + "?)";
-  usage(message);
+  // Unreachable: parse() already validated the protocol name.
+  usage(util::unknown_name_message("protocol", opt.protocol,
+                                   util::protocol_names()));
 }
