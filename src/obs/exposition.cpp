@@ -1,0 +1,83 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ssr::obs {
+namespace {
+
+bool prometheus_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Prometheus sample values are floats; integral values print without a
+/// fractional part so counter samples stay exact and greppable.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) <= 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_quantile(std::ostream& os, const std::string& name,
+                    const char* q, double value) {
+  os << name << "{quantile=\"" << q << "\"} " << format_value(value)
+     << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view prefix,
+                                   std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out += prefix;
+  for (const char c : name) {
+    out += prometheus_name_char(c) ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const metrics_registry& registry,
+                     std::string_view prefix) {
+  const metrics_listing listing = registry.list();
+  for (const auto& [name, value] : listing.counters) {
+    const std::string metric = prometheus_metric_name(prefix, name);
+    os << "# TYPE " << metric << " counter\n"
+       << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : listing.gauges) {
+    const std::string metric = prometheus_metric_name(prefix, name);
+    os << "# TYPE " << metric << " gauge\n"
+       << metric << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, snap] : listing.histograms) {
+    const std::string metric = prometheus_metric_name(prefix, name);
+    os << "# TYPE " << metric << " summary\n";
+    write_quantile(os, metric, "0.5", snap.p50);
+    write_quantile(os, metric, "0.9", snap.p90);
+    write_quantile(os, metric, "0.99", snap.p99);
+    os << metric << "_sum " << format_value(snap.sum) << '\n'
+       << metric << "_count " << snap.count << '\n'
+       << metric << "_min " << format_value(snap.min) << '\n'
+       << metric << "_max " << format_value(snap.max) << '\n';
+  }
+}
+
+std::string prometheus_text(const metrics_registry& registry,
+                            std::string_view prefix) {
+  std::ostringstream os;
+  write_prometheus(os, registry, prefix);
+  return os.str();
+}
+
+}  // namespace ssr::obs

@@ -1,0 +1,42 @@
+// Prometheus text exposition for a metrics_registry.
+//
+// write_prometheus renders every metric of a registry in the Prometheus
+// text format (exposition format version 0.0.4), which is what the serve
+// layer's {"type":"metrics"} wire command and the daemon's periodic
+// server-side snapshots emit (docs/serving.md, "Wire telemetry"):
+//
+//   counters   -> `# TYPE ssr_serve_jobs_completed counter` + one sample;
+//   gauges     -> `# TYPE ssr_serve_queue_depth gauge` + one sample;
+//   histograms -> a summary family: quantile-labeled samples (p50/p90/p99
+//                 from the registry's streaming sketch) plus `_sum`,
+//                 `_count`, `_min` and `_max` companions.
+//
+// Metric names are prefixed and sanitized ('.', '-' and anything else
+// outside [a-zA-Z0-9_:] becomes '_'), so the registry's dotted names
+// ("serve.job_seconds") map to conventional Prometheus names
+// ("ssr_serve_job_seconds").  Output is sorted by name within each
+// family, making scrapes deterministic for golden tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ssr::obs {
+
+/// A registry metric name as it appears in the exposition: `prefix` +
+/// sanitized `name`.
+std::string prometheus_metric_name(std::string_view prefix,
+                                   std::string_view name);
+
+/// Writes `registry`'s metrics to `os` in Prometheus text format.
+void write_prometheus(std::ostream& os, const metrics_registry& registry,
+                      std::string_view prefix = "ssr_");
+
+/// write_prometheus into a string (the wire command's payload).
+std::string prometheus_text(const metrics_registry& registry,
+                            std::string_view prefix = "ssr_");
+
+}  // namespace ssr::obs

@@ -166,6 +166,24 @@ void metrics_registry::absorb(const metrics_registry& other) {
   }
 }
 
+metrics_listing metrics_registry::list() const {
+  const std::scoped_lock lock(mutex_);
+  metrics_listing out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
 json_value metrics_registry::snapshot() const {
   const std::scoped_lock lock(mutex_);
   json_value out = json_value::object();

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/engine_counters.hpp"
@@ -112,6 +113,16 @@ class histogram {
   quantile_sketch sketch_;
 };
 
+/// Typed point-in-time view of a registry, for consumers that need to
+/// know each metric's family (the JSON snapshot flattens counters and
+/// gauges into indistinguishable numbers).  Names are sorted within each
+/// family, mirroring snapshot().
+struct metrics_listing {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, histogram::snapshot_data>> histograms;
+};
+
 /// Owns named metrics; get_* creates on first use and returns a stable
 /// reference (the registry must outlive all users).  All operations are
 /// thread-safe.
@@ -120,6 +131,10 @@ class metrics_registry {
   counter& get_counter(std::string_view name);
   gauge& get_gauge(std::string_view name);
   histogram& get_histogram(std::string_view name);
+
+  /// Typed snapshot of every metric -- the exposition writer's input
+  /// (obs/exposition.hpp).
+  metrics_listing list() const;
 
   /// Folds an engine's counters into registry counters under
   /// "engine.<field>" names.

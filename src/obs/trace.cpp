@@ -89,29 +89,32 @@ json_value trace_sink::event_to_json(
   return out;
 }
 
+json_value trace_sink::header_json(
+    std::span<const std::string_view> phase_names) const {
+  json_value header = json_value::object();
+  header["event"] = json_value{"trace_header"};
+  // v2 adds the format tag and producing revision so offline consumers
+  // (trace_stats, report_trend) can join traces to bench history without
+  // side-channel bookkeeping.  v1 headers (no schema/git_rev) still parse.
+  header["schema"] = json_value{"ssr.trace"};
+  header["schema_version"] = json_value{2};
+  header["git_rev"] = json_value{git_revision()};
+  header["offered"] = json_value{offered_};
+  header["sampled_out"] = json_value{sampled_out_};
+  header["dropped"] = json_value{dropped_};
+  if (!phase_names.empty()) {
+    json_value names = json_value::array();
+    for (const std::string_view name : phase_names) {
+      names.push_back(json_value{name});
+    }
+    header["phases"] = std::move(names);
+  }
+  return header;
+}
+
 void trace_sink::write_jsonl(
     std::ostream& os, std::span<const std::string_view> phase_names) const {
-  {
-    json_value header = json_value::object();
-    header["event"] = json_value{"trace_header"};
-    // v2 adds the format tag and producing revision so offline consumers
-    // (trace_stats, report_trend) can join traces to bench history without
-    // side-channel bookkeeping.  v1 headers (no schema/git_rev) still parse.
-    header["schema"] = json_value{"ssr.trace"};
-    header["schema_version"] = json_value{2};
-    header["git_rev"] = json_value{git_revision()};
-    header["offered"] = json_value{offered_};
-    header["sampled_out"] = json_value{sampled_out_};
-    header["dropped"] = json_value{dropped_};
-    if (!phase_names.empty()) {
-      json_value names = json_value::array();
-      for (const std::string_view name : phase_names) {
-        names.push_back(json_value{name});
-      }
-      header["phases"] = std::move(names);
-    }
-    os << header.dump() << '\n';
-  }
+  os << header_json(phase_names).dump() << '\n';
   for (const trace_event& event : events_) {
     os << event_to_json(event, phase_names).dump() << '\n';
   }

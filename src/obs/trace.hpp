@@ -104,6 +104,15 @@ class trace_sink {
   void write_jsonl(std::ostream& os,
                    std::span<const std::string_view> phase_names) const;
 
+  /// The trace_header document write_jsonl emits as its first line
+  /// (schema tag, producer revision, offered/sampled_out/dropped
+  /// accounting, phase-name table).  Exposed so transports that carry a
+  /// trace in-band (the serve wire) can ship header + events as
+  /// structured JSON and clients can reconstruct the exact JSONL file
+  /// trace_stats parses.
+  json_value header_json(
+      std::span<const std::string_view> phase_names) const;
+
   json_value event_to_json(
       const trace_event& event,
       std::span<const std::string_view> phase_names) const;

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "pp/assert.hpp"
 #include "pp/cancellation.hpp"
 #include "pp/engine.hpp"
@@ -43,6 +45,18 @@ struct convergence_options {
   /// exactly -- so a cancellable run is bit-identical to an uncancellable
   /// one up to the abort point.
   const cancel_token* cancel = nullptr;
+  /// Request-scoped structured trace (obs/trace.hpp).  When set, the
+  /// measurement emits run framing, convergence / correctness_lost markers,
+  /// rank collisions, and -- for phase-instrumented protocols -- phase
+  /// transitions and reset waves into the sink.  Detached (the default) the
+  /// hot loop is untouched: the pointer is tested once per measurement and
+  /// the untraced path compiles to exactly the historical loop.
+  obs::trace_sink* trace = nullptr;
+  /// Request-scoped profiler override.  The timeline profiler is
+  /// single-threaded; concurrent measurements (serve workers) each pass
+  /// their own collector here instead of sharing the process-wide
+  /// profiler_default() the bench front ends install for --profile.
+  obs::timeline_profiler* profiler = nullptr;
 };
 
 struct convergence_result {
@@ -101,22 +115,111 @@ class rank_tracker {
   std::uint32_t singletons_ = 0;
 };
 
-/// Measures convergence on an already-constructed engine.  This is the
-/// engine-generic core: the direct engine reproduces the historical
-/// measure_convergence trajectories bit for bit, and any other
-/// simulation_engine (pp/engine.hpp) samples the same distribution.
-///
-/// Correctness can only change on a state-changing interaction, so engines
-/// that elide certainly-null interactions (the batched count engine) feed
-/// the tracker an equivalent stream.  When the engine can prove quiescence
-/// while the configuration is correct, convergence is declared immediately:
-/// no future interaction can revoke correctness, so every confirmation
-/// window is trivially satisfied.
-template <simulation_engine E>
+namespace detail {
+
+/// The untraced measurement path: every hook inlines to nothing, so the
+/// tracer-parameterized loop below compiles to exactly the historical
+/// measure_convergence_run loop (the obs overhead contract: zero cost per
+/// interaction when telemetry is detached).
+struct null_convergence_tracer {
+  static constexpr bool enabled = false;
+  void before(const agent_pair&) {}
+  void after(const agent_pair&, std::uint32_t, std::uint32_t, double,
+             std::uint64_t) {}
+  void convergence(double, std::uint64_t) {}
+  void correctness_lost(double, std::uint64_t) {}
+};
+
+/// Tracer for phase-instrumented protocols (optimal, sublinear): full
+/// phase-occupancy stream via phase_observer plus the convergence-harness
+/// events (rank collisions and correctness flips) only the measurement
+/// loop can see.
+template <class P>
+class phase_convergence_tracer {
+ public:
+  static constexpr bool enabled = true;
+
+  phase_convergence_tracer(const P& protocol,
+                           std::span<const typename P::agent_state> agents,
+                           obs::trace_sink* sink)
+      : observer_(protocol, agents, sink) {}
+
+  void begin(double time, std::uint64_t interaction) {
+    observer_.begin(time, interaction);
+  }
+  void end(double time, std::uint64_t interaction) {
+    observer_.end(time, interaction);
+  }
+
+  void before(const agent_pair& pair) { observer_.before(pair); }
+  void after(const agent_pair& pair, std::uint32_t pre_ra,
+             std::uint32_t pre_rb, double time, std::uint64_t interaction) {
+    observer_.after(pair, /*changed=*/true, time, interaction);
+    if (pre_ra == pre_rb && pre_ra != 0) {
+      observer_.rank_collision(pair, time, interaction);
+    }
+  }
+  void convergence(double time, std::uint64_t interaction) {
+    observer_.convergence(time, interaction);
+  }
+  void correctness_lost(double time, std::uint64_t interaction) {
+    observer_.correctness_lost(time, interaction);
+  }
+
+  std::vector<std::string_view> phase_names() const {
+    return observer_.phase_names();
+  }
+
+ private:
+  obs::phase_observer<P> observer_;
+};
+
+/// Tracer for protocols without phase hooks (baseline, loose): run framing,
+/// rank collisions, and correctness flips -- no phase stream.
+class framing_convergence_tracer {
+ public:
+  static constexpr bool enabled = true;
+
+  explicit framing_convergence_tracer(obs::trace_sink* sink) : sink_(sink) {}
+
+  void begin(double time, std::uint64_t interaction) {
+    emit({obs::trace_event_kind::run_start, time, interaction});
+  }
+  void end(double time, std::uint64_t interaction) {
+    emit({obs::trace_event_kind::run_end, time, interaction});
+  }
+
+  void before(const agent_pair&) {}
+  void after(const agent_pair& pair, std::uint32_t pre_ra,
+             std::uint32_t pre_rb, double time, std::uint64_t interaction) {
+    if (pre_ra == pre_rb && pre_ra != 0) {
+      emit({obs::trace_event_kind::rank_collision, time, interaction,
+            pair.initiator});
+    }
+  }
+  void convergence(double time, std::uint64_t interaction) {
+    emit({obs::trace_event_kind::convergence, time, interaction});
+  }
+  void correctness_lost(double time, std::uint64_t interaction) {
+    emit({obs::trace_event_kind::correctness_lost, time, interaction});
+  }
+
+ private:
+  void emit(const obs::trace_event& event) {
+    if (sink_ != nullptr) sink_->emit(event);
+  }
+
+  obs::trace_sink* sink_;
+};
+
+/// The measurement loop, parameterized on a tracer.  Tracer hooks are
+/// guarded by `if constexpr (Tracer::enabled)` so the null tracer's path
+/// never touches engine.parallel_time() inside the hot hooks.
+template <class Tracer, simulation_engine E>
   requires ranking_protocol<typename E::protocol_type>
-convergence_result measure_convergence_run(
-    E& engine, const convergence_options& opt = {},
-    std::vector<typename E::agent_state>* final_config = nullptr) {
+convergence_result measure_convergence_loop(
+    E& engine, const convergence_options& opt,
+    std::vector<typename E::agent_state>* final_config, Tracer& tracer) {
   const auto& protocol = engine.protocol();
   const std::uint32_t n = engine.population_size();
 
@@ -164,9 +267,14 @@ convergence_result measure_convergence_run(
         [&](const agent_pair& pair) {
           pre_ra = protocol.rank_of(engine.agents()[pair.initiator]);
           pre_rb = protocol.rank_of(engine.agents()[pair.responder]);
+          if constexpr (Tracer::enabled) tracer.before(pair);
         },
         [&](const agent_pair& pair, bool changed) {
           if (!changed) return false;
+          if constexpr (Tracer::enabled) {
+            tracer.after(pair, pre_ra, pre_rb, engine.parallel_time(),
+                         engine.interactions());
+          }
           tracker.update(pre_ra,
                          protocol.rank_of(engine.agents()[pair.initiator]));
           tracker.update(pre_rb,
@@ -176,8 +284,16 @@ convergence_result measure_convergence_run(
           if (correct) {
             last_entry = engine.interactions();
             ever_correct = true;
+            if constexpr (Tracer::enabled) {
+              tracer.convergence(engine.parallel_time(),
+                                 engine.interactions());
+            }
           } else {
             ++result.correctness_losses;
+            if constexpr (Tracer::enabled) {
+              tracer.correctness_lost(engine.parallel_time(),
+                                      engine.interactions());
+            }
           }
           was_correct = correct;
           return true;  // correctness flipped: re-evaluate the budget
@@ -195,6 +311,53 @@ convergence_result measure_convergence_run(
   return result;
 }
 
+}  // namespace detail
+
+/// Measures convergence on an already-constructed engine.  This is the
+/// engine-generic core: the direct engine reproduces the historical
+/// measure_convergence trajectories bit for bit, and any other
+/// simulation_engine (pp/engine.hpp) samples the same distribution.
+///
+/// Correctness can only change on a state-changing interaction, so engines
+/// that elide certainly-null interactions (the batched count engine) feed
+/// the tracker an equivalent stream.  When the engine can prove quiescence
+/// while the configuration is correct, convergence is declared immediately:
+/// no future interaction can revoke correctness, so every confirmation
+/// window is trivially satisfied.
+///
+/// With opt.trace set the run additionally streams structured events into
+/// the sink: the full phase/reset stream for phase-instrumented protocols,
+/// run framing + collision/convergence markers otherwise.  Tracing never
+/// perturbs the trajectory -- it only reads states the hooks already see.
+template <simulation_engine E>
+  requires ranking_protocol<typename E::protocol_type>
+convergence_result measure_convergence_run(
+    E& engine, const convergence_options& opt = {},
+    std::vector<typename E::agent_state>* final_config = nullptr) {
+  using P = typename E::protocol_type;
+  if (opt.trace == nullptr) {
+    detail::null_convergence_tracer tracer;
+    return detail::measure_convergence_loop(engine, opt, final_config,
+                                            tracer);
+  }
+  if constexpr (obs::phase_instrumented_protocol<P>) {
+    detail::phase_convergence_tracer<P> tracer(engine.protocol(),
+                                               engine.agents(), opt.trace);
+    tracer.begin(engine.parallel_time(), engine.interactions());
+    convergence_result result =
+        detail::measure_convergence_loop(engine, opt, final_config, tracer);
+    tracer.end(engine.parallel_time(), engine.interactions());
+    return result;
+  } else {
+    detail::framing_convergence_tracer tracer(opt.trace);
+    tracer.begin(engine.parallel_time(), engine.interactions());
+    convergence_result result =
+        detail::measure_convergence_loop(engine, opt, final_config, tracer);
+    tracer.end(engine.parallel_time(), engine.interactions());
+    return result;
+  }
+}
+
 /// Runs `protocol` from `initial` under the uniform scheduler and measures
 /// convergence per the options.  `final_config`, when non-null, receives the
 /// configuration at the end of the run.  Equivalent to
@@ -206,7 +369,8 @@ convergence_result measure_convergence(
     std::vector<typename P::agent_state>* final_config = nullptr) {
   SSR_REQUIRE(initial.size() == protocol.population_size());
   direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
-  engine.attach_profiler(obs::profiler_default());
+  engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
+                                                : obs::profiler_default());
   return measure_convergence_run(engine, opt, final_config);
 }
 
@@ -224,25 +388,29 @@ convergence_result measure_convergence_with(
     std::uint64_t seed, const convergence_options& opt = {},
     std::vector<typename P::agent_state>* final_config = nullptr) {
   SSR_REQUIRE(initial.size() == protocol.population_size());
-  // Profiling hook: when a bench front end installed a default profiler
-  // (--profile), every engine constructed here reports into it.
+  // Profiling hook: opt.profiler (per-request collectors, e.g. serve jobs)
+  // wins; otherwise the process-wide default a bench front end installed
+  // with --profile is attached.
   switch (spec.kind) {
     case engine_kind::direct: {
       direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
-      engine.attach_profiler(obs::profiler_default());
+      engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
+                                                : obs::profiler_default());
       return measure_convergence_run(engine, opt, final_config);
     }
     case engine_kind::sharded: {
       sharded_engine<P> engine(std::move(protocol), std::move(initial), seed,
                                {.shards = spec.shards});
-      engine.attach_profiler(obs::profiler_default());
+      engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
+                                                : obs::profiler_default());
       return measure_convergence_run(engine, opt, final_config);
     }
     case engine_kind::batched:
       break;
   }
   batched_engine<P> engine(std::move(protocol), std::move(initial), seed);
-  engine.attach_profiler(obs::profiler_default());
+  engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
+                                                : obs::profiler_default());
   return measure_convergence_run(engine, opt, final_config);
 }
 

@@ -1,0 +1,72 @@
+#include "serve/journal.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "obs/run_info.hpp"
+
+namespace ssr::serve {
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!file->is_open()) return false;
+  file_ = std::move(file);
+  write_header();
+  return true;
+}
+
+void journal::open_stream(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  external_ = os;
+  write_header();
+}
+
+bool journal::enabled() const {
+  return file_ != nullptr || external_ != nullptr;
+}
+
+std::ostream* journal::out() {
+  if (file_ != nullptr) return file_.get();
+  return external_;
+}
+
+void journal::write_header() {
+  std::ostream* os = out();
+  if (os == nullptr) return;
+  obs::json_value header = obs::json_value::object();
+  header["event"] = "journal_header";
+  header["schema"] = "ssr.serve.events";
+  header["schema_version"] = static_cast<std::uint64_t>(1);
+  header["git_rev"] = obs::git_revision();
+  *os << header.dump() << '\n';
+  os->flush();
+}
+
+void journal::emit(std::string_view name, const obs::json_value& fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream* os = out();
+  if (os == nullptr) return;
+  obs::json_value event = obs::json_value::object();
+  event["event"] = name;
+  event["ts_ms"] = now_ms();
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.members()) {
+      event[key] = value;
+    }
+  }
+  *os << event.dump() << '\n';
+  os->flush();
+}
+
+}  // namespace ssr::serve

@@ -1,0 +1,79 @@
+// Structured job journal for the serve daemon (events.jsonl).
+//
+// One JSON object per line, append-only, flushed per event so the file is
+// readable while the daemon runs and survives a crash mid-job.  The first
+// line is a header document tagging the schema:
+//
+//   {"event":"journal_header","schema":"ssr.serve.events",
+//    "schema_version":1,"git_rev":...}
+//
+// Every subsequent line carries the event name, a wall-clock timestamp
+// ("ts_ms", milliseconds since the Unix epoch -- the journal is
+// observability, not part of the deterministic result documents), and the
+// event's fields.  The service emits (docs/observability.md has the field
+// tables):
+//
+//   admit            -- job accepted by the queue (request_id, fingerprint,
+//                       protocol, n, trials, queue_depth)
+//   rejected         -- admission control shed the request (queue_depth)
+//   start            -- a worker began executing (request_id, queue_depth)
+//   progress         -- interim trial accounting (request_id,
+//                       trials_completed, trials_total)
+//   cache_hit        -- served from the result cache (request_id,
+//                       fingerprint)
+//   complete         -- terminal success (request_id, fingerprint,
+//                       elapsed_ms, queue_depth, telemetry)
+//   deadline_expired -- the per-request deadline fired (request_id,
+//                       elapsed_ms, message)
+//   cancelled        -- explicit cancellation (request_id, message)
+//   failed           -- the simulation threw (request_id, message)
+//
+// Thread-safety: emit() serializes under a mutex; the service calls it
+// from connection threads and from queue workers.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace ssr::serve {
+
+class journal {
+ public:
+  /// Disabled journal: enabled() is false and emit() is a no-op.
+  journal() = default;
+
+  journal(const journal&) = delete;
+  journal& operator=(const journal&) = delete;
+
+  /// Opens `path` for appending and writes the journal_header line.
+  /// Returns false (journal stays disabled) when the file cannot be
+  /// opened.  Call at most once.
+  bool open(const std::string& path);
+
+  /// Streams into an externally owned ostream (tests); writes the header
+  /// line immediately.
+  void open_stream(std::ostream* os);
+
+  bool enabled() const;
+
+  /// Appends {"event": name, "ts_ms": <now>, ...fields} as one line and
+  /// flushes.  `fields` must be a JSON object; its members are copied
+  /// after the event/timestamp keys.
+  void emit(std::string_view name, const obs::json_value& fields);
+
+ private:
+  std::ostream* out();
+  void write_header();
+
+  std::mutex mutex_;
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* external_ = nullptr;
+};
+
+}  // namespace ssr::serve

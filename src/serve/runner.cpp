@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "analysis/statistics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "pp/accelerated.hpp"
 #include "pp/convergence.hpp"
 #include "pp/trial.hpp"
@@ -49,20 +52,55 @@ sublinear_scenario sublinear_scenario_of(const std::string& name) {
   throw std::runtime_error("unvalidated sublinear scenario: " + name);
 }
 
+/// Telemetry hooks for one trial.  `trace` is null for every trial except
+/// the traced one (the job's first); `profiler` covers every trial of a
+/// profiled job.  Both are owned by the caller and live on this worker
+/// thread.
+struct trial_telemetry {
+  obs::trace_sink* trace = nullptr;
+  obs::timeline_profiler* profiler = nullptr;
+  std::vector<std::string_view>* phase_names = nullptr;
+};
+
+/// Records the traced protocol's phase-name table so the trace header and
+/// events can name phases; no-op for uninstrumented protocols.
+template <class P>
+void record_phase_names(const P& protocol, const trial_telemetry& tel) {
+  if (tel.trace == nullptr || tel.phase_names == nullptr) return;
+  if constexpr (obs::phase_instrumented_protocol<P>) {
+    tel.phase_names->resize(protocol.obs_phase_count());
+    for (std::uint32_t ph = 0; ph < tel.phase_names->size(); ++ph) {
+      (*tel.phase_names)[ph] = P::obs_phase_name(ph);
+    }
+  }
+}
+
 /// Loose-stabilizing LE has no ranking, so convergence is "a unique leader
 /// emerged"; run the selected engine in bounded bursts so the cancel token
-/// stays responsive.
+/// stays responsive.  Tracing is framing-only (the protocol has no phase
+/// hooks): run_start, convergence on the unique leader, run_end.
 template <class Engine>
 double loose_time_with(Engine& engine, const util::sim_request_spec& spec,
                        const cancel_token* cancel,
-                       const loose_stabilizing_le& protocol) {
+                       const loose_stabilizing_le& protocol,
+                       const trial_telemetry& tel) {
+  if (tel.profiler != nullptr) engine.attach_profiler(tel.profiler);
+  const auto emit = [&](obs::trace_event_kind kind) {
+    if (tel.trace != nullptr) {
+      tel.trace->emit({kind, engine.parallel_time(), engine.interactions()});
+    }
+  };
   const auto max_interactions = static_cast<std::uint64_t>(
       spec.max_time * static_cast<double>(spec.n));
   const std::uint64_t burst =
       std::max<std::uint64_t>(std::uint64_t{spec.n} * 64,
                               std::uint64_t{1} << 22);
-  if (protocol.leader_count(engine.agents()) == 1)
+  emit(obs::trace_event_kind::run_start);
+  if (protocol.leader_count(engine.agents()) == 1) {
+    emit(obs::trace_event_kind::convergence);
+    emit(obs::trace_event_kind::run_end);
     return engine.parallel_time();
+  }
   while (engine.interactions() < max_interactions) {
     if (cancel != nullptr) cancel->throw_if_cancelled();
     const std::uint64_t budget =
@@ -72,13 +110,17 @@ double loose_time_with(Engine& engine, const util::sim_request_spec& spec,
         [&](const agent_pair&, bool changed) {
           return changed && protocol.leader_count(engine.agents()) == 1;
         });
-    if (done) return engine.parallel_time();
+    if (done) {
+      emit(obs::trace_event_kind::convergence);
+      emit(obs::trace_event_kind::run_end);
+      return engine.parallel_time();
+    }
   }
   throw std::runtime_error("loose LE found no unique leader within max_time");
 }
 
 double loose_trial(const util::sim_request_spec& spec, std::uint64_t seed,
-                   const cancel_token* cancel) {
+                   const cancel_token* cancel, const trial_telemetry& tel) {
   const auto t_max =
       spec.t_max > 0
           ? spec.t_max
@@ -90,26 +132,28 @@ double loose_trial(const util::sim_request_spec& spec, std::uint64_t seed,
     case engine_kind::direct: {
       direct_engine<loose_stabilizing_le> engine(protocol, std::move(initial),
                                                  seed);
-      return loose_time_with(engine, spec, cancel, protocol);
+      return loose_time_with(engine, spec, cancel, protocol, tel);
     }
     case engine_kind::sharded: {
       sharded_engine<loose_stabilizing_le> engine(
           protocol, std::move(initial), seed, {.shards = spec.engine.shards});
-      return loose_time_with(engine, spec, cancel, protocol);
+      return loose_time_with(engine, spec, cancel, protocol, tel);
     }
     case engine_kind::batched:
       break;
   }
   batched_engine<loose_stabilizing_le> engine(protocol, std::move(initial),
                                               seed);
-  return loose_time_with(engine, spec, cancel, protocol);
+  return loose_time_with(engine, spec, cancel, protocol, tel);
 }
 
 double ranking_trial(const util::sim_request_spec& spec, std::uint64_t seed,
-                     const cancel_token* cancel) {
+                     const cancel_token* cancel, const trial_telemetry& tel) {
   convergence_options opt;
   opt.max_parallel_time = spec.max_time;
   opt.cancel = cancel;
+  opt.trace = tel.trace;
+  opt.profiler = tel.profiler;
   if (spec.protocol == "baseline") {
     if (spec.engine.kind == engine_kind::direct) {
       // Same fast path as the benches: truly direct stepping of the
@@ -120,9 +164,23 @@ double ranking_trial(const util::sim_request_spec& spec, std::uint64_t seed,
       for (auto& r : ranks)
         r = static_cast<std::uint32_t>(uniform_below(rng, spec.n));
       accelerated_silent_n_state sim(spec.n, ranks, seed ^ 0x5bd1e995);
-      return sim.run_to_stabilization();
+      double time = 0.0;
+      {
+        // The jump simulator has no engine hooks; give the profile a
+        // section and the trace its run framing (interactions are not
+        // individually simulated, so the count stays 0).
+        obs::timeline_scope scope(tel.profiler, "accelerated.run");
+        time = sim.run_to_stabilization();
+      }
+      if (tel.trace != nullptr) {
+        tel.trace->emit({obs::trace_event_kind::run_start, 0.0, 0});
+        tel.trace->emit({obs::trace_event_kind::convergence, time, 0});
+        tel.trace->emit({obs::trace_event_kind::run_end, time, 0});
+      }
+      return time;
     }
     silent_n_state_ssr protocol(spec.n);
+    record_phase_names(protocol, tel);
     rng_t rng(seed);
     auto initial = adversarial_configuration(protocol, rng);
     const auto r = measure_convergence_with(spec.engine, protocol,
@@ -134,6 +192,7 @@ double ranking_trial(const util::sim_request_spec& spec, std::uint64_t seed,
   }
   if (spec.protocol == "optimal") {
     optimal_silent_ssr protocol(spec.n);
+    record_phase_names(protocol, tel);
     rng_t rng(seed);
     auto initial = adversarial_configuration(
         protocol, optimal_scenario_of(spec.scenario), rng);
@@ -147,6 +206,7 @@ double ranking_trial(const util::sim_request_spec& spec, std::uint64_t seed,
   }
   if (spec.protocol == "sublinear") {
     sublinear_time_ssr protocol(spec.n, spec.h);
+    record_phase_names(protocol, tel);
     rng_t rng(seed);
     auto initial = adversarial_configuration(
         protocol, sublinear_scenario_of(spec.scenario), rng);
@@ -186,20 +246,43 @@ obs::json_value spec_json(const util::sim_request_spec& spec) {
 
 std::shared_ptr<const obs::json_value> run_simulation(
     const util::sim_request_spec& spec, const cancel_token* cancel,
-    obs::metrics_registry* metrics) {
+    obs::metrics_registry* metrics, request_telemetry* telemetry) {
   trial_options options;
   options.parallel = false;  // the serve worker pool is the concurrency
   options.engine = spec.engine;
   options.metrics = metrics;
   options.cancel = cancel;
 
+  // Per-job profiler on this worker thread: both the timeline collector
+  // and the hardware counter group are single-threaded/per-thread, so a
+  // process-global profiler would race across concurrent jobs.
+  std::unique_ptr<obs::perf_counter_group> perf;
+  std::unique_ptr<obs::timeline_profiler> profiler;
+  if (telemetry != nullptr && telemetry->options.profile) {
+    perf = std::make_unique<obs::perf_counter_group>();
+    profiler = std::make_unique<obs::timeline_profiler>(
+        obs::timeline_options{.perf = perf.get()});
+  }
+
+  // Trials run sequentially (options.parallel = false), so the first
+  // invocation is trial 0 -- the traced trajectory.
+  bool traced = false;
   const std::vector<double> samples = run_trials(
       static_cast<std::size_t>(spec.trials), spec.seed,
       [&](std::uint64_t seed, engine_kind) {
-        return spec.protocol == "loose" ? loose_trial(spec, seed, cancel)
-                                        : ranking_trial(spec, seed, cancel);
+        trial_telemetry tel;
+        tel.profiler = profiler.get();
+        if (telemetry != nullptr && telemetry->options.trace && !traced) {
+          traced = true;
+          tel.trace = &telemetry->trace;
+          tel.phase_names = &telemetry->phase_names;
+        }
+        return spec.protocol == "loose"
+                   ? loose_trial(spec, seed, cancel, tel)
+                   : ranking_trial(spec, seed, cancel, tel);
       },
       options);
+  if (profiler != nullptr) telemetry->profile = profiler->profile().to_json();
 
   const summary stats = summarize(samples);
   auto doc = std::make_shared<obs::json_value>(obs::json_value::object());

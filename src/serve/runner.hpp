@@ -23,6 +23,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "pp/cancellation.hpp"
+#include "serve/request_context.hpp"
 #include "util/request_spec.hpp"
 
 namespace ssr::serve {
@@ -39,8 +40,16 @@ namespace ssr::serve {
 /// progress streaming reads.  Throws cancelled_error when `cancel` fires
 /// and std::runtime_error when a trial fails to converge within
 /// spec.max_time.
+///
+/// `telemetry`, when non-null, is filled on this (worker) thread: the
+/// first trial streams into telemetry->trace when tracing was requested
+/// (full phase stream for phase-instrumented protocols, run framing +
+/// collision/convergence markers otherwise), and with profiling requested
+/// a per-job timeline profiler + hardware counter group cover every trial,
+/// landing in telemetry->profile.  Telemetry never changes the simulated
+/// trajectories, so the result document stays a pure function of the spec.
 std::shared_ptr<const obs::json_value> run_simulation(
     const util::sim_request_spec& spec, const cancel_token* cancel,
-    obs::metrics_registry* metrics);
+    obs::metrics_registry* metrics, request_telemetry* telemetry = nullptr);
 
 }  // namespace ssr::serve

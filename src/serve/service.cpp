@@ -2,19 +2,24 @@
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "obs/progress.hpp"
+#include "serve/request_context.hpp"
 #include "serve/runner.hpp"
 #include "util/request_spec.hpp"
 
 namespace ssr::serve {
 namespace {
 
-constexpr std::string_view k_request_types[] = {"run", "stats", "ping",
-                                                "shutdown"};
+constexpr std::string_view k_request_types[] = {"run", "stats", "metrics",
+                                                "ping", "shutdown"};
 
 // Every field a "run" request may carry; anything else is rejected with a
 // nearest-name suggestion so typos ("trails") fail loudly instead of
@@ -23,6 +28,7 @@ constexpr std::string_view k_run_fields[] = {
     "type",     "id",    "protocol", "scenario",    "n",
     "h",        "t_max", "trials",   "seed",        "max_time",
     "engine",   "shards", "deadline_ms", "progress", "no_cache",
+    "trace",    "profile",
 };
 
 /// Non-negative integral JSON number, exact in a double.
@@ -64,14 +70,63 @@ obs::json_value field_errors_json(
   return arr;
 }
 
+/// Parses the "trace" request field (bool shorthand or options object)
+/// into the builder; records field errors in the shared formats.
+void parse_trace_field(const obs::json_value& value,
+                       util::telemetry_builder& builder,
+                       std::vector<util::spec_error>& errors) {
+  if (value.is_bool()) {
+    builder.set_trace_enabled(value.as_bool());
+    return;
+  }
+  if (!value.is_object()) {
+    errors.push_back({"trace", "must be a boolean or an options object"});
+    return;
+  }
+  builder.set_trace_enabled(true);
+  for (const auto& [name, sub] : value.members()) {
+    if (name == "enabled") {
+      if (!sub.is_bool()) {
+        errors.push_back({"trace.enabled", "must be a boolean"});
+        continue;
+      }
+      builder.set_trace_enabled(sub.as_bool());
+      continue;
+    }
+    const std::optional<std::uint64_t> u = as_u64(sub);
+    if (!u.has_value()) {
+      // Unknown names still get the nearest-name diagnostic, not a type
+      // complaint about a field that doesn't exist.
+      bool known = false;
+      for (const std::string_view candidate : util::trace_option_names()) {
+        known = known || candidate == name;
+      }
+      if (known) {
+        errors.push_back(
+            {"trace." + name, "must be a non-negative integer"});
+        continue;
+      }
+    }
+    builder.set_trace_option(name, u.value_or(0));
+  }
+}
+
 }  // namespace
 
 service::service(service_options options)
-    : options_(options),
-      cache_(options.cache_capacity),
-      queue_(job_queue_options{.workers = options.workers,
-                               .max_depth = options.max_queue_depth},
-             &metrics_) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      queue_(job_queue_options{.workers = options_.workers,
+                               .max_depth = options_.max_queue_depth},
+             &metrics_) {
+  if (!options_.telemetry_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.telemetry_dir, ec);
+    // A failed open leaves the journal disabled rather than killing the
+    // daemon: telemetry persistence is best-effort observability.
+    journal_.open(options_.telemetry_dir + "/events.jsonl");
+  }
+}
 
 service::~service() { queue_.shutdown(/*drain=*/false); }
 
@@ -106,6 +161,13 @@ obs::json_value service::handle(const obs::json_value& request,
     doc["stats"] = stats_document();
     return doc;
   }
+  if (name == "metrics") {
+    obs::json_value doc = base_response(request, "metrics");
+    doc["ok"] = true;
+    doc["content_type"] = "text/plain; version=0.0.4";
+    doc["metrics"] = metrics_text();
+    return doc;
+  }
   if (name == "ping") {
     obs::json_value doc = base_response(request, "pong");
     doc["ok"] = true;
@@ -126,6 +188,7 @@ obs::json_value service::handle(const obs::json_value& request,
 obs::json_value service::handle_run(const obs::json_value& request,
                                     const event_sink& sink) {
   util::spec_builder builder;
+  util::telemetry_builder telemetry_builder;
   std::vector<util::spec_error> errors;
   bool want_progress = false;
   bool no_cache = false;
@@ -136,6 +199,18 @@ obs::json_value service::handle_run(const obs::json_value& request,
       errors.push_back({field, "must be a non-negative integer"});
     };
     if (field == "type" || field == "id") continue;
+    if (field == "trace") {
+      parse_trace_field(value, telemetry_builder, errors);
+      continue;
+    }
+    if (field == "profile") {
+      if (!value.is_bool()) {
+        errors.push_back({field, "must be a boolean"});
+        continue;
+      }
+      telemetry_builder.set_profile(value.as_bool());
+      continue;
+    }
     if (field == "protocol" || field == "scenario" || field == "engine") {
       if (!value.is_string()) {
         errors.push_back({field, "must be a string"});
@@ -187,6 +262,9 @@ obs::json_value service::handle_run(const obs::json_value& request,
 
   std::vector<util::spec_error> spec_errors = builder.finalize();
   errors.insert(errors.end(), spec_errors.begin(), spec_errors.end());
+  std::vector<util::spec_error> telemetry_errors = telemetry_builder.finalize();
+  errors.insert(errors.end(), telemetry_errors.begin(),
+                telemetry_errors.end());
   if (!errors.empty()) {
     obs::json_value doc =
         error_response(request, "invalid_request",
@@ -196,31 +274,71 @@ obs::json_value service::handle_run(const obs::json_value& request,
   }
 
   const util::sim_request_spec spec = builder.spec();
+  const util::telemetry_spec telemetry_options = telemetry_builder.spec();
   const std::string fingerprint = spec.canonical();
+  const std::string request_id =
+      "job-" + std::to_string(
+                   next_request_id_.fetch_add(1, std::memory_order_relaxed));
+  const auto journal_fields = [&] {
+    obs::json_value fields = obs::json_value::object();
+    fields["request_id"] = request_id;
+    return fields;
+  };
 
-  if (!no_cache) {
+  // Telemetry must observe an actual execution, so a telemetered request
+  // bypasses the cache *lookup*; it still populates the cache below
+  // (results are pure functions of the spec, telemetry is not part of the
+  // fingerprint).
+  if (!no_cache && !telemetry_options.any()) {
     if (std::shared_ptr<const obs::json_value> cached =
             cache_.get(fingerprint)) {
       metrics_.get_counter("serve.cache_hits").add(1);
+      if (journal_.enabled()) {
+        obs::json_value fields = journal_fields();
+        fields["fingerprint"] = fingerprint;
+        journal_.emit("cache_hit", fields);
+      }
       obs::json_value doc = base_response(request, "result");
       doc["ok"] = true;
       doc["cached"] = true;
       doc["fingerprint"] = fingerprint;
+      doc["request_id"] = request_id;
       doc["result"] = *cached;
       return doc;
     }
     metrics_.get_counter("serve.cache_misses").add(1);
+  } else if (telemetry_options.any()) {
+    metrics_.get_counter("serve.cache_bypass").add(1);
   }
 
   // Per-job registry: the worker's run_trials accounting lands here, and
   // the connection thread reads it back out for progress events without
   // mixing trials across concurrent jobs.
   auto job_metrics = std::make_shared<obs::metrics_registry>();
-  std::shared_ptr<job_handle> handle =
-      queue_.try_submit([spec, job_metrics](const cancel_token& token) {
-        return run_simulation(spec, &token, job_metrics.get());
+  std::shared_ptr<request_telemetry> telemetry;
+  if (telemetry_options.any()) {
+    telemetry = std::make_shared<request_telemetry>(telemetry_options);
+  }
+  std::shared_ptr<job_handle> handle = queue_.try_submit(
+      [this, spec, job_metrics, telemetry,
+       request_id](const cancel_token& token) {
+        if (journal_.enabled()) {
+          obs::json_value fields = obs::json_value::object();
+          fields["request_id"] = request_id;
+          fields["queue_depth"] =
+              static_cast<std::uint64_t>(queue_.depth());
+          journal_.emit("start", fields);
+        }
+        return run_simulation(spec, &token, job_metrics.get(),
+                              telemetry.get());
       });
   if (handle == nullptr) {
+    metrics_.get_counter("serve.requests_rejected").add(1);
+    if (journal_.enabled()) {
+      obs::json_value fields = journal_fields();
+      fields["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
+      journal_.emit("rejected", fields);
+    }
     obs::json_value doc = error_response(
         request, "saturated",
         "job queue is full; retry after the suggested backoff");
@@ -228,12 +346,26 @@ obs::json_value service::handle_run(const obs::json_value& request,
         static_cast<std::uint64_t>(options_.retry_after.count());
     return doc;
   }
+  if (journal_.enabled()) {
+    obs::json_value fields = journal_fields();
+    fields["fingerprint"] = fingerprint;
+    fields["protocol"] = spec.protocol;
+    fields["n"] = static_cast<std::uint64_t>(spec.n);
+    fields["trials"] = spec.trials;
+    fields["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
+    journal_.emit("admit", fields);
+  }
   if (deadline_ms.has_value()) {
     handle->token().set_deadline_after(
         std::chrono::milliseconds(*deadline_ms));
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::floor(elapsed.count());
+  };
   while (!handle->wait_for(options_.poll_interval)) {
     if (want_progress && sink) {
       const obs::progress_sample sample =
@@ -242,10 +374,15 @@ obs::json_value service::handle_run(const obs::json_value& request,
       event["trials_completed"] =
           static_cast<std::uint64_t>(sample.trials_completed);
       event["trials_total"] = spec.trials;
-      const std::chrono::duration<double, std::milli> elapsed =
-          std::chrono::steady_clock::now() - start;
-      event["elapsed_ms"] = std::floor(elapsed.count());
+      event["elapsed_ms"] = elapsed_ms();
       sink(event);
+      if (journal_.enabled()) {
+        obs::json_value fields = journal_fields();
+        fields["trials_completed"] =
+            static_cast<std::uint64_t>(sample.trials_completed);
+        fields["trials_total"] = spec.trials;
+        journal_.emit("progress", fields);
+      }
     }
   }
 
@@ -257,19 +394,80 @@ obs::json_value service::handle_run(const obs::json_value& request,
       doc["ok"] = true;
       doc["cached"] = false;
       doc["fingerprint"] = fingerprint;
+      doc["request_id"] = request_id;
       doc["result"] = *result;
+      if (telemetry != nullptr) {
+        doc["telemetry"] = render_telemetry(*telemetry, request_id);
+      }
+      if (journal_.enabled()) {
+        obs::json_value fields = journal_fields();
+        fields["fingerprint"] = fingerprint;
+        fields["elapsed_ms"] = elapsed_ms();
+        fields["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
+        fields["telemetry"] = telemetry != nullptr;
+        journal_.emit("complete", fields);
+      }
       return doc;
     }
-    case job_handle::state::cancelled:
-      return error_response(request,
-                            handle->deadline_expired() ? "deadline_exceeded"
-                                                       : "cancelled",
-                            handle->error());
+    case job_handle::state::cancelled: {
+      const bool deadline = handle->deadline_expired();
+      if (journal_.enabled()) {
+        obs::json_value fields = journal_fields();
+        fields["elapsed_ms"] = elapsed_ms();
+        fields["message"] = handle->error();
+        journal_.emit(deadline ? "deadline_expired" : "cancelled", fields);
+      }
+      obs::json_value doc = error_response(
+          request, deadline ? "deadline_exceeded" : "cancelled",
+          handle->error());
+      doc["request_id"] = request_id;
+      return doc;
+    }
     case job_handle::state::failed:
     case job_handle::state::pending:
       break;
   }
-  return error_response(request, "run_failed", handle->error());
+  if (journal_.enabled()) {
+    obs::json_value fields = journal_fields();
+    fields["message"] = handle->error();
+    journal_.emit("failed", fields);
+  }
+  obs::json_value doc = error_response(request, "run_failed",
+                                       handle->error());
+  doc["request_id"] = request_id;
+  return doc;
+}
+
+obs::json_value service::render_telemetry(const request_telemetry& telemetry,
+                                          const std::string& request_id) {
+  obs::json_value doc = obs::json_value::object();
+  doc["request_id"] = request_id;
+  if (telemetry.options.trace) doc["trace"] = telemetry.trace_json();
+  if (telemetry.options.profile) doc["profile"] = telemetry.profile;
+  if (!options_.telemetry_dir.empty()) {
+    const std::string dir = options_.telemetry_dir + "/" + request_id;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) {
+      obs::json_value artifacts = obs::json_value::object();
+      artifacts["dir"] = dir;
+      if (telemetry.options.trace) {
+        const std::string path = dir + "/trace.jsonl";
+        std::ofstream os(path);
+        telemetry.trace.write_jsonl(os, telemetry.phase_names);
+        artifacts["trace"] = path;
+      }
+      if (telemetry.options.profile) {
+        const std::string path = dir + "/profile.json";
+        std::ofstream os(path);
+        os << telemetry.profile.dump(2) << '\n';
+        artifacts["profile"] = path;
+      }
+      artifacts["events"] = options_.telemetry_dir + "/events.jsonl";
+      doc["artifacts"] = std::move(artifacts);
+    }
+  }
+  return doc;
 }
 
 obs::json_value service::stats_document() {
@@ -314,6 +512,21 @@ obs::json_value service::stats_document() {
   cache["hit_rate"] = cache_.hit_rate();
   stats["cache"] = std::move(cache);
   return stats;
+}
+
+std::string service::metrics_text() {
+  // Point-in-time values live outside the registry (cache internals, queue
+  // sizing); refresh them as gauges at scrape time so one exposition
+  // carries the full picture.  Counter-valued serve.* metrics (cache
+  // hits/misses, jobs_*) are already registry-resident.
+  metrics_.get_gauge("serve.cache_size")
+      .set(static_cast<double>(cache_.size()));
+  metrics_.get_gauge("serve.cache_capacity")
+      .set(static_cast<double>(cache_.capacity()));
+  metrics_.get_gauge("serve.cache_evictions")
+      .set(static_cast<double>(cache_.evictions()));
+  metrics_.get_gauge("serve.cache_hit_rate").set(cache_.hit_rate());
+  return obs::prometheus_text(metrics_);
 }
 
 bool service::shutdown_requested() const {

@@ -12,25 +12,44 @@
 //   {"type":"run", "id":..., "protocol":..., "scenario":..., "n":...,
 //    "h":..., "t_max":..., "trials":..., "seed":..., "max_time":...,
 //    "engine":..., "shards":..., "deadline_ms":..., "progress":bool,
-//    "no_cache":bool}
-//   {"type":"stats", "id":...} | {"type":"ping", "id":...}
-//   {"type":"shutdown", "id":...}
+//    "no_cache":bool,
+//    "trace":bool | {"enabled":bool,"sample_every":N,"max_events":N},
+//    "profile":bool}
+//   {"type":"stats", "id":...} | {"type":"metrics", "id":...}
+//   {"type":"ping", "id":...} | {"type":"shutdown", "id":...}
 //
 // Response documents (the request's "id" is echoed verbatim):
 //
 //   {"id":..., "type":"result", "ok":true, "cached":bool,
-//    "fingerprint":..., "result":{...}}           -- runner.hpp layout
+//    "fingerprint":..., "request_id":"job-N",
+//    "result":{...},                              -- runner.hpp layout
+//    "telemetry":{...}}                           -- only when requested:
+//      {"request_id":"job-N",
+//       "trace":{"header":{...},"events":[...]},  -- trace requested
+//       "profile":{...},                          -- profile requested
+//       "artifacts":{"dir":...,"trace":...,       -- daemon has a
+//                    "profile":...,"events":...}} --   telemetry dir
 //   {"id":..., "type":"error", "ok":false, "error":<kind>, "message":...,
 //    "field_errors":[{"field","message"},...],    -- kind=invalid_request
 //    "retry_after_ms":N}                          -- kind=saturated
 //   {"id":..., "type":"progress", "trials_completed":N, "trials_total":N,
 //    "elapsed_ms":N}                              -- interim, progress=true
 //   {"id":..., "type":"stats", "ok":true, "stats":{...}}
+//   {"id":..., "type":"metrics", "ok":true,
+//    "content_type":"text/plain; version=0.0.4",
+//    "metrics":"<Prometheus exposition text>"}
 //   {"id":..., "type":"pong", "ok":true}
 //   {"id":..., "type":"shutdown", "ok":true, "draining":true}
 //
 // Error kinds: invalid_request, saturated, deadline_exceeded, cancelled,
 // run_failed.
+//
+// Telemetry semantics: trace/profile options never enter the canonical
+// spec or the cache fingerprint (they cannot change the result), but a
+// telemetered request *bypasses the cache lookup* -- the artifacts only
+// exist if the job executes -- while still populating the cache for later
+// untelemetered replays.  serve/journal.hpp documents the events.jsonl
+// job journal written when the service has a telemetry directory.
 #pragma once
 
 #include <atomic>
@@ -38,14 +57,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/job_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/result_cache.hpp"
 
 namespace ssr::serve {
+
+struct request_telemetry;  // serve/request_context.hpp
 
 struct service_options {
   /// Worker threads executing simulations.
@@ -58,6 +81,11 @@ struct service_options {
   std::chrono::milliseconds retry_after{250};
   /// Completion poll slice; also the progress-event emission period.
   std::chrono::milliseconds poll_interval{200};
+  /// When nonempty: the directory receiving the events.jsonl job journal
+  /// and per-job telemetry artifacts (<dir>/<request_id>/trace.jsonl,
+  /// profile.json).  Created on construction.  Empty disables server-side
+  /// telemetry persistence (in-band telemetry still works).
+  std::string telemetry_dir{};
 };
 
 class service {
@@ -88,6 +116,12 @@ class service {
   /// makes a fresh service report explicit zeros.
   obs::json_value stats_document();
 
+  /// The Prometheus text exposition served for {"type":"metrics"}: every
+  /// registered serve.* metric (obs/exposition.hpp) plus point-in-time
+  /// cache/queue gauges refreshed at scrape time.  Also what the daemon's
+  /// periodic stats snapshot writes to disk.
+  std::string metrics_text();
+
   /// Set once a {"type":"shutdown"} request is handled; the server's
   /// accept loop polls this to begin the graceful drain.
   bool shutdown_requested() const;
@@ -98,15 +132,24 @@ class service {
   result_cache& cache() { return cache_; }
   obs::metrics_registry& metrics() { return metrics_; }
   const service_options& options() const { return options_; }
+  /// The events.jsonl job journal; disabled unless options.telemetry_dir
+  /// was set (tests may attach a stream via job_journal().open_stream()).
+  journal& job_journal() { return journal_; }
 
  private:
   obs::json_value handle_run(const obs::json_value& request,
                              const event_sink& sink);
+  /// Renders the response "telemetry" block and, when the service has a
+  /// telemetry directory, persists the per-job artifacts.
+  obs::json_value render_telemetry(const request_telemetry& telemetry,
+                                   const std::string& request_id);
 
   service_options options_;
   obs::metrics_registry metrics_;
   result_cache cache_;
   job_queue queue_;
+  journal journal_;
+  std::atomic<std::uint64_t> next_request_id_{1};
   std::atomic<bool> shutdown_requested_{false};
 };
 

@@ -199,6 +199,48 @@ void spec_builder::set_max_time_text(std::string_view text) {
   set_max_time(value);
 }
 
+namespace {
+constexpr std::string_view k_trace_options[] = {"sample_every", "max_events"};
+}  // namespace
+
+std::span<const std::string_view> trace_option_names() {
+  return k_trace_options;
+}
+
+void telemetry_builder::set_trace_enabled(bool v) { spec_.trace = v; }
+
+void telemetry_builder::set_trace_option(std::string_view name,
+                                         std::uint64_t value) {
+  if (name == "sample_every") {
+    spec_.trace_sample_every = value;
+    return;
+  }
+  if (name == "max_events") {
+    spec_.trace_max_events = value;
+    return;
+  }
+  std::string field = "trace.";
+  field += name;
+  errors_.push_back(
+      {std::move(field),
+       unknown_name_message("trace option", name, k_trace_options)});
+}
+
+void telemetry_builder::set_profile(bool v) { spec_.profile = v; }
+
+std::vector<spec_error> telemetry_builder::finalize() {
+  std::vector<spec_error> errors = errors_;
+  if (spec_.trace_sample_every == 0) {
+    errors.push_back({"trace.sample_every",
+                      "sampling period must be >= 1 (1 keeps every event)"});
+  }
+  if (spec_.trace_max_events == 0) {
+    errors.push_back(
+        {"trace.max_events", "event buffer cap must be >= 1"});
+  }
+  return errors;
+}
+
 std::vector<spec_error> spec_builder::finalize() {
   std::vector<spec_error> errors = syntax_errors_;
 

@@ -123,6 +123,51 @@ class spec_builder {
   std::vector<spec_error> syntax_errors_;
 };
 
+/// Per-request telemetry options -- the wire-level "trace" / "profile"
+/// request fields (docs/serving.md, "Wire telemetry").  Deliberately NOT
+/// part of sim_request_spec: telemetry never changes the simulated
+/// trajectory, so it must not enter canonical() or the result-cache
+/// fingerprint.
+struct telemetry_spec {
+  bool trace = false;
+  /// Keep every k-th phase_transition event (obs::trace_options).
+  std::uint64_t trace_sample_every = 1;
+  /// Buffered-event cap for the per-request sink.
+  std::uint64_t trace_max_events = 1u << 20;
+  bool profile = false;
+
+  bool any() const { return trace || profile; }
+
+  friend bool operator==(const telemetry_spec&,
+                         const telemetry_spec&) = default;
+};
+
+/// Valid sub-fields of the "trace" request object, for diagnostics.
+std::span<const std::string_view> trace_option_names();
+
+/// Accumulates and validates the wire telemetry options, mirroring
+/// spec_builder so every front end rejects a bad "trace" object with the
+/// same field-level errors and nearest-name suggestions ("sample_evry"
+/// must fail loudly, not silently trace with defaults).
+class telemetry_builder {
+ public:
+  void set_trace_enabled(bool v);
+  /// Sets "trace.<name>" from a typed value; unknown names record a
+  /// field error with a nearest-name suggestion.
+  void set_trace_option(std::string_view name, std::uint64_t value);
+  void set_profile(bool v);
+
+  /// Cross-field validation: sample_every >= 1, max_events >= 1.
+  /// Idempotent; empty = valid.
+  std::vector<spec_error> finalize();
+
+  const telemetry_spec& spec() const { return spec_; }
+
+ private:
+  telemetry_spec spec_;
+  std::vector<spec_error> errors_;
+};
+
 /// Strict unsigned-integer parse (digits only, no sign, no overflow
 /// checking beyond 64 bits); nullopt on anything else.
 std::optional<std::uint64_t> parse_u64(std::string_view text);

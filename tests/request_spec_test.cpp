@@ -258,5 +258,63 @@ TEST(Fingerprint, DistinguishesEveryMaterialField) {
   differs([](spec_builder& b) { b.set_max_time(5e6); });
 }
 
+TEST(TelemetrySpec, DefaultsAreDetached) {
+  telemetry_builder builder;
+  EXPECT_TRUE(builder.finalize().empty());
+  EXPECT_FALSE(builder.spec().any());
+  EXPECT_FALSE(builder.spec().trace);
+  EXPECT_FALSE(builder.spec().profile);
+  EXPECT_EQ(builder.spec().trace_sample_every, 1u);
+}
+
+TEST(TelemetrySpec, AnyReflectsEitherChannel) {
+  telemetry_builder traced;
+  traced.set_trace_enabled(true);
+  EXPECT_TRUE(traced.spec().any());
+
+  telemetry_builder profiled;
+  profiled.set_profile(true);
+  EXPECT_TRUE(profiled.spec().any());
+}
+
+TEST(TelemetrySpec, TraceOptionsApplyByName) {
+  telemetry_builder builder;
+  builder.set_trace_enabled(true);
+  builder.set_trace_option("sample_every", 8);
+  builder.set_trace_option("max_events", 512);
+  EXPECT_TRUE(builder.finalize().empty());
+  EXPECT_EQ(builder.spec().trace_sample_every, 8u);
+  EXPECT_EQ(builder.spec().trace_max_events, 512u);
+}
+
+TEST(TelemetrySpec, UnknownTraceOptionSuggestsNearest) {
+  telemetry_builder builder;
+  builder.set_trace_option("sample_evry", 2);
+  const std::vector<spec_error> errors = builder.finalize();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "trace.sample_evry");
+  EXPECT_NE(errors[0].message.find("did you mean sample_every"),
+            std::string::npos)
+      << errors[0].message;
+}
+
+TEST(TelemetrySpec, ZeroesAreRejectedNotClamped) {
+  telemetry_builder builder;
+  builder.set_trace_enabled(true);
+  builder.set_trace_option("sample_every", 0);
+  builder.set_trace_option("max_events", 0);
+  const std::vector<spec_error> errors = builder.finalize();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].field, "trace.sample_every");
+  EXPECT_EQ(errors[1].field, "trace.max_events");
+}
+
+TEST(TelemetrySpec, FinalizeIsIdempotent) {
+  telemetry_builder builder;
+  builder.set_trace_option("bogus", 1);
+  EXPECT_EQ(builder.finalize().size(), 1u);
+  EXPECT_EQ(builder.finalize().size(), 1u);
+}
+
 }  // namespace
 }  // namespace ssr::util

@@ -1,22 +1,28 @@
 #!/bin/sh
 # End-to-end serve smoke: boot the daemon on an ephemeral port, drive it
-# with ssr_client (single run, concurrent sweep, cached replay, 8-client
-# hammer), check the cache actually served the replay, validate the
-# emitted BENCH_SERVE.json, and shut down cleanly.
+# with ssr_client (single run, concurrent sweep, cached replay, traced +
+# profiled run, metrics scrape, 8-client hammer), check the cache actually
+# served the replay, check the wire telemetry round trip (trace artifact
+# byte-identical client/server, trace_stats parses it, events.jsonl
+# journal, metrics.prom snapshot), validate the emitted BENCH_SERVE.json,
+# and shut down cleanly.
 #
-#   serve_smoke.sh <ssr_serve> <ssr_client> <report_diff>
+#   serve_smoke.sh <ssr_serve> <ssr_client> <report_diff> [trace_stats]
 #
 # Run by ctest (serve_e2e) and by the CI serve leg; exits non-zero on the
 # first failed step.  SERVE_SMOKE_OUT_DIR / SERVE_SMOKE_HISTORY_DIR, when
 # set, redirect the hammer's BENCH_SERVE.json into the caller's report and
 # bench-history directories (CI does this so report_trend gates the serve
-# latency and cache-hit-rate rows); by default everything stays in a
-# scratch directory that is removed on exit.
+# latency, cache-hit-rate, and telemetry-overhead rows); by default
+# everything stays in a scratch directory that is removed on exit.
+# SERVE_SMOKE_TELEMETRY_DIR, when set, keeps the daemon's telemetry
+# directory (journal, per-job artifacts, metrics.prom) for upload.
 set -eu
 
 SERVE=$1
 CLIENT=$2
 REPORT_DIFF=$3
+TRACE_STATS=${4:-}
 
 WORK=$(mktemp -d serve_smoke.XXXXXX)
 PORT_FILE=$WORK/port
@@ -32,8 +38,11 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
+TELEMETRY_DIR=${SERVE_SMOKE_TELEMETRY_DIR:-$WORK/telemetry}
 "$SERVE" --port=0 --workers=4 --queue-depth=32 --cache=64 \
-  --port-file="$PORT_FILE" >"$DAEMON_LOG" 2>&1 &
+  --port-file="$PORT_FILE" \
+  --telemetry-dir="$TELEMETRY_DIR" --stats-period-s=1 \
+  >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 
 # Wait (up to ~5s) for the daemon to publish its port.
@@ -66,34 +75,89 @@ echo "== cached replay must be served from the cache, bit-identical"
 "$CLIENT" --port-file="$PORT_FILE" --protocol=optimal --n=32 --trials=2 \
   --seed=7 >"$WORK/run2.json"
 grep -q '"cached": true' "$WORK/run2.json"
-# Strip the only legitimately differing field and compare the rest.
-sed 's/"cached": [a-z]*//' "$WORK/run1.json" >"$WORK/run1.stripped"
-sed 's/"cached": [a-z]*//' "$WORK/run2.json" >"$WORK/run2.stripped"
+# Strip the per-request envelope fields (cached flag, request id) and
+# compare the rest -- the result payload must be bit-identical.
+sed 's/"cached": [a-z]*//; s/"request_id": "job-[0-9]*"//' \
+  "$WORK/run1.json" >"$WORK/run1.stripped"
+sed 's/"cached": [a-z]*//; s/"request_id": "job-[0-9]*"//' \
+  "$WORK/run2.json" >"$WORK/run2.stripped"
 cmp "$WORK/run1.stripped" "$WORK/run2.stripped"
 
 echo "== concurrent sweep fan-out"
 "$CLIENT" --port-file="$PORT_FILE" --sweep-n=16,24,32 --trials=2 --seed=7
 
-echo "== hammer: 8 concurrent clients, BENCH_SERVE.json emitted"
+echo "== traced + profiled run, artifacts pulled client-side"
+"$CLIENT" --port-file="$PORT_FILE" --protocol=optimal --n=32 --trials=2 \
+  --seed=7 --trace-out="$WORK/trace.jsonl" \
+  --profile-out="$WORK/profile.json" >"$WORK/run3.json"
+grep -q '"ok": true' "$WORK/run3.json"
+# Telemetry bypasses the cache lookup: the earlier identical spec is
+# cached, but this request must execute to produce artifacts.
+grep -q '"cached": false' "$WORK/run3.json"
+grep -q '"request_id"' "$WORK/run3.json"
+grep -q '"event":"trace_header"' "$WORK/trace.jsonl"
+grep -q '"schema": "ssr.profile"' "$WORK/profile.json"
+
+echo "== client trace matches the daemon's artifact byte for byte"
+REQUEST_ID=$(sed -n 's/.*"request_id": "\(job-[0-9]*\)".*/\1/p' \
+  "$WORK/run3.json" | head -n1)
+cmp "$WORK/trace.jsonl" "$TELEMETRY_DIR/$REQUEST_ID/trace.jsonl"
+test -s "$TELEMETRY_DIR/$REQUEST_ID/profile.json"
+
+if [ -n "$TRACE_STATS" ]; then
+  echo "== trace_stats parses the served trace unchanged"
+  "$TRACE_STATS" "$WORK/trace.jsonl"
+fi
+
+echo "== events.jsonl journal recorded the job lifecycle"
+grep -q '"event":"journal_header"' "$TELEMETRY_DIR/events.jsonl"
+grep -q '"event":"admit"' "$TELEMETRY_DIR/events.jsonl"
+grep -q '"event":"cache_hit"' "$TELEMETRY_DIR/events.jsonl"
+grep -q "\"event\":\"complete\".*\"request_id\":\"$REQUEST_ID\"" \
+  "$TELEMETRY_DIR/events.jsonl"
+
+echo "== live metrics exposition scrapes"
+"$CLIENT" --port-file="$PORT_FILE" --metrics >"$WORK/metrics.prom"
+grep -q '# TYPE ssr_serve_jobs_completed counter' "$WORK/metrics.prom"
+grep -q '# TYPE ssr_serve_cache_hit_rate gauge' "$WORK/metrics.prom"
+grep -q 'ssr_serve_job_seconds{quantile="0.99"}' "$WORK/metrics.prom"
+
+echo "== periodic metrics.prom snapshot appears"
+tries=0
+while [ ! -s "$TELEMETRY_DIR/metrics.prom" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 50 ]; then
+    echo "FAIL: no metrics.prom snapshot after 5s" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+grep -q 'ssr_serve_jobs_completed' "$TELEMETRY_DIR/metrics.prom"
+
+echo "== hammer: 8 concurrent clients + telemetry overhead probe"
 OUT_DIR=${SERVE_SMOKE_OUT_DIR:-$WORK/reports}
 if [ -n "${SERVE_SMOKE_HISTORY_DIR:-}" ]; then
   "$CLIENT" --port-file="$PORT_FILE" --hammer=8 --requests=4 \
-    --protocol=optimal --n=32 --trials=2 --seed=7 \
+    --protocol=optimal --n=256 --trials=2 --seed=7 --overhead-probe=3 \
     --out-dir="$OUT_DIR" --history-dir="$SERVE_SMOKE_HISTORY_DIR"
 else
   "$CLIENT" --port-file="$PORT_FILE" --hammer=8 --requests=4 \
-    --protocol=optimal --n=32 --trials=2 --seed=7 --out-dir="$OUT_DIR"
+    --protocol=optimal --n=256 --trials=2 --seed=7 --overhead-probe=3 \
+    --out-dir="$OUT_DIR"
 fi
 "$REPORT_DIFF" --validate "$OUT_DIR/BENCH_SERVE.json"
+grep -q '"telemetry_overhead"' "$OUT_DIR/BENCH_SERVE.json"
 
 echo "== stats: the cache must have served hits by now"
-"$CLIENT" --port-file="$PORT_FILE" --stats >"$WORK/stats.json"
+"$CLIENT" --port-file="$PORT_FILE" --stats --raw >"$WORK/stats.json"
 grep -q '"hits"' "$WORK/stats.json"
 if grep -q '"hits": 0,' "$WORK/stats.json"; then
   echo "FAIL: cache never hit" >&2
   cat "$WORK/stats.json" >&2
   exit 1
 fi
+# The default (pretty) stats rendering carries the same sections.
+"$CLIENT" --port-file="$PORT_FILE" --stats | grep -q 'hit_rate:'
 
 echo "== graceful shutdown drains"
 "$CLIENT" --port-file="$PORT_FILE" --shutdown

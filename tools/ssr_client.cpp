@@ -19,6 +19,7 @@
 // server *unvalidated*: rejecting bad specs identically at every front
 // end is the server's job (util/request_spec.hpp), and field errors come
 // back in the error response.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -50,7 +51,9 @@ constexpr std::string_view k_flags[] = {
     "--deadline-ms", "--progress",  "--no-cache",  "--stats",
     "--ping",        "--shutdown",  "--sweep-n",   "--hammer",
     "--requests",    "--out-dir",   "--history-dir", "--no-json",
-    "--help",
+    "--trace",       "--trace-out", "--trace-sample-every",
+    "--trace-max-events", "--profile", "--profile-out", "--metrics",
+    "--overhead-probe", "--raw", "--help",
 };
 
 struct cli_options {
@@ -60,26 +63,46 @@ struct cli_options {
   bool progress = false;
   bool no_cache = false;
   std::optional<std::uint64_t> deadline_ms;
-  enum class mode_t { run, stats, ping, shutdown, sweep, hammer } mode =
-      mode_t::run;
+  enum class mode_t { run, stats, metrics, ping, shutdown, sweep, hammer }
+      mode = mode_t::run;
   std::vector<std::uint64_t> sweep_n;
   std::size_t hammer_clients = 0;
   std::size_t requests_per_client = 8;
   std::string out_dir;
   std::string history_dir;
   bool write_json = true;
+  // Wire telemetry (docs/serving.md, "Wire telemetry").
+  bool trace = false;
+  bool profile = false;
+  std::string trace_out;
+  std::string profile_out;
+  std::optional<std::uint64_t> trace_sample_every;
+  std::optional<std::uint64_t> trace_max_events;
+  std::size_t overhead_probe = 0;
+  bool raw = false;
   std::vector<std::string> argv_copy;
 };
 
 void usage(std::ostream& os) {
   os << "usage: ssr_client --port=N|--port-file=PATH [mode] [spec...]\n"
-        "modes:   (default) one run request; --stats; --ping; --shutdown;\n"
-        "         --sweep-n=a,b,c concurrent fan-out; --hammer=C load mode\n"
-        "           (--requests=M per connection, default 8)\n"
+        "modes:   (default) one run request; --stats; --metrics; --ping;\n"
+        "         --shutdown; --sweep-n=a,b,c concurrent fan-out;\n"
+        "         --hammer=C load mode (--requests=M per connection, "
+        "default 8)\n"
         "spec:    --protocol=P --scenario=S --n=N --h=H --t-max=T\n"
         "         --trials=N --seed=S --max-time=T --engine=E --shards=K\n"
         "run:     --deadline-ms=N --progress --no-cache\n"
-        "report:  --out-dir=DIR --history-dir=DIR --no-json (hammer mode)\n";
+        "telemetry: --trace [--trace-out=FILE] [--trace-sample-every=N]\n"
+        "           [--trace-max-events=N] --profile [--profile-out=FILE]\n"
+        "           (--trace-out/--profile-out imply the request option;\n"
+        "            files hold the trace JSONL / profile JSON the daemon\n"
+        "            captured, ready for tools/trace_stats)\n"
+        "stats:   --raw prints the stats response JSON instead of the\n"
+        "         pretty rendering\n"
+        "report:  --out-dir=DIR --history-dir=DIR --no-json;\n"
+        "         --overhead-probe=N adds the telemetry_overhead row\n"
+        "         (N untelemetered vs N traced+profiled requests) to\n"
+        "         BENCH_SERVE.json (hammer mode)\n";
 }
 
 [[noreturn]] void bad_flag(std::string_view arg) {
@@ -189,6 +212,47 @@ cli_options parse_args(int argc, char** argv) {
       opt.mode = cli_options::mode_t::stats;
       continue;
     }
+    if (arg == "--metrics") {
+      opt.mode = cli_options::mode_t::metrics;
+      continue;
+    }
+    if (arg == "--raw") {
+      opt.raw = true;
+      continue;
+    }
+    if (arg == "--trace") {
+      opt.trace = true;
+      continue;
+    }
+    if (const auto v = value_of("--trace-out=")) {
+      opt.trace = true;
+      opt.trace_out = *v;
+      continue;
+    }
+    if (const auto v = value_of("--trace-sample-every=")) {
+      opt.trace = true;
+      opt.trace_sample_every = parse_flag_u64("--trace-sample-every", *v);
+      continue;
+    }
+    if (const auto v = value_of("--trace-max-events=")) {
+      opt.trace = true;
+      opt.trace_max_events = parse_flag_u64("--trace-max-events", *v);
+      continue;
+    }
+    if (arg == "--profile") {
+      opt.profile = true;
+      continue;
+    }
+    if (const auto v = value_of("--profile-out=")) {
+      opt.profile = true;
+      opt.profile_out = *v;
+      continue;
+    }
+    if (const auto v = value_of("--overhead-probe=")) {
+      opt.overhead_probe =
+          static_cast<std::size_t>(parse_flag_u64("--overhead-probe", *v));
+      continue;
+    }
     if (arg == "--ping") {
       opt.mode = cli_options::mode_t::ping;
       continue;
@@ -268,7 +332,69 @@ json_value build_run_request(const cli_options& opt, std::uint64_t id) {
   if (opt.deadline_ms.has_value()) req["deadline_ms"] = *opt.deadline_ms;
   if (opt.progress) req["progress"] = true;
   if (opt.no_cache) req["no_cache"] = true;
+  if (opt.trace) {
+    if (opt.trace_sample_every.has_value() ||
+        opt.trace_max_events.has_value()) {
+      json_value trace = json_value::object();
+      if (opt.trace_sample_every.has_value())
+        trace["sample_every"] = *opt.trace_sample_every;
+      if (opt.trace_max_events.has_value())
+        trace["max_events"] = *opt.trace_max_events;
+      req["trace"] = std::move(trace);
+    } else {
+      req["trace"] = true;
+    }
+  }
+  if (opt.profile) req["profile"] = true;
   return req;
+}
+
+/// Reconstructs the trace JSONL file from the in-band {"header","events"}
+/// transport: header + events are the exact documents write_jsonl emits,
+/// one dump per line, so tools/trace_stats parses the result unchanged.
+bool write_trace_jsonl(const json_value& trace, const std::string& path) {
+  const json_value* header = trace.find("header");
+  const json_value* events = trace.find("events");
+  if (header == nullptr || events == nullptr || !events->is_array())
+    return false;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << header->dump() << '\n';
+  for (const json_value& event : events->items()) {
+    os << event.dump() << '\n';
+  }
+  return os.good();
+}
+
+/// Pretty rendering of the stats document.  Walks the JSON generically --
+/// every field the server sends prints, including ones this client
+/// predates -- instead of a hardcoded field list that silently drops
+/// unknown sections.
+void render_stats(std::ostream& os, const json_value& value,
+                  const std::string& indent) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.members()) {
+      if (member.is_object() || member.is_array()) {
+        os << indent << key << ":\n";
+        render_stats(os, member, indent + "  ");
+      } else {
+        os << indent << key << ": " << member.dump() << '\n';
+      }
+    }
+    return;
+  }
+  if (value.is_array()) {
+    for (const json_value& element : value.items()) {
+      if (element.is_object() || element.is_array()) {
+        os << indent << "-\n";
+        render_stats(os, element, indent + "  ");
+      } else {
+        os << indent << "- " << element.dump() << '\n';
+      }
+    }
+    return;
+  }
+  os << indent << value.dump() << '\n';
 }
 
 /// Sends one request and reads documents until the final (non-progress)
@@ -303,6 +429,53 @@ bool response_ok(const json_value& response) {
   return ok != nullptr && ok->is_bool() && ok->as_bool();
 }
 
+double median_ms(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+/// The telemetry-overhead probe: N untelemetered vs N traced+profiled
+/// requests, sequentially over one connection each, both with no_cache so
+/// every request actually executes.  Returns median(telemetered) /
+/// median(untelemetered), or nullopt when either side failed.
+std::optional<double> probe_telemetry_overhead(const cli_options& opt,
+                                               std::size_t count) {
+  const auto run_batch =
+      [&](bool telemetered) -> std::optional<double> {
+    std::string error;
+    const int fd = ssr::serve::connect_local(opt.port, &error);
+    if (fd < 0) return std::nullopt;
+    ssr::serve::line_socket socket(fd);
+    cli_options probe = opt;
+    probe.no_cache = true;  // both sides must execute, not replay
+    probe.progress = false;
+    probe.trace = telemetered;
+    probe.profile = telemetered;
+    std::vector<double> latencies;
+    latencies.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const json_value request = build_run_request(probe, i);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::optional<json_value> response =
+          roundtrip(socket, request, /*show_progress=*/false);
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (!response.has_value() || !response_ok(*response))
+        return std::nullopt;
+      latencies.push_back(elapsed.count());
+    }
+    return median_ms(std::move(latencies));
+  };
+  const std::optional<double> base = run_batch(/*telemetered=*/false);
+  const std::optional<double> telemetered = run_batch(/*telemetered=*/true);
+  if (!base.has_value() || !telemetered.has_value() || *base <= 0.0)
+    return std::nullopt;
+  return *telemetered / *base;
+}
+
 int run_single(const cli_options& opt) {
   std::string error;
   const int fd = ssr::serve::connect_local(opt.port, &error);
@@ -319,6 +492,11 @@ int run_single(const cli_options& opt) {
       request["type"] = "stats";
       request["id"] = std::uint64_t{1};
       break;
+    case cli_options::mode_t::metrics:
+      request = json_value::object();
+      request["type"] = "metrics";
+      request["id"] = std::uint64_t{1};
+      break;
     case cli_options::mode_t::ping:
       request = json_value::object();
       request["type"] = "ping";
@@ -333,12 +511,71 @@ int run_single(const cli_options& opt) {
       request = build_run_request(opt, 1);
       break;
   }
-  const std::optional<json_value> response =
+  std::optional<json_value> response =
       roundtrip(socket, request, opt.progress);
   if (!response.has_value()) {
     std::cerr << "error: connection closed before a response arrived\n";
     return 1;
   }
+
+  if (opt.mode == cli_options::mode_t::metrics && response_ok(*response)) {
+    // The exposition text prints raw so the output pipes straight into
+    // promtool / grep, exactly as a scrape endpoint would serve it.
+    const json_value* metrics = response->find("metrics");
+    if (metrics != nullptr && metrics->is_string()) {
+      std::cout << metrics->as_string();
+      return 0;
+    }
+  }
+
+  if (opt.mode == cli_options::mode_t::stats && response_ok(*response) &&
+      !opt.raw) {
+    const json_value* stats = response->find("stats");
+    if (stats != nullptr && stats->is_object()) {
+      render_stats(std::cout, *stats, "");
+      return 0;
+    }
+  }
+
+  if (opt.mode == cli_options::mode_t::run && response_ok(*response)) {
+    if (const json_value* telemetry = response->find("telemetry")) {
+      bool stripped = false;
+      if (!opt.trace_out.empty()) {
+        const json_value* trace = telemetry->find("trace");
+        if (trace != nullptr && write_trace_jsonl(*trace, opt.trace_out)) {
+          std::cerr << "trace: " << opt.trace_out << '\n';
+          stripped = true;
+        } else {
+          std::cerr << "warning: could not write trace to '" << opt.trace_out
+                    << "'\n";
+        }
+      }
+      if (!opt.profile_out.empty()) {
+        const json_value* profile = telemetry->find("profile");
+        std::ofstream os(opt.profile_out, std::ios::trunc);
+        if (profile != nullptr && os) {
+          os << profile->dump(2) << '\n';
+          std::cerr << "profile: " << opt.profile_out << '\n';
+          stripped = true;
+        } else {
+          std::cerr << "warning: could not write profile to '"
+                    << opt.profile_out << "'\n";
+        }
+      }
+      // Once the bulky artifacts live in files, the printed response keeps
+      // only the telemetry request_id/artifacts pointers.
+      if (stripped) {
+        json_value trimmed = json_value::object();
+        for (const auto& [key, member] : telemetry->members()) {
+          if (key == "trace" && !opt.trace_out.empty()) continue;
+          if (key == "profile" && !opt.profile_out.empty()) continue;
+          trimmed[key] = member;
+        }
+        (*response)["telemetry"] = std::move(trimmed);
+      }
+    }
+  }
+
   std::cout << response->dump(2) << '\n';
   return response_ok(*response) ? 0 : 1;
 }
@@ -479,6 +716,17 @@ int run_hammer(const cli_options& opt) {
             << "  " << rps << " requests/s, cache hit rate " << hit_rate
             << '\n';
 
+  std::optional<double> overhead;
+  if (opt.overhead_probe > 0) {
+    overhead = probe_telemetry_overhead(opt, opt.overhead_probe);
+    if (overhead.has_value()) {
+      std::cout << "  telemetry overhead (traced+profiled / plain, median "
+                << "of " << opt.overhead_probe << "): " << *overhead << "x\n";
+    } else {
+      std::cerr << "warning: telemetry overhead probe failed\n";
+    }
+  }
+
   if (opt.write_json) {
     const json_value* n_field = opt.run.find("n");
     const std::uint64_t n = n_field != nullptr ? n_field->as_uint64() : 32;
@@ -507,6 +755,10 @@ int run_hammer(const cli_options& opt) {
                      rps, "1/s", /*higher_is_better=*/true);
     report.add_value("serve", "cache_hit_rate", "service", n, params,
                      hit_rate, "ratio", /*higher_is_better=*/true);
+    if (overhead.has_value()) {
+      report.add_value("serve", "telemetry_overhead", "service", n, params,
+                       *overhead, "ratio", /*higher_is_better=*/false);
+    }
 
     if (!opt.out_dir.empty()) {
       std::error_code ec;
