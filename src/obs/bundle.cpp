@@ -1,0 +1,425 @@
+#include "obs/bundle.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/run_info.hpp"
+#include "util/sha256.hpp"
+
+namespace ssr::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t now_unix_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void fill_provenance(bundle_provenance& provenance) {
+  if (provenance.git_rev.empty()) provenance.git_rev = git_revision();
+  if (provenance.created_unix_ms == 0)
+    provenance.created_unix_ms = now_unix_ms();
+}
+
+std::string format_number(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+const json_value* find_path(const json_value& doc, std::string_view a,
+                            std::string_view b = {}) {
+  const json_value* v = doc.find(a);
+  if (v == nullptr || b.empty()) return v;
+  return v->find(b);
+}
+
+std::string string_at(const json_value& doc, std::string_view key) {
+  const json_value* v = doc.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+/// One manifest file entry, accumulated while writing the bundle.
+struct file_entry {
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::string sha256;
+  std::string schema;
+  std::uint64_t schema_version = 0;
+  bool deterministic = false;
+};
+
+/// Rebuilds the report rows the per-metric gates judge from a run
+/// document.  Both compare sides go through this, so the keys always
+/// match by construction.
+bool rows_from_run(const json_value& run_doc, std::vector<report_row>* rows,
+                   std::string* error) {
+  const json_value* result = run_doc.find("result");
+  if (result == nullptr || !result->is_object()) {
+    *error = "run document has no result object";
+    return false;
+  }
+  const json_value* spec = result->find("spec");
+  const json_value* samples = result->find("samples");
+  if (spec == nullptr || samples == nullptr || !samples->is_array()) {
+    *error = "run document result lacks spec/samples";
+    return false;
+  }
+
+  report_row row;
+  row.kind = report_row::kind_t::samples;
+  row.section = "scenario";
+  row.protocol = string_at(*spec, "protocol");
+  const json_value* n = spec->find("n");
+  row.n = n != nullptr ? n->as_uint64() : 0;
+  row.params = "scenario=" + string_at(*spec, "scenario");
+  row.unit = "parallel_time";
+  row.lower_is_better = true;
+  const json_value* trials = spec->find("trials");
+  const json_value* seed = spec->find("seed");
+  row.trials = trials != nullptr ? trials->as_uint64() : 0;
+  row.seed = seed != nullptr ? seed->as_uint64() : 0;
+  for (const json_value& s : samples->items()) {
+    row.samples.push_back(s.as_double());
+  }
+  rows->push_back(std::move(row));
+
+  // Engine work per trial gates as a generous value row; the accelerated
+  // baseline jump simulator runs without an engine (zero counters), so the
+  // row only exists when an engine executed interactions.
+  const json_value* executed =
+      find_path(run_doc, "engine_counters", "interactions_executed");
+  const std::uint64_t trial_count =
+      trials != nullptr ? trials->as_uint64() : 0;
+  if (executed != nullptr && executed->as_uint64() > 0 && trial_count > 0) {
+    report_row work;
+    work.kind = report_row::kind_t::value;
+    work.section = "engine";
+    work.metric = "interactions_per_trial";
+    work.protocol = rows->front().protocol;
+    work.n = rows->front().n;
+    work.params = rows->front().params;
+    work.unit = "interactions";
+    work.lower_is_better = true;
+    work.value = static_cast<double>(executed->as_uint64()) /
+                 static_cast<double>(trial_count);
+    rows->push_back(std::move(work));
+  }
+  return true;
+}
+
+}  // namespace
+
+json_value run_document(const scenario_doc& scenario,
+                        const json_value& result,
+                        const engine_counters& counters) {
+  json_value doc = json_value::object();
+  doc["schema"] = run_schema_name;
+  doc["schema_version"] = run_schema_version;
+  doc["scenario_name"] = scenario.name;
+  doc["fingerprint"] = scenario.spec.canonical();
+  doc["result"] = result;
+  doc["engine_counters"] = to_json(counters);
+  return doc;
+}
+
+std::string render_summary(const scenario_doc& scenario,
+                           const json_value& run_doc) {
+  std::ostringstream os;
+  os << "# Run bundle: " << scenario.name << "\n\n";
+  if (!scenario.description.empty()) os << scenario.description << "\n\n";
+  const util::sim_request_spec& spec = scenario.spec;
+  os << "- fingerprint: `" << string_at(run_doc, "fingerprint") << "`\n";
+  os << "- protocol `" << spec.protocol << "`, scenario `" << spec.scenario
+     << "`, n = " << spec.n << ", engine `" << to_string(spec.engine.kind)
+     << "`\n";
+  os << "- trials " << spec.trials << ", seed " << spec.seed
+     << ", max_time " << format_number(spec.max_time) << "\n\n";
+
+  os << "## Stabilization time (parallel time per trial)\n\n";
+  const json_value* stats = find_path(run_doc, "result", "stats");
+  if (stats != nullptr && stats->is_object()) {
+    os << "| count | mean | stddev | min | median | p90 | p99 | max |\n";
+    os << "| --- | --- | --- | --- | --- | --- | --- | --- |\n|";
+    for (const std::string_view key :
+         {"count", "mean", "stddev", "min", "median", "p90", "p99", "max"}) {
+      const json_value* v = stats->find(key);
+      os << ' '
+         << (v == nullptr ? std::string("-")
+             : key == "count"
+                 ? std::to_string(v->as_uint64())
+                 : format_number(v->as_double()))
+         << " |";
+    }
+    os << "\n\n";
+  }
+
+  os << "## Engine counters (aggregated over all trials)\n\n";
+  os << "| counter | value |\n| --- | --- |\n";
+  const json_value* counters = run_doc.find("engine_counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->members()) {
+      os << "| " << name << " | " << value.as_uint64() << " |\n";
+    }
+  }
+  os << "\n";
+  os << "Provenance and per-file sha256 digests live in "
+        "`bundle_manifest.json`; gate this run against a captured baseline "
+        "with `ssr_cli compare` (docs/bundles.md).\n";
+  return os.str();
+}
+
+bundle_result write_run_bundle(const std::string& dir,
+                               const scenario_doc& scenario,
+                               const json_value& result,
+                               const engine_counters& counters,
+                               const bundle_artifacts& artifacts,
+                               bundle_provenance provenance) {
+  bundle_result out;
+  out.dir = dir;
+  fill_provenance(provenance);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    out.error = "cannot create '" + dir + "': " + ec.message();
+    return out;
+  }
+
+  std::vector<file_entry> files;
+  const auto add_file = [&](std::string_view name, std::string_view content,
+                            std::string_view schema,
+                            std::uint64_t schema_version,
+                            bool deterministic) {
+    const std::string path = dir + "/" + std::string(name);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      out.error = "cannot write '" + path + "'";
+      return false;
+    }
+    os << content;
+    os.flush();
+    if (!os) {
+      out.error = "short write to '" + path + "'";
+      return false;
+    }
+    files.push_back({std::string(name), content.size(),
+                     util::sha256_hex(content), std::string(schema),
+                     schema_version, deterministic});
+    return true;
+  };
+
+  out.run_doc = run_document(scenario, result, counters);
+  if (!add_file("scenario.json", scenario_to_json(scenario).dump(2) + "\n",
+                scenario_schema_name, scenario_schema_version,
+                /*deterministic=*/true)) {
+    return out;
+  }
+  if (!add_file("run.json", out.run_doc.dump(2) + "\n", run_schema_name,
+                run_schema_version, /*deterministic=*/true)) {
+    return out;
+  }
+  if (artifacts.events) {
+    // Streamed by the caller's journal while the run executed; hash the
+    // file as it landed on disk.
+    const std::string path = dir + "/events.jsonl";
+    const std::string sha = util::sha256_file_hex(path);
+    if (sha.empty()) {
+      out.error = "cannot read back '" + path + "'";
+      return out;
+    }
+    const std::uintmax_t bytes = fs::file_size(path, ec);
+    files.push_back({"events.jsonl", ec ? 0 : bytes, sha,
+                     std::string(events_schema_name), 1,
+                     /*deterministic=*/false});
+  }
+  if (artifacts.trace_jsonl != nullptr &&
+      !add_file("trace.jsonl", *artifacts.trace_jsonl, "ssr.trace", 2,
+                /*deterministic=*/false)) {
+    return out;
+  }
+  if (artifacts.profile != nullptr &&
+      !add_file("profile.json", artifacts.profile->dump(2) + "\n",
+                "ssr.profile", 1, /*deterministic=*/false)) {
+    return out;
+  }
+  if (!artifacts.metrics_prom.empty() &&
+      !add_file("metrics.prom", artifacts.metrics_prom, "prometheus-0.0.4",
+                1, /*deterministic=*/false)) {
+    return out;
+  }
+  if (!add_file("summary.md", render_summary(scenario, out.run_doc),
+                "markdown", 1, /*deterministic=*/true)) {
+    return out;
+  }
+
+  json_value manifest = json_value::object();
+  manifest["schema"] = bundle_manifest_schema_name;
+  manifest["schema_version"] = bundle_manifest_schema_version;
+  manifest["scenario_name"] = scenario.name;
+  manifest["fingerprint"] = scenario.spec.canonical();
+  manifest["git_rev"] = provenance.git_rev;
+  manifest["created_unix_ms"] = provenance.created_unix_ms;
+  json_value list = json_value::array();
+  for (const file_entry& file : files) {
+    json_value item = json_value::object();
+    item["path"] = file.path;
+    item["bytes"] = file.bytes;
+    item["sha256"] = file.sha256;
+    item["schema"] = file.schema;
+    item["schema_version"] = file.schema_version;
+    item["deterministic"] = file.deterministic;
+    list.push_back(std::move(item));
+  }
+  manifest["files"] = std::move(list);
+
+  out.manifest_path = dir + "/bundle_manifest.json";
+  std::ofstream os(out.manifest_path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    out.error = "cannot write '" + out.manifest_path + "'";
+    return out;
+  }
+  os << manifest.dump(2) << '\n';
+  os.flush();
+  if (!os) {
+    out.error = "short write to '" + out.manifest_path + "'";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::optional<json_value> load_json_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  std::optional<json_value> doc =
+      json_value::parse(buffer.str(), &parse_error);
+  if (!doc.has_value() && error != nullptr) {
+    *error = path + ": " + parse_error;
+  }
+  return doc;
+}
+
+manifest_check verify_bundle(const std::string& dir) {
+  manifest_check check;
+  std::string error;
+  const std::optional<json_value> manifest =
+      load_json_file(dir + "/bundle_manifest.json", &error);
+  if (!manifest.has_value()) {
+    check.problems.push_back(error);
+    return check;
+  }
+  if (string_at(*manifest, "schema") != bundle_manifest_schema_name) {
+    check.problems.push_back("manifest schema is not '" +
+                             std::string(bundle_manifest_schema_name) + "'");
+    return check;
+  }
+  const json_value* files = manifest->find("files");
+  if (files == nullptr || !files->is_array() || files->size() == 0) {
+    check.problems.push_back("manifest lists no files");
+    return check;
+  }
+  for (const json_value& item : files->items()) {
+    const std::string path = string_at(item, "path");
+    const std::string full = dir + "/" + path;
+    const std::string actual = util::sha256_file_hex(full);
+    if (actual.empty()) {
+      check.problems.push_back(path + ": missing or unreadable");
+      continue;
+    }
+    ++check.files_checked;
+    const std::string expected = string_at(item, "sha256");
+    if (actual != expected) {
+      check.problems.push_back(path + ": sha256 mismatch (manifest " +
+                               expected + ", file " + actual + ")");
+      continue;
+    }
+    const json_value* bytes = item.find("bytes");
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(full, ec);
+    if (bytes != nullptr && !ec && bytes->as_uint64() != size) {
+      check.problems.push_back(path + ": size mismatch");
+    }
+  }
+  return check;
+}
+
+json_value baseline_document(const json_value& run_doc,
+                             bundle_provenance provenance) {
+  fill_provenance(provenance);
+  json_value doc = json_value::object();
+  doc["schema"] = baseline_schema_name;
+  doc["schema_version"] = baseline_schema_version;
+  doc["scenario_name"] = string_at(run_doc, "scenario_name");
+  doc["fingerprint"] = string_at(run_doc, "fingerprint");
+  doc["git_rev"] = provenance.git_rev;
+  doc["created_unix_ms"] = provenance.created_unix_ms;
+  doc["run"] = run_doc;
+  return doc;
+}
+
+bundle_comparison compare_against_baseline(const json_value& run_doc,
+                                           const json_value& baseline_doc,
+                                           const compare_limits& limits) {
+  bundle_comparison out;
+  if (string_at(run_doc, "schema") != run_schema_name) {
+    out.error = "run document schema is not '" +
+                std::string(run_schema_name) + "'";
+    return out;
+  }
+  if (string_at(baseline_doc, "schema") != baseline_schema_name) {
+    out.error = "baseline schema is not '" +
+                std::string(baseline_schema_name) + "'";
+    return out;
+  }
+  const std::string run_fp = string_at(run_doc, "fingerprint");
+  const std::string base_fp = string_at(baseline_doc, "fingerprint");
+  if (run_fp != base_fp) {
+    out.error = "fingerprint mismatch: bundle ran '" + run_fp +
+                "' but the baseline captured '" + base_fp +
+                "' -- re-capture the baseline for this scenario";
+    return out;
+  }
+  const json_value* base_run = baseline_doc.find("run");
+  if (base_run == nullptr || !base_run->is_object()) {
+    out.error = "baseline has no embedded run document";
+    return out;
+  }
+
+  std::vector<report_row> now_rows, base_rows;
+  if (!rows_from_run(run_doc, &now_rows, &out.error) ||
+      !rows_from_run(*base_run, &base_rows, &out.error)) {
+    return out;
+  }
+  out.ok = true;
+  for (const report_row& now : now_rows) {
+    const std::string key = now.key();
+    for (const report_row& base : base_rows) {
+      if (base.key() != key || base.kind != now.kind) continue;
+      metric_verdict verdict{key, compare_rows(base, now, limits)};
+      if (verdict.verdict.comparable) {
+        ++out.compared;
+        if (verdict.verdict.regression) ++out.regressions;
+      }
+      out.verdicts.push_back(std::move(verdict));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ssr::obs

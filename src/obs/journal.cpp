@@ -1,11 +1,11 @@
-#include "serve/journal.hpp"
+#include "obs/journal.hpp"
 
 #include <chrono>
 #include <ostream>
 
 #include "obs/run_info.hpp"
 
-namespace ssr::serve {
+namespace ssr::obs {
 namespace {
 
 std::uint64_t now_ms() {
@@ -44,20 +44,20 @@ std::ostream* journal::out() {
 void journal::write_header() {
   std::ostream* os = out();
   if (os == nullptr) return;
-  obs::json_value header = obs::json_value::object();
+  json_value header = json_value::object();
   header["event"] = "journal_header";
-  header["schema"] = "ssr.serve.events";
-  header["schema_version"] = static_cast<std::uint64_t>(1);
-  header["git_rev"] = obs::git_revision();
+  header["schema"] = options_.schema;
+  header["schema_version"] = options_.schema_version;
+  header["git_rev"] = git_revision();
   *os << header.dump() << '\n';
   os->flush();
 }
 
-void journal::emit(std::string_view name, const obs::json_value& fields) {
+void journal::emit(std::string_view name, const json_value& fields) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostream* os = out();
   if (os == nullptr) return;
-  obs::json_value event = obs::json_value::object();
+  json_value event = json_value::object();
   event["event"] = name;
   event["ts_ms"] = now_ms();
   if (fields.is_object()) {
@@ -69,4 +69,4 @@ void journal::emit(std::string_view name, const obs::json_value& fields) {
   os->flush();
 }
 
-}  // namespace ssr::serve
+}  // namespace ssr::obs

@@ -1,0 +1,92 @@
+// Structured event journal (events.jsonl) shared by local run bundles and
+// the serve daemon.
+//
+// One JSON object per line, append-only, flushed per event so the file is
+// readable while the producer runs and survives a crash mid-job.  The
+// first line is a header document tagging the schema:
+//
+//   {"event":"journal_header","schema":<options.schema>,
+//    "schema_version":<options.schema_version>,"git_rev":...}
+//
+// Every subsequent line carries the event name, a wall-clock timestamp
+// ("ts_ms", milliseconds since the Unix epoch -- the journal is
+// observability, not part of the deterministic result documents), and the
+// event's fields.  The event vocabulary is shared across producers
+// (docs/observability.md has the field tables):
+//
+//   admit            -- job accepted (request_id/scenario, fingerprint,
+//                       protocol, n, trials[, queue_depth])
+//   rejected         -- admission control shed the request (queue_depth)
+//   start            -- execution began
+//   progress         -- interim trial accounting (trials_completed,
+//                       trials_total)
+//   cache_hit        -- served from the result cache (fingerprint)
+//   complete         -- terminal success (fingerprint, elapsed_ms, ...)
+//   deadline_expired -- a per-request deadline fired (elapsed_ms, message)
+//   cancelled        -- explicit cancellation (message)
+//   failed           -- the simulation threw (message)
+//
+// Two schemas write through this class today: "ssr.serve.events" v1 (the
+// daemon's telemetry-dir journal, serve/service.hpp) and "ssr.events" v1
+// (the per-bundle journal ssr_cli run writes, obs/bundle.hpp).  They share
+// the vocabulary above; the schema tag tells consumers which producer --
+// and therefore which field set -- to expect.
+//
+// Thread-safety: emit() serializes under a mutex; the serve daemon calls
+// it from connection threads and from queue workers.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace ssr::obs {
+
+struct journal_options {
+  /// Schema tag written into the journal_header line.
+  std::string schema = "ssr.events";
+  std::uint64_t schema_version = 1;
+};
+
+class journal {
+ public:
+  /// Disabled journal: enabled() is false and emit() is a no-op.
+  journal() = default;
+  explicit journal(journal_options options) : options_(std::move(options)) {}
+
+  journal(const journal&) = delete;
+  journal& operator=(const journal&) = delete;
+
+  /// Opens `path` for appending and writes the journal_header line.
+  /// Returns false (journal stays disabled) when the file cannot be
+  /// opened.  Call at most once.
+  bool open(const std::string& path);
+
+  /// Streams into an externally owned ostream (tests); writes the header
+  /// line immediately.
+  void open_stream(std::ostream* os);
+
+  bool enabled() const;
+
+  /// Appends {"event": name, "ts_ms": <now>, ...fields} as one line and
+  /// flushes.  `fields` must be a JSON object; its members are copied
+  /// after the event/timestamp keys.
+  void emit(std::string_view name, const json_value& fields);
+
+ private:
+  std::ostream* out();
+  void write_header();
+
+  journal_options options_;
+  std::mutex mutex_;
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* external_ = nullptr;
+};
+
+}  // namespace ssr::obs

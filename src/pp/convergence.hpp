@@ -57,6 +57,11 @@ struct convergence_options {
   /// their own collector here instead of sharing the process-wide
   /// profiler_default() the bench front ends install for --profile.
   obs::timeline_profiler* profiler = nullptr;
+  /// Request-scoped engine counters.  When set, the engine accumulates
+  /// its work counters (interactions executed, certain nulls skipped,
+  /// Fenwick updates, ...) into this struct instead of the process-wide
+  /// default; run bundles aggregate one instance across all trials.
+  obs::engine_counters* counters = nullptr;
 };
 
 struct convergence_result {
@@ -371,6 +376,7 @@ convergence_result measure_convergence(
   direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
   engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
                                                 : obs::profiler_default());
+  if (opt.counters != nullptr) engine.attach_counters(opt.counters);
   return measure_convergence_run(engine, opt, final_config);
 }
 
@@ -396,6 +402,7 @@ convergence_result measure_convergence_with(
       direct_engine<P> engine(std::move(protocol), std::move(initial), seed);
       engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
                                                 : obs::profiler_default());
+      if (opt.counters != nullptr) engine.attach_counters(opt.counters);
       return measure_convergence_run(engine, opt, final_config);
     }
     case engine_kind::sharded: {
@@ -403,6 +410,7 @@ convergence_result measure_convergence_with(
                                {.shards = spec.shards});
       engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
                                                 : obs::profiler_default());
+      if (opt.counters != nullptr) engine.attach_counters(opt.counters);
       return measure_convergence_run(engine, opt, final_config);
     }
     case engine_kind::batched:
@@ -411,6 +419,7 @@ convergence_result measure_convergence_with(
   batched_engine<P> engine(std::move(protocol), std::move(initial), seed);
   engine.attach_profiler(opt.profiler != nullptr ? opt.profiler
                                                 : obs::profiler_default());
+  if (opt.counters != nullptr) engine.attach_counters(opt.counters);
   return measure_convergence_run(engine, opt, final_config);
 }
 

@@ -60,6 +60,8 @@ struct trial_telemetry {
   obs::trace_sink* trace = nullptr;
   obs::timeline_profiler* profiler = nullptr;
   std::vector<std::string_view>* phase_names = nullptr;
+  /// Aggregated across every trial of the job (trials are sequential).
+  obs::engine_counters* counters = nullptr;
 };
 
 /// Records the traced protocol's phase-name table so the trace header and
@@ -85,6 +87,7 @@ double loose_time_with(Engine& engine, const util::sim_request_spec& spec,
                        const loose_stabilizing_le& protocol,
                        const trial_telemetry& tel) {
   if (tel.profiler != nullptr) engine.attach_profiler(tel.profiler);
+  if (tel.counters != nullptr) engine.attach_counters(tel.counters);
   const auto emit = [&](obs::trace_event_kind kind) {
     if (tel.trace != nullptr) {
       tel.trace->emit({kind, engine.parallel_time(), engine.interactions()});
@@ -154,6 +157,7 @@ double ranking_trial(const util::sim_request_spec& spec, std::uint64_t seed,
   opt.cancel = cancel;
   opt.trace = tel.trace;
   opt.profiler = tel.profiler;
+  opt.counters = tel.counters;
   if (spec.protocol == "baseline") {
     if (spec.engine.kind == engine_kind::direct) {
       // Same fast path as the benches: truly direct stepping of the
@@ -246,7 +250,9 @@ obs::json_value spec_json(const util::sim_request_spec& spec) {
 
 std::shared_ptr<const obs::json_value> run_simulation(
     const util::sim_request_spec& spec, const cancel_token* cancel,
-    obs::metrics_registry* metrics, request_telemetry* telemetry) {
+    obs::metrics_registry* metrics, request_telemetry* telemetry,
+    obs::engine_counters* counters,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_trial) {
   trial_options options;
   options.parallel = false;  // the serve worker pool is the concurrency
   options.engine = spec.engine;
@@ -265,21 +271,26 @@ std::shared_ptr<const obs::json_value> run_simulation(
   }
 
   // Trials run sequentially (options.parallel = false), so the first
-  // invocation is trial 0 -- the traced trajectory.
+  // invocation is trial 0 -- the traced trajectory -- and completion
+  // callbacks fire in trial order.
   bool traced = false;
+  std::uint64_t completed = 0;
   const std::vector<double> samples = run_trials(
       static_cast<std::size_t>(spec.trials), spec.seed,
       [&](std::uint64_t seed, engine_kind) {
         trial_telemetry tel;
         tel.profiler = profiler.get();
+        tel.counters = counters;
         if (telemetry != nullptr && telemetry->options.trace && !traced) {
           traced = true;
           tel.trace = &telemetry->trace;
           tel.phase_names = &telemetry->phase_names;
         }
-        return spec.protocol == "loose"
-                   ? loose_trial(spec, seed, cancel, tel)
-                   : ranking_trial(spec, seed, cancel, tel);
+        const double time = spec.protocol == "loose"
+                                ? loose_trial(spec, seed, cancel, tel)
+                                : ranking_trial(spec, seed, cancel, tel);
+        if (on_trial) on_trial(++completed, spec.trials);
+        return time;
       },
       options);
   if (profiler != nullptr) telemetry->profile = profiler->profile().to_json();

@@ -18,8 +18,11 @@
 // cancelled_error, which the job queue maps to a cancelled job.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 
+#include "obs/engine_counters.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "pp/cancellation.hpp"
@@ -48,8 +51,16 @@ namespace ssr::serve {
 /// a per-job timeline profiler + hardware counter group cover every trial,
 /// landing in telemetry->profile.  Telemetry never changes the simulated
 /// trajectories, so the result document stays a pure function of the spec.
+///
+/// `counters`, when non-null, accumulates the engines' work counters
+/// (obs/engine_counters.hpp) across every trial -- run bundles persist the
+/// aggregate in run.json.  `on_trial`, when set, fires on this thread
+/// after each sequential trial with (trials_completed, trials_total);
+/// bundle journals turn it into progress events.
 std::shared_ptr<const obs::json_value> run_simulation(
     const util::sim_request_spec& spec, const cancel_token* cancel,
-    obs::metrics_registry* metrics, request_telemetry* telemetry = nullptr);
+    obs::metrics_registry* metrics, request_telemetry* telemetry = nullptr,
+    obs::engine_counters* counters = nullptr,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_trial = {});
 
 }  // namespace ssr::serve

@@ -5,12 +5,15 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "obs/bundle.hpp"
 #include "obs/exposition.hpp"
 #include "obs/progress.hpp"
+#include "obs/scenario.hpp"
 #include "serve/request_context.hpp"
 #include "serve/runner.hpp"
 #include "util/request_spec.hpp"
@@ -70,46 +73,11 @@ obs::json_value field_errors_json(
   return arr;
 }
 
-/// Parses the "trace" request field (bool shorthand or options object)
-/// into the builder; records field errors in the shared formats.
-void parse_trace_field(const obs::json_value& value,
-                       util::telemetry_builder& builder,
-                       std::vector<util::spec_error>& errors) {
-  if (value.is_bool()) {
-    builder.set_trace_enabled(value.as_bool());
-    return;
-  }
-  if (!value.is_object()) {
-    errors.push_back({"trace", "must be a boolean or an options object"});
-    return;
-  }
-  builder.set_trace_enabled(true);
-  for (const auto& [name, sub] : value.members()) {
-    if (name == "enabled") {
-      if (!sub.is_bool()) {
-        errors.push_back({"trace.enabled", "must be a boolean"});
-        continue;
-      }
-      builder.set_trace_enabled(sub.as_bool());
-      continue;
-    }
-    const std::optional<std::uint64_t> u = as_u64(sub);
-    if (!u.has_value()) {
-      // Unknown names still get the nearest-name diagnostic, not a type
-      // complaint about a field that doesn't exist.
-      bool known = false;
-      for (const std::string_view candidate : util::trace_option_names()) {
-        known = known || candidate == name;
-      }
-      if (known) {
-        errors.push_back(
-            {"trace." + name, "must be a non-negative integer"});
-        continue;
-      }
-    }
-    builder.set_trace_option(name, u.value_or(0));
-  }
-}
+// The fields a scenario-payload run request may carry next to the
+// "scenario" object; everything spec-shaped lives inside the document.
+constexpr std::string_view k_scenario_run_fields[] = {
+    "type", "id", "scenario", "deadline_ms", "progress", "no_cache",
+};
 
 }  // namespace
 
@@ -187,20 +155,66 @@ obs::json_value service::handle(const obs::json_value& request,
 
 obs::json_value service::handle_run(const obs::json_value& request,
                                     const event_sink& sink) {
-  util::spec_builder builder;
-  util::telemetry_builder telemetry_builder;
   std::vector<util::spec_error> errors;
   bool want_progress = false;
   bool no_cache = false;
   std::optional<std::uint64_t> deadline_ms;
 
+  // Scenario payload: {"type":"run","scenario":{...ssr.scenario v1...}}.
+  // The document carries everything spec-shaped; only transport-level
+  // fields may ride alongside it.
+  const obs::json_value* scenario_field = request.find("scenario");
+  if (scenario_field != nullptr && scenario_field->is_object()) {
+    for (const auto& [field, value] : request.members()) {
+      if (field == "type" || field == "id" || field == "scenario") continue;
+      if (field == "deadline_ms") {
+        const std::optional<std::uint64_t> u = as_u64(value);
+        if (!u.has_value()) {
+          errors.push_back({field, "must be a non-negative integer"});
+          continue;
+        }
+        deadline_ms = *u;
+        continue;
+      }
+      if (field == "progress" || field == "no_cache") {
+        if (!value.is_bool()) {
+          errors.push_back({field, "must be a boolean"});
+          continue;
+        }
+        if (field == "progress") want_progress = value.as_bool();
+        if (field == "no_cache") no_cache = value.as_bool();
+        continue;
+      }
+      errors.push_back(
+          {field, util::unknown_name_message("request field", field,
+                                             k_scenario_run_fields)});
+    }
+    std::vector<util::spec_error> scenario_errors;
+    const std::optional<obs::scenario_doc> scenario =
+        obs::parse_scenario(*scenario_field, &scenario_errors);
+    for (util::spec_error& e : scenario_errors) {
+      errors.push_back({"scenario." + e.field, std::move(e.message)});
+    }
+    if (!errors.empty() || !scenario.has_value()) {
+      obs::json_value doc =
+          error_response(request, "invalid_request",
+                         "invalid request: " + util::render_errors(errors));
+      doc["field_errors"] = field_errors_json(errors);
+      return doc;
+    }
+    return execute_run(request, sink, scenario->spec, scenario->telemetry,
+                       want_progress, no_cache, deadline_ms, &*scenario);
+  }
+
+  util::spec_builder builder;
+  util::telemetry_builder telemetry_builder;
   for (const auto& [field, value] : request.members()) {
     const auto bad_u64 = [&] {
       errors.push_back({field, "must be a non-negative integer"});
     };
     if (field == "type" || field == "id") continue;
     if (field == "trace") {
-      parse_trace_field(value, telemetry_builder, errors);
+      obs::parse_trace_json(value, telemetry_builder, errors);
       continue;
     }
     if (field == "profile") {
@@ -273,8 +287,16 @@ obs::json_value service::handle_run(const obs::json_value& request,
     return doc;
   }
 
-  const util::sim_request_spec spec = builder.spec();
-  const util::telemetry_spec telemetry_options = telemetry_builder.spec();
+  return execute_run(request, sink, builder.spec(), telemetry_builder.spec(),
+                     want_progress, no_cache, deadline_ms, nullptr);
+}
+
+obs::json_value service::execute_run(
+    const obs::json_value& request, const event_sink& sink,
+    const util::sim_request_spec& spec,
+    const util::telemetry_spec& telemetry_options, bool want_progress,
+    bool no_cache, std::optional<std::uint64_t> deadline_ms,
+    const obs::scenario_doc* scenario) {
   const std::string fingerprint = spec.canonical();
   const std::string request_id =
       "job-" + std::to_string(
@@ -288,8 +310,10 @@ obs::json_value service::handle_run(const obs::json_value& request,
   // Telemetry must observe an actual execution, so a telemetered request
   // bypasses the cache *lookup*; it still populates the cache below
   // (results are pure functions of the spec, telemetry is not part of the
-  // fingerprint).
-  if (!no_cache && !telemetry_options.any()) {
+  // fingerprint).  Scenario payloads bypass for the same reason: their
+  // bundle (engine counters, journal, manifest) only exists if the job
+  // executes.
+  if (!no_cache && !telemetry_options.any() && scenario == nullptr) {
     if (std::shared_ptr<const obs::json_value> cached =
             cache_.get(fingerprint)) {
       metrics_.get_counter("serve.cache_hits").add(1);
@@ -319,8 +343,11 @@ obs::json_value service::handle_run(const obs::json_value& request,
   if (telemetry_options.any()) {
     telemetry = std::make_shared<request_telemetry>(telemetry_options);
   }
+  // Scenario runs aggregate the engines' work counters for run.json.
+  std::shared_ptr<obs::engine_counters> counters;
+  if (scenario != nullptr) counters = std::make_shared<obs::engine_counters>();
   std::shared_ptr<job_handle> handle = queue_.try_submit(
-      [this, spec, job_metrics, telemetry,
+      [this, spec, job_metrics, telemetry, counters,
        request_id](const cancel_token& token) {
         if (journal_.enabled()) {
           obs::json_value fields = obs::json_value::object();
@@ -330,7 +357,7 @@ obs::json_value service::handle_run(const obs::json_value& request,
           journal_.emit("start", fields);
         }
         return run_simulation(spec, &token, job_metrics.get(),
-                              telemetry.get());
+                              telemetry.get(), counters.get());
       });
   if (handle == nullptr) {
     metrics_.get_counter("serve.requests_rejected").add(1);
@@ -396,7 +423,39 @@ obs::json_value service::handle_run(const obs::json_value& request,
       doc["fingerprint"] = fingerprint;
       doc["request_id"] = request_id;
       doc["result"] = *result;
-      if (telemetry != nullptr) {
+      if (scenario != nullptr) {
+        // Scenario runs answer with a persisted bundle instead of in-band
+        // telemetry: the bundle directory holds trace/profile/metrics with
+        // a sha256 manifest (obs/bundle.hpp), same layout as ssr_cli run.
+        if (!options_.telemetry_dir.empty()) {
+          const std::string dir = options_.telemetry_dir + "/" + request_id;
+          obs::bundle_artifacts artifacts;
+          std::string trace_text;
+          if (telemetry != nullptr && telemetry->options.trace) {
+            std::ostringstream os;
+            telemetry->trace.write_jsonl(os, telemetry->phase_names);
+            trace_text = os.str();
+            artifacts.trace_jsonl = &trace_text;
+          }
+          if (telemetry != nullptr && telemetry->options.profile) {
+            artifacts.profile = &telemetry->profile;
+          }
+          if (scenario->emit_metrics) {
+            artifacts.metrics_prom = obs::prometheus_text(*job_metrics);
+          }
+          const obs::bundle_result bundle = obs::write_run_bundle(
+              dir, *scenario, *result, *counters, artifacts);
+          obs::json_value info = obs::json_value::object();
+          info["ok"] = bundle.ok;
+          if (bundle.ok) {
+            info["dir"] = bundle.dir;
+            info["manifest"] = bundle.manifest_path;
+          } else {
+            info["error"] = bundle.error;
+          }
+          doc["bundle"] = std::move(info);
+        }
+      } else if (telemetry != nullptr) {
         doc["telemetry"] = render_telemetry(*telemetry, request_id);
       }
       if (journal_.enabled()) {

@@ -15,6 +15,12 @@
 //    "no_cache":bool,
 //    "trace":bool | {"enabled":bool,"sample_every":N,"max_events":N},
 //    "profile":bool}
+//   {"type":"run", "id":..., "scenario":{...ssr.scenario v1 document...},
+//    "deadline_ms":..., "progress":bool, "no_cache":bool}
+//      -- "scenario" as an *object* switches to the declarative form
+//         (obs/scenario.hpp); with a telemetry dir the job persists a full
+//         run bundle (obs/bundle.hpp) under <dir>/<request_id>/ and the
+//         response carries {"bundle":{"ok","dir","manifest"}}.
 //   {"type":"stats", "id":...} | {"type":"metrics", "id":...}
 //   {"type":"ping", "id":...} | {"type":"shutdown", "id":...}
 //
@@ -48,8 +54,9 @@
 // spec or the cache fingerprint (they cannot change the result), but a
 // telemetered request *bypasses the cache lookup* -- the artifacts only
 // exist if the job executes -- while still populating the cache for later
-// untelemetered replays.  serve/journal.hpp documents the events.jsonl
-// job journal written when the service has a telemetry directory.
+// untelemetered replays.  obs/journal.hpp documents the events.jsonl job
+// journal (schema "ssr.serve.events") written when the service has a
+// telemetry directory.
 #pragma once
 
 #include <atomic>
@@ -57,14 +64,20 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "serve/job_queue.hpp"
-#include "serve/journal.hpp"
 #include "serve/result_cache.hpp"
+#include "util/request_spec.hpp"
+
+namespace ssr::obs {
+struct scenario_doc;  // obs/scenario.hpp
+}  // namespace ssr::obs
 
 namespace ssr::serve {
 
@@ -134,11 +147,22 @@ class service {
   const service_options& options() const { return options_; }
   /// The events.jsonl job journal; disabled unless options.telemetry_dir
   /// was set (tests may attach a stream via job_journal().open_stream()).
-  journal& job_journal() { return journal_; }
+  obs::journal& job_journal() { return journal_; }
 
  private:
   obs::json_value handle_run(const obs::json_value& request,
                              const event_sink& sink);
+  /// Shared execution path behind both run-request forms (flat fields and
+  /// scenario payloads): admission, journal, progress streaming, caching.
+  /// `scenario`, when non-null, marks a scenario payload -- the cache
+  /// lookup is bypassed and a run bundle is persisted on completion.
+  obs::json_value execute_run(const obs::json_value& request,
+                              const event_sink& sink,
+                              const util::sim_request_spec& spec,
+                              const util::telemetry_spec& telemetry_options,
+                              bool want_progress, bool no_cache,
+                              std::optional<std::uint64_t> deadline_ms,
+                              const obs::scenario_doc* scenario);
   /// Renders the response "telemetry" block and, when the service has a
   /// telemetry directory, persists the per-job artifacts.
   obs::json_value render_telemetry(const request_telemetry& telemetry,
@@ -148,7 +172,9 @@ class service {
   obs::metrics_registry metrics_;
   result_cache cache_;
   job_queue queue_;
-  journal journal_;
+  /// The daemon's journal keeps its historical schema tag; local run
+  /// bundles write the same vocabulary as "ssr.events" (obs/journal.hpp).
+  obs::journal journal_{obs::journal_options{.schema = "ssr.serve.events"}};
   std::atomic<std::uint64_t> next_request_id_{1};
   std::atomic<bool> shutdown_requested_{false};
 };

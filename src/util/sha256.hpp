@@ -1,0 +1,25 @@
+// Dependency-free SHA-256 (FIPS 180-4) for bundle manifests.
+//
+// The container bakes in no crypto library, and the run-bundle layer
+// (obs/bundle.hpp) needs stable content hashes so a bundle_manifest.json
+// can attest every artifact it lists -- `sha256sum` on any machine must
+// reproduce the digests.  This is the straightforward single-block
+// implementation: no hardware paths, no incremental API beyond what the
+// manifest writer needs.  Bundle files are small (kilobytes to a few
+// megabytes), so throughput is irrelevant next to the simulation itself.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ssr::util {
+
+/// Lowercase hex digest (64 chars) of `data`, byte-for-byte what
+/// `sha256sum` prints.
+std::string sha256_hex(std::string_view data);
+
+/// Digest of a file's contents; empty string when the file cannot be
+/// read (callers treat that as "missing", not as a hash).
+std::string sha256_file_hex(const std::string& path);
+
+}  // namespace ssr::util

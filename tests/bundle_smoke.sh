@@ -1,0 +1,100 @@
+#!/bin/sh
+# End-to-end run-bundle smoke: execute a declarative scenario with
+# `ssr_cli run`, verify the bundle manifest, check the job journal and the
+# trace artifact (trace_stats must parse it unchanged), capture a
+# baseline, rerun the scenario and compare clean (exit 0), compare against
+# the doctored regression fixture (must exit non-zero), and check the
+# validation + discovery surfaces (--list-scenarios/--list-protocols
+# --json, field-level errors with nearest-name suggestions).
+#
+#   bundle_smoke.sh <ssr_cli> <trace_stats> <scenario.json> \
+#                   <regressed_baseline.json>
+#
+# Run by ctest (bundle_e2e) and by the CI bundle leg; exits non-zero on
+# the first failed step.  BUNDLE_SMOKE_OUT_DIR, when set, keeps the first
+# bundle there for artifact upload; by default everything stays in a
+# scratch directory removed on exit.
+set -eu
+
+CLI=$1
+TRACE_STATS=$2
+SCENARIO=$3
+REGRESSED=$4
+
+WORK=$(mktemp -d bundle_smoke.XXXXXX)
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT INT TERM
+
+BUNDLE=${BUNDLE_SMOKE_OUT_DIR:-$WORK/bundle}
+
+echo "== run scenario -> bundle"
+"$CLI" run "$SCENARIO" --out "$BUNDLE"
+for f in scenario.json run.json events.jsonl trace.jsonl metrics.prom \
+         summary.md bundle_manifest.json; do
+  test -s "$BUNDLE/$f" || { echo "FAIL: missing $BUNDLE/$f" >&2; exit 1; }
+done
+
+echo "== manifest verifies"
+"$CLI" bundle verify "$BUNDLE"
+
+echo "== job journal recorded the lifecycle"
+grep -q '"event":"journal_header"' "$BUNDLE/events.jsonl"
+grep -q '"schema":"ssr.events"' "$BUNDLE/events.jsonl"
+grep -q '"event":"admit"' "$BUNDLE/events.jsonl"
+grep -q '"event":"complete"' "$BUNDLE/events.jsonl"
+
+echo "== trace_stats parses the bundle's trace unchanged"
+"$TRACE_STATS" "$BUNDLE/trace.jsonl"
+"$TRACE_STATS" --format=json "$BUNDLE/trace.jsonl" | grep -q '"interactions"'
+
+echo "== capture baseline"
+"$CLI" baseline capture "$BUNDLE" --baselines "$WORK/baselines"
+NAME=$(sed -n 's/.*"name": "\([^"]*\)".*/\1/p' "$BUNDLE/scenario.json" \
+  | head -n1)
+test -s "$WORK/baselines/$NAME.json"
+
+echo "== rerun + compare must pass clean"
+"$CLI" run "$SCENARIO" --out "$WORK/bundle2"
+cmp "$BUNDLE/run.json" "$WORK/bundle2/run.json"
+"$CLI" compare "$WORK/bundle2" --against "$WORK/baselines"
+
+echo "== compare against the doctored regression fixture must gate"
+if "$CLI" compare "$WORK/bundle2" --against "$REGRESSED" \
+    >"$WORK/regressed.out" 2>&1; then
+  echo "FAIL: compare accepted the regressed baseline" >&2
+  cat "$WORK/regressed.out" >&2
+  exit 1
+fi
+grep -q 'REGRESSION' "$WORK/regressed.out"
+
+echo "== tampering must fail verification"
+cp -r "$BUNDLE" "$WORK/tampered"
+printf '{"tampered":true}\n' >"$WORK/tampered/run.json"
+if "$CLI" bundle verify "$WORK/tampered" >"$WORK/tampered.out" 2>&1; then
+  echo "FAIL: verify accepted a tampered bundle" >&2
+  exit 1
+fi
+grep -q 'run.json' "$WORK/tampered.out"
+
+echo "== machine-readable discovery surfaces"
+"$CLI" --list-scenarios --json >"$WORK/scenarios.json"
+grep -q '"schema": "ssr.scenarios"' "$WORK/scenarios.json"
+grep -q '"no_leader"' "$WORK/scenarios.json"
+"$CLI" --list-protocols --json >"$WORK/protocols.json"
+grep -q '"schema": "ssr.protocols"' "$WORK/protocols.json"
+grep -q '"optimal"' "$WORK/protocols.json"
+
+echo "== invalid scenario fails with field-level suggestions"
+printf '%s\n' \
+  '{"schema":"ssr.scenario","schema_version":1,"name":"bad",' \
+  ' "protocol":"optiml","scenaro":"no_leader","n":16}' \
+  >"$WORK/bad_scenario.json"
+if "$CLI" run "$WORK/bad_scenario.json" --out "$WORK/bad_bundle" \
+    >"$WORK/bad.out" 2>&1; then
+  echo "FAIL: invalid scenario was accepted" >&2
+  exit 1
+fi
+grep -q 'did you mean' "$WORK/bad.out"
+test ! -e "$WORK/bad_bundle/run.json"
+
+echo "bundle smoke: PASS"

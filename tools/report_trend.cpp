@@ -22,7 +22,10 @@
 //   --out=FILE      write there instead of stdout
 //
 // Exit 0 = no drift, 1 = at least one drifting key, 2 = usage error /
-// unreadable input / fewer than two revisions.
+// unreadable input / fewer than two revisions.  In HISTORY_DIR mode a
+// malformed or unknown-schema BENCH_*.json is skipped with a per-file
+// warning (histories mix tool versions); explicitly listed report files
+// still fail hard.
 #include <algorithm>
 #include <array>
 #include <filesystem>
@@ -57,10 +60,11 @@ int usage() {
   return 2;
 }
 
-std::optional<bench_report> load_report(const std::string& path) {
+std::optional<bench_report> load_report(const std::string& path,
+                                        std::string* why) {
   std::ifstream is(path);
   if (!is) {
-    std::cerr << "error: cannot open '" << path << "'\n";
+    *why = "cannot open file";
     return std::nullopt;
   }
   std::ostringstream buffer;
@@ -68,12 +72,12 @@ std::optional<bench_report> load_report(const std::string& path) {
   std::string error;
   const auto json = json_value::parse(buffer.str(), &error);
   if (!json) {
-    std::cerr << "error: " << path << ": " << error << "\n";
+    *why = error;
     return std::nullopt;
   }
   auto report = bench_report::from_json(*json, &error);
   if (!report) {
-    std::cerr << "error: " << path << ": " << error << "\n";
+    *why = error;
     return std::nullopt;
   }
   return report;
@@ -103,8 +107,17 @@ bool load_history_dir(const std::string& dir, std::vector<revision>* out) {
           file.path().extension() != ".json") {
         continue;
       }
-      auto report = load_report(file.path().string());
-      if (!report) return false;
+      // A history directory accumulates artifacts across revisions and
+      // tool versions; one malformed or unknown-schema file should not
+      // abort the whole trend, so skip it with a warning.  Explicitly
+      // listed report files (below) still fail hard.
+      std::string why;
+      auto report = load_report(file.path().string(), &why);
+      if (!report) {
+        std::cerr << "warning: skipping '" << file.path().string()
+                  << "': " << why << "\n";
+        continue;
+      }
       rev.reports.push_back(std::move(*report));
     }
     if (rev.reports.empty()) continue;
@@ -174,8 +187,12 @@ int main(int argc, char** argv) {
     if (!load_history_dir(inputs.front(), &revisions)) return 2;
   } else {
     for (const std::string& path : inputs) {
-      auto report = load_report(path);
-      if (!report) return 2;
+      std::string why;
+      auto report = load_report(path, &why);
+      if (!report) {
+        std::cerr << "error: " << path << ": " << why << "\n";
+        return 2;
+      }
       revision rev;
       rev.label = short_rev(report->git_rev);
       rev.generated_unix = report->generated_unix;

@@ -10,6 +10,17 @@
 //   ssr_cli --protocol=loose --n=64 --t-max=40
 //   ssr_cli --protocol=optimal --n=64 --json=run.json --trace-out=run.jsonl
 //
+// Bundle subcommands (docs/bundles.md):
+//
+//   ssr_cli run <scenario.json> --out <dir>       scenario -> run bundle
+//   ssr_cli bundle verify <dir>                   recheck manifest sha256s
+//   ssr_cli baseline capture <dir> --baselines <dir>
+//   ssr_cli compare <dir> --against <file-or-dir> [--ks-alpha=..]
+//           [--mean-tolerance=..] [--value-tolerance=..]
+//
+// compare exits 0 when every gate passes, 1 on regression, 2 when the
+// inputs are unusable (failed verification, fingerprint mismatch).
+//
 // --json writes a machine-readable run summary (verdict, parallel time,
 // engine counters); --trace-out writes the structured event stream
 // (obs/trace.hpp) as JSONL.  Tracing observes interactions through the
@@ -22,8 +33,10 @@
 //
 // Exit code 0 iff the run reached a correct configuration.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,16 +46,22 @@
 
 #include "analysis/protocol_lint/lint.hpp"
 #include "analysis/trace_stats.hpp"
+#include "obs/bundle.hpp"
 #include "obs/engine_counters.hpp"
+#include "obs/exposition.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/progress.hpp"
+#include "obs/scenario.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "pp/graph_simulation.hpp"
 #include "protocols/adversary.hpp"
 #include "protocols/describe.hpp"
+#include "serve/request_context.hpp"
+#include "serve/runner.hpp"
 #include "ssr.hpp"
 #include "util/edit_distance.hpp"
 #include "util/request_spec.hpp"
@@ -174,11 +193,52 @@ constexpr std::pair<std::string_view, sublinear_scenario>
       "                         --profile\n"
       "  --list-protocols       print the protocol names and exit\n"
       "  --list-scenarios       print the per-protocol scenario names and "
-      "exit\n";
+      "exit\n"
+      "                         (add bare --json to either list flag for a\n"
+      "                         machine-readable document)\n"
+      "\n"
+      "subcommands (run bundles; see docs/bundles.md):\n"
+      "  ssr_cli run <scenario.json> --out <dir>\n"
+      "  ssr_cli bundle verify <dir>\n"
+      "  ssr_cli baseline capture <dir> --baselines <dir>\n"
+      "  ssr_cli compare <dir> --against <file-or-dir>\n";
   std::exit(2);
 }
 
-[[noreturn]] void list_protocols() {
+constexpr std::pair<std::string_view, std::string_view> protocol_blurbs[] = {
+    {"baseline",
+     "Silent-n-state-SSR (Theta(n^2) time, n states; Table 1 row 1)"},
+    {"optimal", "Optimal-Silent-SSR (O(n) time, O(n) states; Theorem 4.1)"},
+    {"sublinear",
+     "Sublinear-Time-SSR (O(n/2^h polylog n) time; Theorem 5.1)"},
+    {"loose",
+     "loose-stabilizing LE (Theta(log n)-state comparison point)"},
+};
+
+std::string_view blurb_of(std::string_view protocol) {
+  for (const auto& [name, blurb] : protocol_blurbs)
+    if (name == protocol) return blurb;
+  return {};
+}
+
+/// --list-protocols; with the bare --json modifier the listing is a
+/// machine-readable document instead of aligned text.
+[[noreturn]] void list_protocols(bool json) {
+  if (json) {
+    obs::json_value doc = obs::json_value::object();
+    doc["schema"] = "ssr.protocols";
+    doc["schema_version"] = 1;
+    obs::json_value arr = obs::json_value::array();
+    for (const std::string_view protocol : util::protocol_names()) {
+      obs::json_value item = obs::json_value::object();
+      item["name"] = std::string(protocol);
+      item["description"] = std::string(blurb_of(protocol));
+      arr.push_back(std::move(item));
+    }
+    doc["protocols"] = std::move(arr);
+    std::cout << doc.dump(2) << '\n';
+    std::exit(0);
+  }
   std::cout
       << "baseline   Silent-n-state-SSR (Theta(n^2) time, n states; Table 1 "
          "row 1)\n"
@@ -191,9 +251,27 @@ constexpr std::pair<std::string_view, sublinear_scenario>
   std::exit(0);
 }
 
-[[noreturn]] void list_scenarios() {
+[[noreturn]] void list_scenarios(bool json) {
   // One source of truth for names: the shared request-spec tables the
   // benches and ssr_serve validate against (util/request_spec.hpp).
+  if (json) {
+    obs::json_value doc = obs::json_value::object();
+    doc["schema"] = "ssr.scenarios";
+    doc["schema_version"] = 1;
+    obs::json_value arr = obs::json_value::array();
+    for (const std::string_view protocol : util::protocol_names()) {
+      obs::json_value item = obs::json_value::object();
+      item["name"] = std::string(protocol);
+      obs::json_value names = obs::json_value::array();
+      for (const std::string_view name : util::scenario_names(protocol))
+        names.push_back(std::string(name));
+      item["scenarios"] = std::move(names);
+      arr.push_back(std::move(item));
+    }
+    doc["protocols"] = std::move(arr);
+    std::cout << doc.dump(2) << '\n';
+    std::exit(0);
+  }
   for (const std::string_view protocol : util::protocol_names()) {
     std::cout << protocol << ':';
     for (const std::string_view name : util::scenario_names(protocol))
@@ -205,6 +283,12 @@ constexpr std::pair<std::string_view, sublinear_scenario>
 
 options parse(int argc, char** argv) {
   options opt;
+  // Bare --json is the machine-readable modifier for the list modes; it
+  // may appear on either side of the list flag, so pre-scan.
+  bool json_list = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") json_list = true;
+  }
   // Spec-shaped flags (protocol, scenario, n, h, t-max, seed, max-time,
   // engine, shards) funnel through the shared builder so the CLI rejects
   // bad specs with exactly the diagnostics the benches and ssr_serve
@@ -218,8 +302,11 @@ options parse(int argc, char** argv) {
       return std::nullopt;
     };
     if (arg == "--help" || arg == "-h") usage();
-    if (arg == "--list-protocols") list_protocols();
-    if (arg == "--list-scenarios") list_scenarios();
+    if (arg == "--list-protocols") list_protocols(json_list);
+    if (arg == "--list-scenarios") list_scenarios(json_list);
+    if (arg == "--json")
+      usage("--json needs a value (--json=<file>); the bare flag is only a "
+            "modifier for --list-protocols/--list-scenarios");
     if (arg == "--show-agents") {
       opt.show_agents = true;
       continue;
@@ -838,9 +925,366 @@ void run_lint_gate(const options& opt) {
   std::cout << "lint: PASS (" << report.notes << " note(s))\n";
 }
 
+// ---------------------------------------------------------------------------
+// Bundle subcommands: run / bundle verify / baseline capture / compare.
+// Exit conventions: 0 success, 1 run failure / failed verification /
+// regression, 2 bad usage or invalid inputs.
+
+[[noreturn]] void subcommand_usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  ssr_cli run <scenario.json> --out <dir>\n"
+      "      execute an ssr.scenario v1 document and write the run bundle\n"
+      "      (scenario.json, run.json, events.jsonl, optional trace/profile/\n"
+      "      metrics, summary.md, bundle_manifest.json)\n"
+      "  ssr_cli bundle verify <dir>\n"
+      "      recompute every sha256 listed in bundle_manifest.json\n"
+      "  ssr_cli baseline capture <dir> --baselines <dir>\n"
+      "      freeze a verified bundle's run.json as the scenario's baseline\n"
+      "  ssr_cli compare <dir> --against <file-or-dir>\n"
+      "          [--ks-alpha=A] [--mean-tolerance=F] [--value-tolerance=F]\n"
+      "      gate a bundle against a baseline (exit 1 on regression)\n"
+      "see docs/bundles.md\n";
+  std::exit(2);
+}
+
+/// `--flag value` / `--flag=value` for the subcommand argv style.
+std::optional<std::string> flag_value(std::span<char* const> args,
+                                      std::size_t& i, std::string_view flag) {
+  const std::string_view arg = args[i];
+  if (arg == flag) {
+    if (i + 1 >= args.size())
+      subcommand_usage(std::string(flag) + " needs a value");
+    return std::string(args[++i]);
+  }
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) == 0) return std::string(arg.substr(prefix.size()));
+  return std::nullopt;
+}
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// ssr_cli run <scenario.json> --out <dir>
+int cmd_run(std::span<char* const> args) {
+  std::string scenario_path;
+  std::string out_dir;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--out")) {
+      out_dir = *v;
+      continue;
+    }
+    const std::string_view arg = args[i];
+    if (!arg.empty() && arg[0] == '-')
+      subcommand_usage("unknown run option '" + std::string(arg) + "'");
+    if (!scenario_path.empty())
+      subcommand_usage("run takes exactly one scenario file");
+    scenario_path = arg;
+  }
+  if (scenario_path.empty()) subcommand_usage("run needs a scenario file");
+  if (out_dir.empty()) subcommand_usage("run needs --out <dir>");
+
+  std::string io_error;
+  const std::optional<std::string> text = read_file(scenario_path, &io_error);
+  if (!text.has_value()) {
+    std::cerr << "error: " << io_error << '\n';
+    return 2;
+  }
+  std::vector<util::spec_error> errors;
+  const std::optional<obs::scenario_doc> scenario =
+      obs::parse_scenario_text(*text, &errors);
+  if (!scenario.has_value()) {
+    std::cerr << "error: invalid scenario '" << scenario_path << "':\n";
+    for (const util::spec_error& e : errors)
+      std::cerr << "  " << e.field << ": " << e.message << '\n';
+    return 2;
+  }
+  const util::sim_request_spec& spec = scenario->spec;
+  const std::string fingerprint = spec.canonical();
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create '" << out_dir
+              << "': " << ec.message() << '\n';
+    return 1;
+  }
+  // The bundle journal shares the serve daemon's event vocabulary
+  // (obs/journal.hpp) under the local-run schema tag.
+  obs::journal journal{obs::journal_options{}};
+  journal.open(out_dir + "/events.jsonl");
+  const auto emit = [&](std::string_view event, auto&& fill) {
+    obs::json_value fields = obs::json_value::object();
+    fields["scenario"] = scenario->name;
+    fill(fields);
+    journal.emit(event, fields);
+  };
+  emit("admit", [&](obs::json_value& fields) {
+    fields["fingerprint"] = fingerprint;
+    fields["protocol"] = spec.protocol;
+    fields["n"] = static_cast<std::uint64_t>(spec.n);
+    fields["trials"] = spec.trials;
+  });
+  emit("start", [](obs::json_value&) {});
+
+  obs::metrics_registry registry;
+  obs::engine_counters counters;
+  std::optional<serve::request_telemetry> telemetry;
+  if (scenario->telemetry.any()) telemetry.emplace(scenario->telemetry);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::floor(elapsed.count());
+  };
+  std::shared_ptr<const obs::json_value> result;
+  try {
+    result = serve::run_simulation(
+        spec, /*cancel=*/nullptr, &registry,
+        telemetry.has_value() ? &*telemetry : nullptr, &counters,
+        [&](std::uint64_t completed, std::uint64_t total) {
+          emit("progress", [&](obs::json_value& fields) {
+            fields["trials_completed"] = completed;
+            fields["trials_total"] = total;
+          });
+        });
+  } catch (const std::exception& e) {
+    emit("failed", [&](obs::json_value& fields) {
+      fields["message"] = std::string(e.what());
+    });
+    std::cerr << "error: run failed: " << e.what() << '\n';
+    return 1;
+  }
+  emit("complete", [&](obs::json_value& fields) {
+    fields["fingerprint"] = fingerprint;
+    fields["elapsed_ms"] = elapsed_ms();
+  });
+
+  obs::bundle_artifacts artifacts;
+  artifacts.events = true;
+  std::string trace_text;
+  if (telemetry.has_value() && telemetry->options.trace) {
+    std::ostringstream os;
+    telemetry->trace.write_jsonl(os, telemetry->phase_names);
+    trace_text = os.str();
+    artifacts.trace_jsonl = &trace_text;
+  }
+  if (telemetry.has_value() && telemetry->options.profile) {
+    artifacts.profile = &telemetry->profile;
+  }
+  if (scenario->emit_metrics) {
+    artifacts.metrics_prom = obs::prometheus_text(registry);
+  }
+  const obs::bundle_result bundle = obs::write_run_bundle(
+      out_dir, *scenario, *result, counters, artifacts);
+  if (!bundle.ok) {
+    std::cerr << "error: " << bundle.error << '\n';
+    return 1;
+  }
+  const obs::json_value* stats =
+      result->find("stats") != nullptr ? result->find("stats")->find("mean")
+                                       : nullptr;
+  std::cout << "bundle: " << bundle.dir << '\n';
+  std::cout << "  fingerprint: " << fingerprint << '\n';
+  if (stats != nullptr)
+    std::cout << "  mean stabilization time: " << stats->as_double() << '\n';
+  std::cout << "  manifest: " << bundle.manifest_path << '\n';
+  return 0;
+}
+
+/// ssr_cli bundle verify <dir>
+int cmd_bundle(std::span<char* const> args) {
+  if (args.size() != 2 || std::string_view(args[0]) != "verify")
+    subcommand_usage("bundle subcommand is: bundle verify <dir>");
+  const std::string dir = args[1];
+  const obs::manifest_check check = obs::verify_bundle(dir);
+  if (!check.ok()) {
+    std::cerr << "bundle verification FAILED for " << dir << ":\n";
+    for (const std::string& problem : check.problems)
+      std::cerr << "  " << problem << '\n';
+    return 1;
+  }
+  std::cout << "bundle ok: " << check.files_checked
+            << " file(s) verified against " << dir
+            << "/bundle_manifest.json\n";
+  return 0;
+}
+
+/// Loads <dir>/run.json after re-verifying the manifest; exits via return
+/// code 2 semantics (nullopt) when the bundle is unusable.
+std::optional<obs::json_value> load_verified_run(const std::string& dir) {
+  const obs::manifest_check check = obs::verify_bundle(dir);
+  if (!check.ok()) {
+    std::cerr << "error: bundle verification failed for " << dir << ":\n";
+    for (const std::string& problem : check.problems)
+      std::cerr << "  " << problem << '\n';
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<obs::json_value> run_doc =
+      obs::load_json_file(dir + "/run.json", &error);
+  if (!run_doc.has_value()) std::cerr << "error: " << error << '\n';
+  return run_doc;
+}
+
+/// ssr_cli baseline capture <dir> --baselines <dir>
+int cmd_baseline(std::span<char* const> args) {
+  if (args.empty() || std::string_view(args[0]) != "capture")
+    subcommand_usage("baseline subcommand is: baseline capture <dir> "
+                     "--baselines <dir>");
+  std::string bundle_dir;
+  std::string baselines_dir;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--baselines")) {
+      baselines_dir = *v;
+      continue;
+    }
+    const std::string_view arg = args[i];
+    if (!arg.empty() && arg[0] == '-')
+      subcommand_usage("unknown baseline option '" + std::string(arg) + "'");
+    if (!bundle_dir.empty())
+      subcommand_usage("baseline capture takes exactly one bundle dir");
+    bundle_dir = arg;
+  }
+  if (bundle_dir.empty())
+    subcommand_usage("baseline capture needs a bundle dir");
+  if (baselines_dir.empty())
+    subcommand_usage("baseline capture needs --baselines <dir>");
+
+  const std::optional<obs::json_value> run_doc =
+      load_verified_run(bundle_dir);
+  if (!run_doc.has_value()) return 2;
+  const obs::json_value doc = obs::baseline_document(*run_doc);
+  const obs::json_value* name = doc.find("scenario_name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    std::cerr << "error: run.json has no scenario_name\n";
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(baselines_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create '" << baselines_dir
+              << "': " << ec.message() << '\n';
+    return 1;
+  }
+  const std::string path = baselines_dir + "/" + name->as_string() + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write '" << path << "'\n";
+    return 1;
+  }
+  out << doc.dump(2) << '\n';
+  out.flush();
+  if (!out) {
+    std::cerr << "error: short write to '" << path << "'\n";
+    return 1;
+  }
+  std::cout << "baseline: " << path << '\n';
+  return 0;
+}
+
+/// ssr_cli compare <dir> --against <file-or-dir> [threshold flags]
+int cmd_compare(std::span<char* const> args) {
+  std::string bundle_dir;
+  std::string against;
+  obs::compare_limits limits;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--against")) {
+      against = *v;
+      continue;
+    }
+    if (auto v = flag_value(args, i, "--ks-alpha")) {
+      limits.ks_alpha = std::stod(*v);
+      continue;
+    }
+    if (auto v = flag_value(args, i, "--mean-tolerance")) {
+      limits.sample_mean_tolerance = std::stod(*v);
+      continue;
+    }
+    if (auto v = flag_value(args, i, "--value-tolerance")) {
+      limits.value_tolerance = std::stod(*v);
+      continue;
+    }
+    const std::string_view arg = args[i];
+    if (!arg.empty() && arg[0] == '-')
+      subcommand_usage("unknown compare option '" + std::string(arg) + "'");
+    if (!bundle_dir.empty())
+      subcommand_usage("compare takes exactly one bundle dir");
+    bundle_dir = arg;
+  }
+  if (bundle_dir.empty()) subcommand_usage("compare needs a bundle dir");
+  if (against.empty()) subcommand_usage("compare needs --against <baseline>");
+
+  const std::optional<obs::json_value> run_doc =
+      load_verified_run(bundle_dir);
+  if (!run_doc.has_value()) return 2;
+
+  // --against a directory resolves to <dir>/<scenario_name>.json -- the
+  // layout baseline capture writes.
+  std::string baseline_path = against;
+  if (std::filesystem::is_directory(against)) {
+    const obs::json_value* name = run_doc->find("scenario_name");
+    if (name == nullptr || !name->is_string()) {
+      std::cerr << "error: run.json has no scenario_name\n";
+      return 2;
+    }
+    baseline_path = against + "/" + name->as_string() + ".json";
+  }
+  std::string error;
+  const std::optional<obs::json_value> baseline =
+      obs::load_json_file(baseline_path, &error);
+  if (!baseline.has_value()) {
+    std::cerr << "error: " << error << '\n';
+    return 2;
+  }
+
+  const obs::bundle_comparison comparison =
+      obs::compare_against_baseline(*run_doc, *baseline, limits);
+  if (!comparison.ok) {
+    std::cerr << "error: " << comparison.error << '\n';
+    return 2;
+  }
+  std::cout << "comparing " << bundle_dir << " against " << baseline_path
+            << '\n';
+  for (const obs::metric_verdict& v : comparison.verdicts) {
+    const char* tag = !v.verdict.comparable ? "SKIP"
+                      : v.verdict.regression ? "REGRESSION"
+                                             : "ok";
+    std::cout << "  [" << tag << "] " << v.key << ": base "
+              << v.verdict.base_mean << " -> now " << v.verdict.new_mean
+              << " (" << v.verdict.detail << ")\n";
+  }
+  std::cout << comparison.compared << " metric(s) compared, "
+            << comparison.regressions << " regression(s)\n";
+  return comparison.regressions > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch precedes flag parsing: a first argument that
+  // doesn't start with '-' selects the bundle workflows.
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string_view command = argv[1];
+    const std::span<char* const> rest(argv + 2,
+                                      static_cast<std::size_t>(argc - 2));
+    if (command == "run") return cmd_run(rest);
+    if (command == "bundle") return cmd_bundle(rest);
+    if (command == "baseline") return cmd_baseline(rest);
+    if (command == "compare") return cmd_compare(rest);
+    subcommand_usage("unknown subcommand '" + std::string(command) +
+                     "' (expected run, bundle, baseline, or compare)");
+  }
   const options opt = parse(argc, argv);
   if (opt.lint) run_lint_gate(opt);
   rng_t scenario_rng(opt.seed ^ 0xabcdef123456ULL);
