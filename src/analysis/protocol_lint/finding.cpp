@@ -26,6 +26,10 @@ constexpr std::array<code_names, finding_code_count> kCodes = {{
     {"L011", "unreachable-state"},
     {"L012", "state-bits-bound"},
     {"L013", "no-convergence"},
+    {"L014", "exhaustive-silence"},
+    {"L015", "exhaustive-stabilization"},
+    {"L016", "expected-time-budget"},
+    {"L017", "spurious-terminal-class"},
 }};
 
 }  // namespace

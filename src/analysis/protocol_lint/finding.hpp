@@ -35,9 +35,13 @@ enum class finding_code : std::uint8_t {
   unreachable_state,          // L011 declared state no transition produces
   state_bits_bound,           // L012 per-agent memory audit vs Table 1
   no_convergence,             // L013 designated run failed to converge
+  exhaustive_silence,         // L014 model checker found a hot terminal class
+  exhaustive_stabilization,   // L015 model checker found a stable incorrect class
+  expected_time_budget,       // L016 exact worst-case E[time] over budget
+  spurious_terminal_class,    // L017 terminal class with no external in-edge
 };
 
-inline constexpr std::size_t finding_code_count = 13;
+inline constexpr std::size_t finding_code_count = 17;
 
 enum class severity : std::uint8_t { note, warning, error };
 

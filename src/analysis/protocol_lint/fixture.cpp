@@ -10,6 +10,8 @@ std::string_view to_string(fixture_defect defect) {
     case fixture_defect::rank_overflow: return "rank-overflow";
     case fixture_defect::stale_change_flag: return "stale-change-flag";
     case fixture_defect::batch_mixing: return "batch-mixing";
+    case fixture_defect::regressing_rank: return "regressing-rank";
+    case fixture_defect::isolated_class: return "isolated-class";
   }
   return "unknown";
 }

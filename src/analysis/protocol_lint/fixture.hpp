@@ -25,6 +25,14 @@ enum class fixture_defect : std::uint8_t {
   rank_overflow,      // L005: output map claims ranks up to n+1
   stale_change_flag,  // L004: mutates states but always reports "null"
   batch_mixing,       // L010: adjacent ranks interact despite distinct keys
+  regressing_rank,    // L015: rank 0 decays the top rank, so correctness is
+                      //       repeatedly revoked and the terminal class of
+                      //       the configuration digraph contains incorrect
+                      //       configurations
+  isolated_class,     // L017: an extra "C" state that is consumed but never
+                      //       produced; at n=2 the configuration {rank 0, C}
+                      //       is a silent *correct* terminal class no other
+                      //       configuration can enter
 };
 
 std::string_view to_string(fixture_defect defect);
@@ -68,6 +76,36 @@ class broken_fixture_protocol {
           return true;
         }
         return baseline(a, b);
+      case fixture_defect::regressing_rank:
+        // Rank 0 knocks the top rank back down: the correct permutation is
+        // repeatedly revoked, so the terminal class is hot *and* contains
+        // incorrect configurations (L014 + L015).
+        if (a.rank == 0 && b.rank == n_ - 1) {
+          b.rank = 0;
+          return true;
+        }
+        return baseline(a, b);
+      case fixture_defect::isolated_class: {
+        // C (encoded rank n) is consumed, never produced: (C,C) resolves
+        // both, any nonzero rank converts a C, but rank 0 ignores it -- so
+        // at n=2 the correct configuration {rank 0, C} is terminal with no
+        // incoming transition (L017) while every other C-configuration
+        // drains into the baseline space.
+        const bool a_c = a.rank == n_;
+        const bool b_c = b.rank == n_;
+        if (a_c && b_c) {
+          a.rank = 0;
+          b.rank = 0;
+          return true;
+        }
+        if (a_c || b_c) {
+          const std::uint32_t other = a_c ? b.rank : a.rank;
+          if (other == 0) return false;
+          (a_c ? a : b).rank = 0;
+          return true;
+        }
+        return baseline(a, b);
+      }
       case fixture_defect::duplicate_rank:
       case fixture_defect::rank_overflow:
         return baseline(a, b);
@@ -81,6 +119,8 @@ class broken_fixture_protocol {
         return s.rank == 0 ? 1 : s.rank;  // folds states 0 and 1 onto rank 1
       case fixture_defect::rank_overflow:
         return s.rank + 2;  // top state claims rank n+1
+      case fixture_defect::isolated_class:
+        return s.rank == n_ ? n_ : s.rank + 1;  // C shares the top rank
       default:
         return s.rank + 1;
     }
@@ -94,8 +134,11 @@ class broken_fixture_protocol {
   static std::uint64_t state_count(std::uint32_t n) { return n; }
 
   std::vector<agent_state> all_states() const {
-    std::vector<agent_state> states(n_);
-    for (std::uint32_t r = 0; r < n_; ++r) states[r].rank = r;
+    // isolated_class declares one extra state, the consumed-only C (rank n).
+    const std::uint32_t k =
+        defect_ == fixture_defect::isolated_class ? n_ + 1 : n_;
+    std::vector<agent_state> states(k);
+    for (std::uint32_t r = 0; r < k; ++r) states[r].rank = r;
     return states;
   }
 

@@ -1,9 +1,11 @@
 #include "analysis/protocol_lint/lint.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "analysis/protocol_lint/model_check.hpp"
 #include "analysis/table.hpp"
 #include "util/edit_distance.hpp"
 
@@ -34,14 +36,18 @@ std::vector<const protocol_entry*> resolve_protocols(
     return entries;
   }
   for (const std::string& name : options.protocols) {
-    const protocol_entry* e = find_protocol(name);
-    if (e == nullptr) throw_unknown_protocol(name);
-    entries.push_back(e);
+    entries.push_back(&resolve_protocol_entry(name));
   }
   return entries;
 }
 
 }  // namespace
+
+const protocol_entry& resolve_protocol_entry(const std::string& name) {
+  const protocol_entry* e = find_protocol(name);
+  if (e == nullptr) throw_unknown_protocol(name);
+  return *e;
+}
 
 lint_report run_lint(const lint_options& options) {
   const std::vector<const protocol_entry*> entries =
@@ -54,6 +60,19 @@ lint_report run_lint(const lint_options& options) {
       lint_context ctx(entry->name, n, &report.findings,
                        options.cap_per_code);
       entry->run(n, ctx);
+      // Exact configuration-space pass (L014-L017), for entries with a
+      // model attachment.  A closure escape means the configuration graph
+      // cannot be built, and the builder itself throws on one the
+      // state-level checks did not see.
+      if (ctx.count(finding_code::closure_escape) == 0) {
+        try {
+          if (const std::optional<model_run> run = run_entry_model(*entry, n)) {
+            emit_model_findings(*run, ctx);
+          }
+        } catch (const std::logic_error& e) {
+          ctx.emit(finding_code::closure_escape, severity::error, e.what());
+        }
+      }
     }
   }
   for (const finding& f : report.findings) {
@@ -68,6 +87,8 @@ lint_report run_lint(const lint_options& options) {
 
 obs::json_value to_json(const lint_report& report, bool strict) {
   obs::json_value root = obs::json_value::object();
+  root["schema"] = "ssr.lint";
+  root["version"] = std::uint64_t{1};
   root["tool"] = "protocol_lint";
   root["strict"] = strict;
   obs::json_value protocols = obs::json_value::array();

@@ -48,6 +48,11 @@ struct lint_report {
 /// name, with a nearest-name suggestion when one is close enough.
 lint_report run_lint(const lint_options& options);
 
+/// Registry lookup that throws std::invalid_argument with a nearest-name
+/// suggestion on unknown names ("unknown protocol 'basline'; did you mean
+/// 'baseline'?") -- shared by protocol_lint and ssr_modelcheck.
+const protocol_entry& resolve_protocol_entry(const std::string& name);
+
 /// Machine-readable findings: {tool, strict, protocols, n, findings[],
 /// summary{errors,warnings,notes,violations,passed}}.
 obs::json_value to_json(const lint_report& report, bool strict);

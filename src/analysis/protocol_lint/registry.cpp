@@ -10,6 +10,7 @@
 
 #include "analysis/protocol_lint/fixture.hpp"
 #include "pp/protocol.hpp"
+#include "verify/model_check/config_space.hpp"
 #include "protocols/adversary.hpp"
 #include "protocols/history_tree.hpp"
 #include "protocols/initialized.hpp"
@@ -113,6 +114,108 @@ std::uint32_t loose_t_max(std::uint32_t n) {
   const double lg = std::log2(static_cast<double>(n));
   return std::max<std::uint32_t>(2, 4u * static_cast<std::uint32_t>(
                                          std::ceil(lg)));
+}
+
+// ---- model attachments (exact configuration-space checking) ---------------
+
+// Generous sanity ceiling on the exact worst-case expected stabilization
+// time.  Measured exact values: baseline 1 / 7 / 22 / 49.6 at n=2..5,
+// optimal-tiny 11 / 28.8 / 106.7 at n=2..4 -- 2n^3 holds everywhere with
+// headroom while still catching a protocol whose dynamics regress.
+double cubic_budget(std::uint32_t n) {
+  const double d = static_cast<double>(n);
+  return 2.0 * d * d * d;
+}
+
+model_attachment baseline_model() {
+  model_attachment m;
+  m.max_n = 8;  // C(2n-1, n) configurations: 6435 at n=8, milliseconds
+  m.budget = cubic_budget;
+  m.build = [](std::uint32_t n) {
+    const silent_n_state_ssr p(n);
+    const std::vector<silent_n_state_ssr::agent_state> states =
+        p.all_states();
+    return verify::build_ranking_config_graph(
+        p, states,
+        [states](std::size_t i) { return describe_rank_state(states[i].rank); });
+  };
+  return m;
+}
+
+model_attachment optimal_tiny_model() {
+  model_attachment m;
+  m.max_n = 4;  // 27405 configurations, ~0.6 s; n=5 is 237k and minutes
+  m.budget = cubic_budget;
+  m.build = [](std::uint32_t n) {
+    const optimal_silent_ssr p(n, tiny_optimal_tuning(n));
+    const std::vector<optimal_silent_ssr::agent_state> states =
+        p.all_states();
+    return verify::build_ranking_config_graph(
+        p, states,
+        [states](std::size_t i) { return describe_optimal(states[i]); });
+  };
+  return m;
+}
+
+model_attachment loose_model() {
+  model_attachment m;
+  m.max_n = 4;
+  m.build = [](std::uint32_t n) {
+    const loose_stabilizing_le p(n, loose_t_max(n));
+    const std::vector<loose_stabilizing_le::agent_state> states =
+        p.all_states();
+    return verify::build_config_graph<loose_stabilizing_le>(
+        p, states,
+        [p](const std::vector<loose_stabilizing_le::agent_state>& config) {
+          return p.leader_count(config) == 1;
+        },
+        [states](std::size_t i) { return describe_loose(states[i]); });
+  };
+  return m;
+}
+
+model_attachment initialized_le_model() {
+  model_attachment m;
+  m.max_n = 8;  // two states; n+1 configurations
+  m.build = [](std::uint32_t n) {
+    const initialized_leader_election p(n);
+    const std::vector<initialized_leader_election::agent_state> states =
+        p.all_states();
+    return verify::build_config_graph<initialized_leader_election>(
+        p, states,
+        [p](const std::vector<initialized_leader_election::agent_state>&
+                config) { return leader_count(p, config) == 1; },
+        [states](std::size_t i) { return describe_initialized_le(states[i]); });
+  };
+  return m;
+}
+
+model_attachment initialized_ranking_model() {
+  model_attachment m;
+  m.max_n = 5;  // 3n+1 states; C(20, 5) = 15504 configurations at n=5
+  m.build = [](std::uint32_t n) {
+    const initialized_tree_ranking p(n);
+    const std::vector<initialized_tree_ranking::agent_state> states =
+        p.all_states();
+    return verify::build_ranking_config_graph(
+        p, states,
+        [states](std::size_t i) { return describe_tree_ranking(states[i]); });
+  };
+  return m;
+}
+
+model_attachment fixture_model(fixture_defect defect) {
+  model_attachment m;
+  m.max_n = 6;
+  m.build = [defect](std::uint32_t n) {
+    const broken_fixture_protocol p(n, defect);
+    const std::vector<broken_fixture_protocol::agent_state> states =
+        p.all_states();
+    return verify::build_ranking_config_graph(
+        p, states,
+        [states](std::size_t i) { return describe_rank_state(states[i].rank); });
+  };
+  return m;
 }
 
 // ---- per-protocol check compositions --------------------------------------
@@ -406,6 +509,21 @@ protocol_entry fixture_entry(std::string name, fixture_defect defect,
   return e;
 }
 
+// Model-only fixture: no state-level check composition, just the exact
+// configuration-space pass -- each finding is attributable to the model
+// checker alone.
+protocol_entry model_fixture_entry(std::string name, std::string summary,
+                                   model_attachment model) {
+  protocol_entry e;
+  e.name = std::move(name);
+  e.summary = std::move(summary);
+  e.claims = {true, true, true, true, true, true};
+  e.hidden = true;
+  e.run = [](std::uint32_t, lint_context&) {};
+  e.model = std::move(model);
+  return e;
+}
+
 std::vector<protocol_entry> build_registry() {
   std::vector<protocol_entry> reg;
 
@@ -414,6 +532,7 @@ std::vector<protocol_entry> build_registry() {
                  {true, true, true, true, true, true},
                  false,
                  run_baseline});
+  reg.back().model = baseline_model();
   reg.push_back({"optimal",
                  "Optimal-Silent-SSR (Protocols 3+4), verification tuning "
                  "(E_max=n, R_max=2, D_max=2): full config-space proof",
@@ -422,6 +541,7 @@ std::vector<protocol_entry> build_registry() {
                  [](std::uint32_t n, lint_context& ctx) {
                    run_optimal(n, /*tiny=*/true, ctx);
                  }});
+  reg.back().model = optimal_tiny_model();
   reg.push_back({"optimal-default",
                  "Optimal-Silent-SSR, paper tuning (E_max=20n, R_max=60 ln n, "
                  "D_max=8n): state-level checks only",
@@ -447,18 +567,21 @@ std::vector<protocol_entry> build_registry() {
                  {true, true, false, false, false, false},
                  false,
                  run_loose});
+  reg.back().model = loose_model();
   reg.push_back({"initialized-le",
                  "Initialized (l,l)->(l,f) leader election: NOT "
                  "self-stabilizing by design",
                  {true, true, true, false, false, false},
                  false,
                  run_initialized_le});
+  reg.back().model = initialized_le_model();
   reg.push_back({"initialized-ranking",
                  "Initialized binary-tree ranking (3n+1 states): NOT "
                  "self-stabilizing by design",
                  {true, true, true, false, false, false},
                  false,
                  run_initialized_ranking});
+  reg.back().model = initialized_ranking_model();
 
   reg.push_back(fixture_entry("broken-closure",
                               fixture_defect::escaping_state,
@@ -475,6 +598,34 @@ std::vector<protocol_entry> build_registry() {
                               "L004 change-flag-mismatch"));
   reg.push_back(fixture_entry("broken-batch", fixture_defect::batch_mixing,
                               "L010 batch-partition-violation"));
+
+  // Model-only fixtures: one per model-checker finding code.
+  reg.push_back(model_fixture_entry(
+      "broken-hot-class",
+      "broken fixture (false-silence), model pass only; must trip L014 "
+      "exhaustive-silence",
+      fixture_model(fixture_defect::false_silence)));
+  reg.push_back(model_fixture_entry(
+      "broken-regressing-rank",
+      "broken fixture (regressing-rank), model pass only; must trip L015 "
+      "exhaustive-stabilization",
+      fixture_model(fixture_defect::regressing_rank)));
+  {
+    model_attachment m = baseline_model();
+    // Clean dynamics, absurd claim: the exact worst case (1 interaction at
+    // n=2) already exceeds a quarter-interaction budget.
+    m.budget = [](std::uint32_t) { return 0.25; };
+    reg.push_back(model_fixture_entry(
+        "broken-time-budget",
+        "clean baseline dynamics with a 0.25-interaction declared budget; "
+        "must trip L016 expected-time-budget",
+        std::move(m)));
+  }
+  reg.push_back(model_fixture_entry(
+      "broken-isolated-class",
+      "broken fixture (isolated-class), model pass only; must trip L017 "
+      "spurious-terminal-class at n=2",
+      fixture_model(fixture_defect::isolated_class)));
   return reg;
 }
 

@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/protocol_lint/checks.hpp"
+#include "verify/model_check/model_check.hpp"
 
 namespace ssr::lint {
 
@@ -29,6 +31,22 @@ struct protocol_claims {
   bool silent = false;
 };
 
+/// Exact model-checking attachment (verify/model_check): entries with an
+/// enumerable inventory and deterministic transitions expose a builder for
+/// their configuration graph, and the model pass (L014-L017, the
+/// ssr_modelcheck CLI, bench_modelcheck) runs on it for n <= max_n.
+struct model_attachment {
+  /// Builds the weighted configuration digraph at population size n.
+  /// Throws std::logic_error when a transition escapes the inventory.
+  std::function<verify::config_graph(std::uint32_t n)> build;
+  /// Largest n the exhaustive pass runs at; configuration spaces grow as
+  /// C(n+k-1, n), so this is sized per entry from measured check times.
+  std::uint32_t max_n = 4;
+  /// Declared worst-case expected-interaction budget as a function of n
+  /// (L016 fires when the exact worst case exceeds it); absent = no claim.
+  std::function<double(std::uint32_t n)> budget;
+};
+
 struct protocol_entry {
   std::string name;     // stable CLI name
   std::string summary;  // one line for --list
@@ -37,6 +55,10 @@ struct protocol_entry {
   /// Runs every applicable check at population size n, emitting findings
   /// into ctx.
   std::function<void(std::uint32_t n, lint_context& ctx)> run;
+  /// Exact configuration-space model checking; nullopt for protocols whose
+  /// state space cannot be enumerated (Sublinear-Time-SSR) or is too large
+  /// under the shipped tuning (optimal-default).
+  std::optional<model_attachment> model = std::nullopt;
 };
 
 /// The full registry, visible entries first.  Order is stable output order.

@@ -22,6 +22,7 @@
 #include "pp/graph.hpp"
 #include "pp/protocol.hpp"
 #include "pp/rng.hpp"
+#include "verify/scc.hpp"
 
 namespace ssr {
 
@@ -119,74 +120,17 @@ graph_verification_result verify_on_graph(
     }
   }
 
-  // Tarjan SCC, iterative (same scheme as reachability.hpp).
-  std::vector<std::size_t> component(total, SIZE_MAX);
-  {
-    std::vector<std::int64_t> index(total, -1), low(total, 0);
-    std::vector<bool> on_stack(total, false);
-    std::vector<std::size_t> stack;
-    std::size_t next_index = 0, next_component = 0;
-    struct frame {
-      std::size_t v;
-      std::size_t edge;
-    };
-    for (std::size_t root = 0; root < total; ++root) {
-      if (index[root] != -1) continue;
-      std::vector<frame> call_stack{{root, 0}};
-      while (!call_stack.empty()) {
-        auto& [v, edge] = call_stack.back();
-        if (edge == 0) {
-          index[v] = low[v] = static_cast<std::int64_t>(next_index++);
-          stack.push_back(v);
-          on_stack[v] = true;
-        }
-        if (edge < adjacency[v].size()) {
-          const std::size_t w = adjacency[v][edge++];
-          if (index[w] == -1) {
-            call_stack.push_back({w, 0});
-          } else if (on_stack[w]) {
-            low[v] = std::min(low[v], index[w]);
-          }
-        } else {
-          if (low[v] == index[v]) {
-            while (true) {
-              const std::size_t w = stack.back();
-              stack.pop_back();
-              on_stack[w] = false;
-              component[w] = next_component;
-              if (w == v) break;
-            }
-            ++next_component;
-          }
-          const std::size_t child = v;
-          call_stack.pop_back();
-          if (!call_stack.empty()) {
-            const std::size_t parent = call_stack.back().v;
-            low[parent] = std::min(low[parent], low[child]);
-          }
-        }
-      }
-    }
-  }
-
-  std::size_t num_components = 0;
-  for (std::size_t c = 0; c < total; ++c)
-    num_components = std::max(num_components, component[c] + 1);
-  std::vector<bool> terminal(num_components, true);
-  std::vector<std::size_t> component_size(num_components, 0);
-  for (std::size_t c = 0; c < total; ++c) {
-    ++component_size[component[c]];
-    for (const std::size_t next : adjacency[c]) {
-      if (component[next] != component[c]) terminal[component[c]] = false;
-    }
-  }
+  // SCCs and terminal components (verify/scc.hpp).
+  const scc_result scc = strongly_connected_components(adjacency);
+  const std::vector<bool> terminal = terminal_components(adjacency, scc);
+  const std::vector<std::size_t> component_size = component_sizes(scc);
 
   graph_verification_result result;
   result.configurations = total;
   result.self_stabilizing = true;
   result.silent = true;
   for (std::size_t c = 0; c < total; ++c) {
-    const std::size_t comp = component[c];
+    const std::size_t comp = scc.component[c];
     if (!terminal[comp]) continue;
     if (!correct[c]) {
       result.self_stabilizing = false;

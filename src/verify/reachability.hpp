@@ -35,6 +35,7 @@
 #include "pp/assert.hpp"
 #include "pp/protocol.hpp"
 #include "pp/rng.hpp"
+#include "verify/scc.hpp"
 
 namespace ssr {
 
@@ -159,77 +160,17 @@ verification_result verify_self_stabilization(
     }
   }
 
-  // --- Tarjan SCC (iterative) ---------------------------------------------
-  std::vector<std::size_t> component(num, SIZE_MAX);
-  {
-    std::vector<std::int64_t> index(num, -1), low(num, 0);
-    std::vector<bool> on_stack(num, false);
-    std::vector<std::size_t> stack;
-    std::size_t next_index = 0, next_component = 0;
-
-    struct frame {
-      std::size_t v;
-      std::size_t edge;
-    };
-    for (std::size_t root = 0; root < num; ++root) {
-      if (index[root] != -1) continue;
-      std::vector<frame> call_stack{{root, 0}};
-      while (!call_stack.empty()) {
-        auto& [v, edge] = call_stack.back();
-        if (edge == 0) {
-          index[v] = low[v] = static_cast<std::int64_t>(next_index++);
-          stack.push_back(v);
-          on_stack[v] = true;
-        }
-        if (edge < adjacency[v].size()) {
-          const std::size_t w = adjacency[v][edge++];
-          if (index[w] == -1) {
-            call_stack.push_back({w, 0});
-          } else if (on_stack[w]) {
-            low[v] = std::min(low[v], index[w]);
-          }
-        } else {
-          if (low[v] == index[v]) {
-            while (true) {
-              const std::size_t w = stack.back();
-              stack.pop_back();
-              on_stack[w] = false;
-              component[w] = next_component;
-              if (w == v) break;
-            }
-            ++next_component;
-          }
-          const std::size_t child = v;
-          call_stack.pop_back();
-          if (!call_stack.empty()) {
-            const std::size_t parent = call_stack.back().v;
-            low[parent] = std::min(low[parent], low[child]);
-          }
-        }
-      }
-    }
-  }
-
-  // --- terminal components and the verdict --------------------------------
-  std::size_t num_components = 0;
-  for (std::size_t ci = 0; ci < num; ++ci)
-    num_components = std::max(num_components, component[ci] + 1);
-
-  std::vector<bool> terminal(num_components, true);
-  for (std::size_t ci = 0; ci < num; ++ci) {
-    for (const std::size_t next : adjacency[ci]) {
-      if (component[next] != component[ci]) terminal[component[ci]] = false;
-    }
-  }
+  // --- SCCs, terminal components, and the verdict (verify/scc.hpp) -------
+  const scc_result scc = strongly_connected_components(adjacency);
+  const std::vector<bool> terminal = terminal_components(adjacency, scc);
+  const std::vector<std::size_t> component_size = component_sizes(scc);
 
   verification_result result;
   result.configurations = num;
   result.self_stabilizing = true;
   result.silent = true;
-  std::vector<std::size_t> component_size(num_components, 0);
-  for (std::size_t ci = 0; ci < num; ++ci) ++component_size[component[ci]];
   for (std::size_t ci = 0; ci < num; ++ci) {
-    const std::size_t comp = component[ci];
+    const std::size_t comp = scc.component[ci];
     if (!terminal[comp]) continue;
     if (!correct[ci]) {
       result.self_stabilizing = false;
@@ -239,7 +180,7 @@ verification_result verify_self_stabilization(
     // pair's transition is null.
     if (component_size[comp] != 1 || has_nonnull[ci]) result.silent = false;
   }
-  for (std::size_t comp = 0; comp < num_components; ++comp)
+  for (std::size_t comp = 0; comp < scc.count; ++comp)
     result.terminal_components += terminal[comp] ? 1 : 0;
   return result;
 }

@@ -114,7 +114,12 @@ INSTANTIATE_TEST_SUITE_P(
         fixture_case{"broken-rank-range", finding_code::rank_out_of_range},
         fixture_case{"broken-change-flag", finding_code::change_flag_mismatch},
         fixture_case{"broken-batch",
-                     finding_code::batch_partition_violation}),
+                     finding_code::batch_partition_violation},
+        fixture_case{"broken-hot-class", finding_code::exhaustive_silence},
+        fixture_case{"broken-regressing-rank",
+                     finding_code::exhaustive_stabilization},
+        fixture_case{"broken-time-budget",
+                     finding_code::expected_time_budget}),
     [](const ::testing::TestParamInfo<fixture_case>& param) {
       std::string name = param.param.name;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -160,10 +165,24 @@ TEST(ProtocolLintFinding, LineFormatIsStable) {
   EXPECT_EQ(to_line(f), "error[L001 closure-escape] baseline n=3: boom");
 }
 
+// The spurious-terminal-class fixture is a note-only defect: it must fail
+// nothing, but the model pass has to surface the isolated class.
+TEST(ProtocolLintFixtures, IsolatedClassSurfacesAsANote) {
+  const lint_report report = lint_one("broken-isolated-class", {2});
+  EXPECT_TRUE(report.passed(/*strict=*/true));
+  EXPECT_TRUE(std::any_of(
+      report.findings.begin(), report.findings.end(), [](const finding& f) {
+        return f.code == finding_code::spurious_terminal_class &&
+               f.sev == severity::note;
+      }));
+}
+
 TEST(ProtocolLintReport, JsonSummaryMatchesCounts) {
   const lint_report report = lint_one("broken-closure", {2});
   const obs::json_value doc = to_json(report, /*strict=*/true);
-  const std::string text = doc.dump();
+  const std::string text = doc.dump(2);
+  EXPECT_NE(text.find("\"schema\": \"ssr.lint\""), std::string::npos);
+  EXPECT_NE(text.find("\"version\": 1"), std::string::npos);
   EXPECT_NE(text.find("\"tool\""), std::string::npos);
   EXPECT_NE(text.find("protocol_lint"), std::string::npos);
   EXPECT_NE(text.find("closure-escape"), std::string::npos);

@@ -1,0 +1,290 @@
+// ssr_modelcheck -- exact configuration-space model checker CLI.
+//
+// Runs the exhaustive model-checking pass (verify/model_check) over the
+// registered protocols that expose a model attachment: enumerates every
+// reachable configuration (state multisets -- agents are anonymous),
+// decomposes the transition digraph into strongly connected components,
+// and decides silence, self-stabilization, and the *exact* expected number
+// of interactions to stable correctness per starting configuration.
+// Violations of an entry's documented claims surface as the linter's
+// L014-L017 finding codes; shortest counterexamples can be written as
+// trace_stats-compatible ssr.trace JSONL files.
+//
+//   ssr_modelcheck                          check every visible entry
+//   ssr_modelcheck --strict                 promote warnings to violations
+//   ssr_modelcheck --protocol=baseline      check one entry (repeatable)
+//   ssr_modelcheck --n=2,3,4                population sizes (default 2,3,4)
+//   ssr_modelcheck --json=doc.json          write the ssr.modelcheck v1 doc
+//   ssr_modelcheck --trace-dir=<dir>        write counterexample JSONL traces
+//   ssr_modelcheck --include-broken         also check the hidden fixtures
+//   ssr_modelcheck --list                   list checkable entries and exit
+//
+// Exit code: 0 when no violations (errors; plus warnings under --strict),
+// 1 on violations, 2 on usage errors.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/protocol_lint/lint.hpp"
+#include "analysis/protocol_lint/model_check.hpp"
+#include "analysis/protocol_lint/registry.hpp"
+#include "analysis/table.hpp"
+#include "util/edit_distance.hpp"
+
+namespace {
+
+using namespace ssr;
+
+struct options {
+  std::vector<std::string> protocols;
+  std::vector<std::uint32_t> n_values = {2, 3, 4};
+  bool strict = false;
+  bool include_broken = false;
+  bool list = false;
+  std::string json_path;
+  std::string trace_dir;
+};
+
+constexpr std::string_view cli_flags[] = {
+    "--protocol", "--n",    "--strict",         "--json",
+    "--list",     "--help", "--include-broken", "--trace-dir",
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: ssr_modelcheck [options]\n"
+      << "  --protocol=<name>   check one registry entry (repeatable;\n"
+      << "                      default: every visible entry)\n"
+      << "  --n=<list>          comma-separated population sizes "
+         "(default 2,3,4)\n"
+      << "  --strict            promote warnings to violations (notes are\n"
+      << "                      never promoted)\n"
+      << "  --json=<file>       write the ssr.modelcheck v1 document ('-' "
+         "for stdout)\n"
+      << "  --trace-dir=<dir>   write shortest counterexamples as ssr.trace "
+         "JSONL\n"
+      << "  --include-broken    also check the hidden broken fixtures\n"
+      << "  --list              list checkable entries and exit\n";
+  std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_sizes(const std::string& value) {
+  std::vector<std::uint32_t> sizes;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    try {
+      const unsigned long n = std::stoul(item);
+      if (n < 2 || n > 64) usage("--n values must be in 2..64, got " + item);
+      sizes.push_back(static_cast<std::uint32_t>(n));
+    } catch (const std::logic_error&) {
+      usage("cannot parse --n value '" + item + "'");
+    }
+  }
+  if (sizes.empty()) usage("--n needs at least one population size");
+  return sizes;
+}
+
+options parse(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") usage();
+    if (arg == "--list") {
+      opt.list = true;
+      continue;
+    }
+    if (arg == "--strict") {
+      opt.strict = true;
+      continue;
+    }
+    if (arg == "--include-broken") {
+      opt.include_broken = true;
+      continue;
+    }
+    if (auto v = value_of("--protocol")) {
+      opt.protocols.push_back(*v);
+      continue;
+    }
+    if (auto v = value_of("--n")) {
+      opt.n_values = parse_sizes(*v);
+      continue;
+    }
+    if (auto v = value_of("--json")) {
+      opt.json_path = *v;
+      continue;
+    }
+    if (auto v = value_of("--trace-dir")) {
+      opt.trace_dir = *v;
+      continue;
+    }
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string message = "unknown argument '" + name + "'";
+    const std::string_view suggestion = nearest_candidate(name, cli_flags);
+    if (!suggestion.empty())
+      message += " (did you mean " + std::string(suggestion) + "?)";
+    usage(message);
+  }
+  return opt;
+}
+
+[[noreturn]] void list_registry(bool include_broken) {
+  for (const lint::protocol_entry& e : lint::lint_registry()) {
+    if (e.hidden && !include_broken) continue;
+    std::cout << e.name;
+    if (e.hidden) std::cout << "  [hidden fixture]";
+    if (e.model.has_value()) {
+      std::cout << "  [model max_n=" << e.model->max_n << ']';
+    } else {
+      std::cout << "  [no model attachment]";
+    }
+    std::cout << "\n    " << e.summary << '\n';
+  }
+  std::exit(0);
+}
+
+void write_trace(const std::filesystem::path& dir, const lint::model_run& run,
+                 std::string_view kind, const verify::counterexample& cx) {
+  const std::filesystem::path path =
+      dir / (run.protocol + "-n" + std::to_string(run.n) + "-" +
+             std::string(kind) + ".trace.jsonl");
+  std::ofstream out(path);
+  if (!out) usage("cannot write " + path.string());
+  verify::write_counterexample_jsonl(out, run.graph, cx);
+  std::cout << "counterexample trace: " << path.string() << '\n';
+}
+
+std::string fixed(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt = parse(argc, argv);
+  if (opt.list) list_registry(opt.include_broken);
+
+  std::vector<const lint::protocol_entry*> entries;
+  try {
+    if (opt.protocols.empty()) {
+      for (const lint::protocol_entry& e : lint::lint_registry()) {
+        if (e.hidden && !opt.include_broken) continue;
+        entries.push_back(&e);
+      }
+    } else {
+      for (const std::string& name : opt.protocols) {
+        entries.push_back(&lint::resolve_protocol_entry(name));
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+
+  if (!opt.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.trace_dir, ec);
+    if (ec) usage("cannot create " + opt.trace_dir + ": " + ec.message());
+  }
+
+  std::vector<lint::model_run> runs;
+  std::vector<lint::model_skip> skipped;
+  std::vector<lint::finding> findings;
+  for (const lint::protocol_entry* entry : entries) {
+    for (const std::uint32_t n : opt.n_values) {
+      lint::model_skip skip;
+      std::optional<lint::model_run> run;
+      lint::lint_context ctx(entry->name, n, &findings);
+      try {
+        run = lint::run_entry_model(*entry, n, &skip);
+      } catch (const std::logic_error& e) {
+        ctx.emit(lint::finding_code::closure_escape, lint::severity::error,
+                 e.what());
+        continue;
+      }
+      if (!run.has_value()) {
+        skipped.push_back(std::move(skip));
+        continue;
+      }
+      lint::emit_model_findings(*run, ctx);
+      if (!opt.trace_dir.empty()) {
+        if (run->result.silence_counterexample.has_value()) {
+          write_trace(opt.trace_dir, *run, "silence",
+                      *run->result.silence_counterexample);
+        }
+        if (run->result.stabilization_counterexample.has_value()) {
+          write_trace(opt.trace_dir, *run, "stabilization",
+                      *run->result.stabilization_counterexample);
+        }
+      }
+      runs.push_back(std::move(*run));
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    const std::string doc =
+        lint::modelcheck_to_json(runs, skipped, findings, opt.strict).dump(2);
+    if (opt.json_path == "-") {
+      std::cout << doc << '\n';
+    } else {
+      std::ofstream out(opt.json_path);
+      if (!out) usage("cannot write " + opt.json_path);
+      out << doc << '\n';
+      std::cout << "modelcheck document: " << opt.json_path << '\n';
+    }
+  }
+
+  text_table table({"protocol", "n", "configs", "transitions", "terminal",
+                    "silent", "stabilizing", "worst E[T]", "uniform E[T]"});
+  for (const lint::model_run& run : runs) {
+    const verify::model_check_result& r = run.result;
+    table.add_row({run.protocol, std::to_string(run.n),
+                   std::to_string(r.configurations),
+                   std::to_string(r.transitions),
+                   std::to_string(r.terminal_classes),
+                   r.silent ? "yes" : "NO", r.self_stabilizing ? "yes" : "NO",
+                   r.expected_time_computed
+                       ? fixed(r.worst_expected_interactions)
+                       : "-",
+                   r.expected_time_computed
+                       ? fixed(r.uniform_expected_interactions)
+                       : "-"});
+  }
+  table.print(std::cout);
+  for (const lint::model_skip& s : skipped) {
+    std::cout << "skipped " << s.protocol << " n=" << s.n << ": " << s.reason
+              << '\n';
+  }
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  if (!findings.empty()) std::cout << '\n';
+  for (const lint::finding& f : findings) {
+    std::cout << lint::to_line(f) << '\n';
+    switch (f.sev) {
+      case lint::severity::error: ++errors; break;
+      case lint::severity::warning: ++warnings; break;
+      case lint::severity::note: ++notes; break;
+    }
+  }
+  const std::size_t violations = errors + (opt.strict ? warnings : 0);
+  std::cout << '\n'
+            << (violations == 0 ? "PASS" : "FAIL") << ": " << violations
+            << " violation(s), " << errors << " error(s), " << warnings
+            << " warning(s), " << notes << " note(s) over " << runs.size()
+            << " model run(s)\n";
+  return violations == 0 ? 0 : 1;
+}
